@@ -1,0 +1,201 @@
+// Command attack evaluates locked netlists against the attack suite, and
+// regenerates the paper's experiments at full scale.
+//
+// Attack a locked design (key inputs named k0, k1, ...):
+//
+//	attack -enc locked.bench -oracle design.bench -attack sat -timeout 1m
+//
+// Regenerate experiments (full benchmark suite — hours at paper scale):
+//
+//	attack -table1 -skews 10,20,30 -timeout 10m
+//	attack -fig4
+//	attack -fig5
+//	attack -structural
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/attacks"
+	"obfuslock/internal/bench"
+	"obfuslock/internal/cec"
+	"obfuslock/internal/experiments"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/netlistgen"
+)
+
+func main() {
+	encPath := flag.String("enc", "", "encrypted .bench netlist")
+	oraclePath := flag.String("oracle", "", "original .bench netlist (the working chip)")
+	attackName := flag.String("attack", "sat", "attack: sat, appsat, sensitization, sps, removal, bypass, valkyrie, spi")
+	timeout := flag.Duration("timeout", time.Minute, "attack timeout")
+	maxIter := flag.Int("maxiter", 2048, "DIP iteration cap")
+	seed := flag.Int64("seed", 1, "attack randomness seed")
+
+	table1 := flag.Bool("table1", false, "regenerate Table I on the full suite")
+	fig4 := flag.Bool("fig4", false, "regenerate Fig. 4 statistics (s9234)")
+	fig5 := flag.Bool("fig5", false, "regenerate Fig. 5 overheads")
+	structural := flag.Bool("structural", false, "regenerate the structural-attack evaluation")
+	small := flag.Bool("small", false, "use the reduced-size suite for experiment modes")
+	skews := flag.String("skews", "10,20,30", "comma-separated skewness levels for experiment modes")
+	flag.Parse()
+
+	suite := netlistgen.Catalog()
+	if *small {
+		suite = netlistgen.SmallSuite()
+	}
+	levels := parseSkews(*skews)
+	budget := experiments.Budget{Timeout: *timeout, MaxIterations: *maxIter}
+
+	switch {
+	case *table1:
+		if _, err := experiments.TableI(suite, levels, *seed, budget, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	case *fig4:
+		b := suite[0]
+		c := b.Build()
+		before, after, err := experiments.Fig4(c, levels[0], *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s @ %g bits\n", b.Name, levels[0])
+		fmt.Printf("before: skew-hist=%v key-hist=%v max-skew=%.1f critical-visible=%v\n",
+			before.SkewHist, before.KeyHist, before.MaxSkewBits, before.CriticalVisible)
+		fmt.Printf("after:  skew-hist=%v key-hist=%v max-skew=%.1f critical-visible=%v\n",
+			after.SkewHist, after.KeyHist, after.MaxSkewBits, after.CriticalVisible)
+		return
+	case *fig5:
+		if _, err := experiments.Fig5(suite, levels, *seed, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	case *structural:
+		if _, err := experiments.Structural(suite, levels[0], *seed, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *encPath == "" || *oraclePath == "" {
+		fatal(fmt.Errorf("-enc and -oracle are required (or use an experiment mode)"))
+	}
+	enc := readBench(*encPath)
+	orig := readBench(*oraclePath)
+	l, err := locking.FromNetlist(enc, "unknown")
+	if err != nil {
+		fatal(err)
+	}
+	if l.NumInputs != orig.NumInputs() {
+		fatal(fmt.Errorf("oracle has %d inputs, locked design expects %d",
+			orig.NumInputs(), l.NumInputs))
+	}
+	oracle := locking.NewOracle(orig)
+	aopt := attacks.DefaultIOOptions()
+	aopt.Timeout = *timeout
+	aopt.MaxIterations = *maxIter
+	aopt.Seed = *seed
+
+	report := func(key []bool, extra string) {
+		status := "no key"
+		if key != nil {
+			if ok, _ := l.VerifyKey(orig, key); ok {
+				status = "CORRECT key " + keyString(key)
+			} else {
+				status = "incorrect key " + keyString(key)
+			}
+		}
+		fmt.Printf("%s: %s%s\n", *attackName, status, extra)
+	}
+
+	switch *attackName {
+	case "sat":
+		r := attacks.SATAttack(l, oracle, aopt)
+		report(r.Key, fmt.Sprintf(" (iters=%d queries=%d exact=%v timeout=%v runtime=%v)",
+			r.Iterations, r.Queries, r.Exact, r.TimedOut, r.Runtime))
+	case "appsat":
+		r := attacks.AppSAT(l, oracle, aopt)
+		report(r.Key, fmt.Sprintf(" (iters=%d queries=%d exact=%v runtime=%v)",
+			r.Iterations, r.Queries, r.Exact, r.Runtime))
+	case "sensitization":
+		r := attacks.Sensitization(l, oracle, 500000)
+		fmt.Printf("sensitization: %d/%d key bits isolatable (runtime %v)\n",
+			r.NumIsolatable, l.KeyBits, r.Runtime)
+	case "sps":
+		r := attacks.SPS(l, 256, *seed, 10)
+		fmt.Println("sps: top skewed nodes (candidate critical nodes):")
+		for i, v := range r.Candidates {
+			fmt.Printf("  n%d  %.1f bits\n", v, r.SkewBits[i])
+		}
+	case "removal":
+		sps := attacks.SPS(l, 256, *seed, 10)
+		r := attacks.Removal(l, orig, sps.Candidates, cec.DefaultOptions())
+		fmt.Printf("removal: success=%v tried=%d runtime=%v\n", r.Success, r.Tried, r.Runtime)
+	case "bypass":
+		wrong := make([]bool, l.KeyBits)
+		r := attacks.Bypass(l, orig, wrong, 1024, 1000000)
+		fmt.Printf("bypass: success=%v patterns=%d exhausted=%v runtime=%v\n",
+			r.Success, r.Patterns, r.Exhausted, r.Runtime)
+	case "valkyrie":
+		r := attacks.Valkyrie(l, orig, 8, 128, *seed, cec.DefaultOptions())
+		fmt.Printf("valkyrie: found-pair=%v restore-only=%v pairs-tried=%d runtime=%v\n",
+			r.FoundPair, r.RestoreOnly, r.PairsTried, r.Runtime)
+	case "spi":
+		r := attacks.SPI(l, 6)
+		report(r.Key, fmt.Sprintf(" (xor-rule=%d point-rule=%d runtime=%v)",
+			r.XORRuleHits, r.PointRuleHits, r.Runtime))
+	default:
+		fatal(fmt.Errorf("unknown attack %q", *attackName))
+	}
+}
+
+func parseSkews(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad skew list %q: %v", s, err))
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		out = []float64{20}
+	}
+	return out
+}
+
+func readBench(path string) *aig.AIG {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	g, err := bench.Read(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return g
+}
+
+func keyString(key []bool) string {
+	b := make([]byte, len(key))
+	for i, v := range key {
+		b[i] = '0'
+		if v {
+			b[i] = '1'
+		}
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "attack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command benchgen emits the ObfusLock evaluation benchmark suite as
+// ISCAS .bench files.
+//
+// Usage:
+//
+//	benchgen [-small] [-out DIR] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"obfuslock"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	small := flag.Bool("small", false, "emit the reduced-size suite instead of the full Table I circuits")
+	list := flag.Bool("list", false, "list benchmarks without writing files")
+	flag.Parse()
+
+	suite := obfuslock.Benchmarks()
+	if *small {
+		suite = obfuslock.SmallBenchmarks()
+	}
+	for _, b := range suite {
+		if *list {
+			fmt.Printf("%-10s paper-nodes=%d\n", b.Name, b.PaperNodes)
+			continue
+		}
+		g := b.Build()
+		path := filepath.Join(*out, b.Name+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obfuslock.WriteBench(f, g); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st := g.Stats()
+		fmt.Printf("%-10s -> %s  (%s)\n", b.Name, path, st)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

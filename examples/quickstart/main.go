@@ -1,0 +1,111 @@
+// Quickstart: lock a circuit with ObfusLock, verify the key, and watch the
+// SAT attack fail.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"obfuslock"
+)
+
+func main() {
+	// Build a circuit. Any extended AIG works; here a 7x7 array
+	// multiplier via the public API (14 inputs: enough headroom for an
+	// 8-bit-skew lock — min(2^8, 2^(keys-8)) must exceed attack budgets).
+	c := obfuslock.NewCircuit()
+	a := c.AddInputs(7)
+	b := c.AddInputs(7)
+	product := multiply(c, a, b)
+	for i, p := range product {
+		c.AddOutput(p, fmt.Sprintf("p%d", i))
+	}
+	fmt.Printf("original circuit: %s\n", c.Stats())
+
+	// Lock at 8 bits of skewness (use 20+ in production; this keeps the
+	// demo attack fast).
+	opt := obfuslock.DefaultOptions()
+	opt.TargetSkewBits = 8
+	opt.Seed = 42
+	opt.AllowDirect = false
+	res, err := obfuslock.Lock(c, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Report
+	fmt.Printf("locked: mode=%s key=%d bits, L skew=%.1f bits, %d -> %d nodes in %v\n",
+		rep.Mode, rep.KeyBits, rep.SkewBits, rep.OrigNodes, rep.EncNodes, rep.Runtime)
+
+	// The correct key provably restores the function.
+	if err := res.Locked.Verify(c); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: correct key restores the original function")
+
+	// A wrong key provably corrupts it.
+	wrong := append([]bool(nil), res.Locked.Key...)
+	wrong[0] = !wrong[0]
+	broke, err := res.Locked.WrongKeyIsWrong(c, wrong)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrong key corrupts the circuit: %v\n", broke)
+
+	// The oracle-guided SAT attack needs ~2^skew queries; give it a
+	// budget far below that and watch it fail.
+	aopt := obfuslock.DefaultAttackOptions()
+	aopt.MaxIterations = 40
+	aopt.Timeout = 30 * time.Second
+	r := obfuslock.RunSATAttack(res.Locked, obfuslock.NewOracle(c), aopt)
+	verdict := "defeated (no correct key within budget)"
+	if r.Key != nil {
+		if ok, _ := res.Locked.VerifyKey(c, r.Key); ok {
+			verdict = "BROKEN"
+		}
+	}
+	fmt.Printf("SAT attack: %d DIP iterations, exact=%v -> %s\n",
+		r.Iterations, r.Exact, verdict)
+}
+
+// multiply builds a carry-save array multiplier over the public API.
+func multiply(g *obfuslock.Circuit, a, b []obfuslock.Lit) []obfuslock.Lit {
+	n, m := len(a), len(b)
+	cols := make([][]obfuslock.Lit, n+m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			cols[i+j] = append(cols[i+j], g.And(a[i], b[j]))
+		}
+	}
+	for {
+		again := false
+		for c := 0; c < len(cols); c++ {
+			for len(cols[c]) > 2 {
+				again = true
+				x, y, z := cols[c][0], cols[c][1], cols[c][2]
+				cols[c] = cols[c][3:]
+				cols[c] = append(cols[c], g.Xor(g.Xor(x, y), z))
+				if c+1 < len(cols) {
+					cols[c+1] = append(cols[c+1], g.Maj(x, y, z))
+				}
+			}
+		}
+		if !again {
+			break
+		}
+	}
+	out := make([]obfuslock.Lit, n+m)
+	carry := obfuslock.Lit(0) // constant false
+	for c := 0; c < len(cols); c++ {
+		var x, y obfuslock.Lit
+		if len(cols[c]) > 0 {
+			x = cols[c][0]
+		}
+		if len(cols[c]) > 1 {
+			y = cols[c][1]
+		}
+		out[c] = g.Xor(g.Xor(x, y), carry)
+		carry = g.Maj(x, y, carry)
+	}
+	return out
+}

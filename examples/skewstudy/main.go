@@ -1,0 +1,71 @@
+// Skewness-estimation study: compares the three estimators of Section IV-B
+// — algebraic propagation, Monte-Carlo simulation, and Boolean multi-level
+// splitting — on functions of known skewness, demonstrating why splitting
+// is the only one that scales to exponentially rare events.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/skew"
+)
+
+func main() {
+	fmt.Println("== AND chains (exact skewness = k bits) ==")
+	fmt.Println("k     exact   algebraic   monte-carlo   splitting")
+	for _, k := range []int{4, 8, 12, 16, 20} {
+		g := aig.New()
+		in := g.AddInputs(k + 4)
+		acc := in[0]
+		for i := 1; i < k; i++ {
+			acc = g.And(acc, in[i])
+		}
+		g.AddOutput(acc, "f")
+
+		alg := skew.Bits(skew.AlgebraicLit(skew.Algebraic(g), acc))
+		mc := skew.Bits(skew.MonteCarlo(g, acc, 64, 1)) // 4096 samples
+		so := skew.DefaultSplittingOptions()
+		so.Seed = 2
+		sp := skew.Bits(skew.Splitting(g, acc, nil, so))
+		fmt.Printf("%-4d  %5d   %9.1f   %11s   %9.1f\n",
+			k, k, alg, fmtBits(mc), sp)
+	}
+
+	fmt.Println("\n== Reconvergent logic (algebraic independence assumption fails) ==")
+	// f = (a&b) & (a&c): true probability 1/8, algebraic claims 1/16.
+	g := aig.New()
+	in := g.AddInputs(3)
+	f := g.And(g.And(in[0], in[1]), g.And(in[0], in[2]))
+	g.AddOutput(f, "f")
+	alg := skew.Bits(skew.AlgebraicLit(skew.Algebraic(g), f))
+	mc := skew.Bits(skew.MonteCarlo(g, f, 256, 3))
+	fmt.Printf("(a&b)&(a&c): exact 3.0 bits, algebraic %.1f (wrong), monte-carlo %.1f\n", alg, mc)
+
+	fmt.Println("\n== Multiplier MSB-side carries (real circuit) ==")
+	c := netlistgen.Multiplier(8)
+	probs := skew.Algebraic(c)
+	top := skew.TopSkewedNodes(c, 3, 4)
+	for _, lit := range top {
+		algB := skew.Bits(skew.AlgebraicLit(probs, lit))
+		mcB := skew.Bits(skew.MonteCarlo(c, lit, 256, 4))
+		so := skew.DefaultSplittingOptions()
+		so.Seed = 5
+		spB := skew.Bits(skew.Splitting(c, lit, nil, so))
+		fmt.Printf("node %-6v  algebraic %5.1f   monte-carlo %-6s  splitting %5.1f bits\n",
+			lit, algB, fmtBits(mcB), spB)
+	}
+
+	fmt.Println("\nMonte-Carlo saturates once events become rarer than ~1/samples;")
+	fmt.Println("multi-level splitting keeps tracking the true value, which is what")
+	fmt.Println("lets ObfusLock certify 20..50-bit locking circuits in seconds.")
+}
+
+func fmtBits(b float64) string {
+	if math.IsInf(b, 1) {
+		return "saturated"
+	}
+	return fmt.Sprintf("%.1f", b)
+}

@@ -1,0 +1,98 @@
+// Trilemma demo: every classic locking scheme wins at most two of
+// {locking security, obfuscation safety, efficiency}; ObfusLock wins all
+// three. Each scheme locks the same circuit and faces the SAT attack, the
+// SPS+removal structural attack, and the SPI synthesis attack; the table
+// also reports key length and area overhead.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"obfuslock"
+	"obfuslock/internal/attacks"
+	"obfuslock/internal/cec"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/techmap"
+)
+
+func main() {
+	c := netlistgen.AdderCmp(12) // 25 inputs, adder/comparator datapath
+	fmt.Printf("circuit: %s\n\n", c.Stats())
+	origPPA := techmap.Analyze(c, 8, 1)
+
+	type scheme struct {
+		name string
+		lock func() (*locking.Locked, error)
+	}
+	schemes := []scheme{
+		{"RLL", func() (*locking.Locked, error) { return obfuslock.LockRLL(c, 16, 1) }},
+		{"SARLock", func() (*locking.Locked, error) { return obfuslock.LockSARLock(c, 10, 1) }},
+		{"Anti-SAT", func() (*locking.Locked, error) { return obfuslock.LockAntiSAT(c, 8, 1) }},
+		{"TTLock", func() (*locking.Locked, error) { return obfuslock.LockTTLock(c, 10, 1) }},
+		{"SFLL-HD", func() (*locking.Locked, error) { return obfuslock.LockSFLLHD(c, 10, 1, 1) }},
+		{"ObfusLock", func() (*locking.Locked, error) {
+			opt := obfuslock.DefaultOptions()
+			opt.TargetSkewBits = 10
+			opt.Seed = 5
+			opt.AllowDirect = false
+			res, err := obfuslock.Lock(c, opt)
+			if err != nil {
+				return nil, err
+			}
+			return res.Locked, nil
+		}},
+	}
+
+	fmt.Println("scheme      keys  SAT-attack      SPS+removal   SPI          area-ovh")
+	fmt.Println("--------------------------------------------------------------------")
+	for _, s := range schemes {
+		l, err := s.lock()
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		if err := l.Verify(c); err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+
+		// SAT attack with a budget far below 2^10.
+		aopt := attacks.DefaultIOOptions()
+		aopt.MaxIterations = 80
+		aopt.Timeout = time.Minute
+		r := attacks.SATAttack(l, locking.NewOracle(c), aopt)
+		satCell := "resists"
+		if r.Key != nil {
+			if ok, _ := l.VerifyKey(c, r.Key); ok {
+				satCell = fmt.Sprintf("broken@%d", r.Iterations)
+			}
+		}
+
+		// Structural: SPS shortlist + removal.
+		copt := cec.DefaultOptions()
+		copt.ConflictBudget = 50000
+		sps := attacks.SPS(l, 128, 1, 8)
+		rm := attacks.Removal(l, c, sps.Candidates, copt)
+		structCell := "resists"
+		if rm.Success {
+			structCell = "broken"
+		}
+
+		// SPI synthesis attack.
+		spi := attacks.SPI(l, 6)
+		spiCell := "resists"
+		if ok, _ := l.VerifyKey(c, spi.Key); ok {
+			spiCell = "broken"
+		}
+
+		ov := techmap.Compare(origPPA, techmap.Analyze(l.Enc, 8, 1))
+		fmt.Printf("%-11s %4d  %-14s  %-12s  %-11s  %5.1f%%\n",
+			s.name, l.KeyBits, satCell, structCell, spiCell, ov.AreaPct)
+	}
+	fmt.Println("\n(RLL and low-distance SFLL-HD fall to the SAT attack; SARLock and")
+	fmt.Println(" Anti-SAT expose their flip node to structural removal; TTLock and")
+	fmt.Println(" SFLL-HD leak their point function to SPI — and Anti-SAT's huge")
+	fmt.Println(" correct-key set means even a default key unlocks it. ObfusLock")
+	fmt.Println(" resists every column: the locking trilemma resolved.)")
+}

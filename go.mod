@@ -1,0 +1,3 @@
+module obfuslock
+
+go 1.22

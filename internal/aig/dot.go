@@ -1,0 +1,79 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDot emits the graph in Graphviz DOT format: inputs as boxes, logic
+// nodes shaped by operation, complemented edges dashed, outputs as
+// double circles. Intended for inspecting small cones (locking circuits,
+// blended regions); rendering a 40k-node benchmark is not useful.
+func WriteDot(w io.Writer, g *AIG) error {
+	bw := bufio.NewWriter(w)
+	name := g.Name
+	if name == "" {
+		name = "aig"
+	}
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=BT;\n", name)
+	tfi := g.TFI(g.Outputs()...)
+	constUsed := false
+	for v := range tfi {
+		for _, f := range g.Fanins(v) {
+			if f.IsConst() {
+				constUsed = true
+			}
+		}
+	}
+	for _, po := range g.Outputs() {
+		if po.IsConst() {
+			constUsed = true
+		}
+	}
+	if constUsed {
+		fmt.Fprintf(bw, "  n0 [label=\"0\", shape=plaintext];\n")
+	}
+	for i := 0; i < g.NumInputs(); i++ {
+		v := g.InputVar(i)
+		if !tfi[v] {
+			continue
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q, shape=box];\n", v, g.InputName(i))
+	}
+	for v := uint32(1); v <= g.MaxVar(); v++ {
+		if !tfi[v] {
+			continue
+		}
+		var label, shape string
+		switch g.Op(v) {
+		case OpAnd:
+			label, shape = "AND", "ellipse"
+		case OpXor:
+			label, shape = "XOR", "diamond"
+		case OpMaj:
+			label, shape = "MAJ", "hexagon"
+		default:
+			continue
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"%s\\nn%d\", shape=%s];\n", v, label, v, shape)
+		for _, f := range g.Fanins(v) {
+			style := "solid"
+			if f.IsCompl() {
+				style = "dashed"
+			}
+			fmt.Fprintf(bw, "  n%d -> n%d [style=%s];\n", f.Var(), v, style)
+		}
+	}
+	for i := 0; i < g.NumOutputs(); i++ {
+		po := g.Output(i)
+		fmt.Fprintf(bw, "  o%d [label=%q, shape=doublecircle];\n", i, g.OutputName(i))
+		style := "solid"
+		if po.IsCompl() {
+			style = "dashed"
+		}
+		fmt.Fprintf(bw, "  n%d -> o%d [style=%s];\n", po.Var(), i, style)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

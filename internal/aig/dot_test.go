@@ -1,0 +1,99 @@
+package aig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	_ = g.AddInput("unused")
+	x := g.Xor(g.And(a, b.Not()), c)
+	m := g.Maj(a, b, x)
+	g.AddOutput(m.Not(), "f")
+	g.AddOutput(ConstTrue, "one")
+
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph", "shape=box", "AND", "XOR", "MAJ",
+		"style=dashed", "doublecircle", `label="0"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "unused") {
+		t.Error("unused input should be omitted")
+	}
+	// Balanced braces / terminator.
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("missing closing brace")
+	}
+}
+
+func TestEvalLits(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	ab := g.And(a, b)
+	x := g.Xor(a, b)
+	g.AddOutput(ab, "f")
+	for m := 0; m < 4; m++ {
+		pat := []bool{m&1 == 1, m>>1&1 == 1}
+		vals := g.EvalLits(pat, ab, x.Not(), ConstTrue)
+		if vals[0] != (pat[0] && pat[1]) {
+			t.Fatalf("EvalLits AND wrong at %v", pat)
+		}
+		if vals[1] != !(pat[0] != pat[1]) {
+			t.Fatalf("EvalLits complemented XOR wrong at %v", pat)
+		}
+		if !vals[2] {
+			t.Fatal("EvalLits constant wrong")
+		}
+	}
+}
+
+func TestExtractBounded(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	ab := g.And(a, b)
+	abc := g.Xor(ab, c)
+	top := g.Maj(abc, a, c.Not())
+	g.AddOutput(top, "f")
+
+	// Cut at {ab, c}: the bounded cone computes maj(ab^c, a, !c) with
+	// inputs {a (PI reached), ab (boundary), c (boundary)}.
+	sub, leaves := g.ExtractBounded([]Lit{top}, []uint32{ab.Var(), c.Var()})
+	if sub.NumInputs() != 3 || sub.NumOutputs() != 1 {
+		t.Fatalf("bounded interface: %v (leaves %v)", sub.Stats(), leaves)
+	}
+	// Verify functionally: for all assignments to (a, ab, c).
+	// Identify leaf order: leaves sorted ascending by source var.
+	for m := 0; m < 8; m++ {
+		vals := map[uint32]bool{}
+		for i, lv := range leaves {
+			vals[lv] = m>>uint(i)&1 == 1
+		}
+		pat := make([]bool, 3)
+		for i, lv := range leaves {
+			pat[i] = vals[lv]
+		}
+		got := sub.Eval(pat)[0]
+		av, abv, cv := vals[a.Var()], vals[ab.Var()], vals[c.Var()]
+		x := abv != cv
+		want := (x && av) || (x && !cv) || (av && !cv)
+		if got != want {
+			t.Fatalf("bounded cone wrong at %v", vals)
+		}
+	}
+}

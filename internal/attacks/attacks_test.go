@@ -1,0 +1,371 @@
+package attacks
+
+import (
+	"testing"
+	"time"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/cec"
+	"obfuslock/internal/lockbase"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/netlistgen"
+)
+
+func smallCircuit() *aig.AIG { return netlistgen.Multiplier(4) }
+
+// SAT attack must crack RLL (no SAT resistance) quickly and exactly.
+func TestSATAttackCracksRLL(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.RLL(orig, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := locking.NewOracle(orig)
+	res := SATAttack(l, oracle, DefaultIOOptions())
+	if !res.Exact || res.Key == nil {
+		t.Fatalf("SAT attack failed on RLL: %+v", res)
+	}
+	ok, err := l.VerifyKey(orig, res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("SAT attack returned incorrect key %v", res.Key)
+	}
+	if res.Iterations > 64 {
+		t.Fatalf("RLL should fall in few DIPs, took %d", res.Iterations)
+	}
+}
+
+// SAT attack on SARLock needs ~2^k DIPs; with a small iteration cap it
+// must time out (the SAT-resistance corner of the trilemma).
+func TestSATAttackStallsOnSARLock(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := locking.NewOracle(orig)
+	opt := DefaultIOOptions()
+	opt.MaxIterations = 30 // far below 2^8
+	res := SATAttack(l, oracle, opt)
+	if res.Exact {
+		t.Fatalf("SARLock cracked exactly in %d iterations?", res.Iterations)
+	}
+	if !res.TimedOut {
+		t.Fatalf("expected iteration cap: %+v", res)
+	}
+}
+
+// SAT attack given enough iterations does finish SARLock with a small
+// protected width.
+func TestSATAttackFinishesSmallSARLock(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := locking.NewOracle(orig)
+	opt := DefaultIOOptions()
+	opt.MaxIterations = 200 // > 2^5
+	res := SATAttack(l, oracle, opt)
+	if !res.Exact {
+		t.Fatalf("SAT attack should finish 5-bit SARLock: %+v", res)
+	}
+	ok, _ := l.VerifyKey(orig, res.Key)
+	if !ok {
+		t.Fatal("returned key incorrect")
+	}
+}
+
+// AppSAT returns an approximately-correct key for SARLock-like compound
+// locks: it should at least terminate and produce a key consistent with
+// all recorded queries.
+func TestAppSATOnSARLock(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := locking.NewOracle(orig)
+	opt := DefaultIOOptions()
+	opt.MaxIterations = 40
+	opt.Seed = 7
+	res := AppSAT(l, oracle, opt)
+	if res.Key == nil {
+		t.Fatalf("AppSAT returned no key: %+v", res)
+	}
+	// With SARLock, a random consistent key is "approximately correct":
+	// it corrupts at most a couple of patterns. Verify low error rate.
+	bound := l.ApplyKey(res.Key)
+	diff := 0
+	for trial := 0; trial < 512; trial++ {
+		x := make([]bool, orig.NumInputs())
+		for i := range x {
+			x[i] = (trial>>uint(i%8))&1 == 1 || (trial*31+i*17)%7 == 0
+		}
+		a := orig.Eval(x)
+		b := bound.Eval(x)
+		for i := range a {
+			if a[i] != b[i] {
+				diff++
+				break
+			}
+		}
+	}
+	if diff > 8 {
+		t.Fatalf("AppSAT key error rate too high: %d/512", diff)
+	}
+}
+
+func TestAppSATExactOnRLL(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.RLL(orig, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := locking.NewOracle(orig)
+	res := AppSAT(l, oracle, DefaultIOOptions())
+	if !res.Exact {
+		t.Fatalf("AppSAT should finish RLL exactly: %+v", res)
+	}
+	ok, _ := l.VerifyKey(orig, res.Key)
+	if !ok {
+		t.Fatal("AppSAT key incorrect on RLL")
+	}
+}
+
+func TestSATAttackTimeout(t *testing.T) {
+	orig := netlistgen.Multiplier(6)
+	l, err := lockbase.SARLock(orig, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := locking.NewOracle(orig)
+	opt := DefaultIOOptions()
+	opt.Timeout = 300 * time.Millisecond
+	res := SATAttack(l, oracle, opt)
+	if res.Exact {
+		t.Skip("machine fast enough to crack 12-bit SARLock in 300ms")
+	}
+	if !res.TimedOut {
+		t.Fatalf("expected timeout: %+v", res)
+	}
+	if res.Runtime > 5*time.Second {
+		t.Fatalf("timeout not respected: ran %v", res.Runtime)
+	}
+}
+
+// SPS must spotlight the SARLock flip signal as the top skew outlier.
+func TestSPSFindsSARLockFlipNode(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SPS(l, 256, 1, 5)
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	// The top candidate must be extremely skewed (flip is ~2^-8 active).
+	if res.SkewBits[0] < 6 {
+		t.Fatalf("top skew %.1f bits, expected >= 6", res.SkewBits[0])
+	}
+}
+
+// Removal attack breaks SARLock: replacing the flip node by constant 0
+// restores the original.
+func TestRemovalBreaksSARLock(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sps := SPS(l, 256, 2, 10)
+	res := Removal(l, orig, sps.Candidates, cec.DefaultOptions())
+	if !res.Success {
+		t.Fatalf("removal failed on SARLock: %+v", res)
+	}
+}
+
+// Bypass attack succeeds against SARLock (one corrupted pattern per wrong
+// key) and reports a tiny bypass set.
+func TestBypassBreaksSARLock(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := append([]bool(nil), l.Key...)
+	wrong[0] = !wrong[0]
+	res := Bypass(l, orig, wrong, 16, -1)
+	if !res.Success {
+		t.Fatalf("bypass failed on SARLock: %+v", res)
+	}
+	if res.Patterns > 4 {
+		t.Fatalf("SARLock wrong key corrupts %d patterns, expected <= 4", res.Patterns)
+	}
+}
+
+// Bypass must give up when the corrupted set is large (RLL wrong keys
+// corrupt a constant fraction of the space).
+func TestBypassFailsOnMassCorruption(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.RLL(orig, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := append([]bool(nil), l.Key...)
+	for i := range wrong {
+		wrong[i] = !wrong[i]
+	}
+	// Make sure this wrong key actually corrupts.
+	broke, err := l.WrongKeyIsWrong(orig, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !broke {
+		t.Skip("picked a don't-care wrong key")
+	}
+	res := Bypass(l, orig, wrong, 32, -1)
+	if res.Success {
+		t.Fatalf("bypass should be infeasible: %+v", res)
+	}
+	if !res.Exhausted {
+		t.Fatalf("expected pattern budget exhaustion: %+v", res)
+	}
+}
+
+// Valkyrie-style search breaks TTLock: the strip and restore comparator
+// roots form a replaceable pair.
+func TestValkyrieBreaksTTLock(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.TTLock(orig, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Valkyrie(l, orig, 8, 256, 3, cec.DefaultOptions())
+	if !res.FoundPair {
+		t.Fatalf("valkyrie failed on TTLock: %+v", res)
+	}
+}
+
+// The structural classifier puts SARLock's comparator cone near the top.
+func TestClassifierFlagsSARLock(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := StructuralClassifier(l, 10)
+	if len(res.Ranked) == 0 {
+		t.Fatal("no ranking")
+	}
+	// At least one of the top-10 anomalous nodes must have many key inputs
+	// in its fanin (the comparator).
+	found := false
+	for _, v := range res.Ranked {
+		tfi := l.Enc.TFI(aig.MkLit(v, false))
+		keys := 0
+		for i := 0; i < l.KeyBits; i++ {
+			if tfi[l.Enc.InputVar(l.NumInputs+i)] {
+				keys++
+			}
+		}
+		if keys >= l.KeyBits/2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("classifier did not flag the key comparator cone")
+	}
+}
+
+// Sensitization recovers RLL key bits that sit on isolated paths.
+func TestSensitizationOnRLL(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.RLL(orig, 6, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := locking.NewOracle(orig)
+	res := Sensitization(l, oracle, 200000)
+	// RLL on a multiplier: typically some bits are isolatable; recovered
+	// bits must be correct.
+	for i := 0; i < l.KeyBits; i++ {
+		if res.Isolatable[i] && res.Recovered[i] != l.Key[i] {
+			t.Fatalf("sensitization recovered wrong value for bit %d", i)
+		}
+	}
+}
+
+// SPI rule 2 cracks TTLock: the hard-coded comparator spells the key.
+func TestSPICracksTTLock(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.TTLock(orig, 8, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SPI(l, 6)
+	if res.PointRuleHits == 0 {
+		t.Fatalf("point-function rule did not fire: %+v", res)
+	}
+	correct := 0
+	for i := 0; i < l.KeyBits; i++ {
+		if res.Confident[i] && res.Key[i] == l.Key[i] {
+			correct++
+		}
+	}
+	if correct < l.KeyBits {
+		t.Fatalf("SPI recovered %d/%d TTLock key bits", correct, l.KeyBits)
+	}
+}
+
+// SPI rule 1 cracks XOR insertion on positive-phase signals.
+func TestSPICracksCleanXORInsertion(t *testing.T) {
+	// Build a circuit with explicit key XORs on positive AND nodes.
+	g := aig.New()
+	in := g.AddInputs(6)
+	keyBits := 3
+	key := []bool{true, false, true}
+	var keys []aig.Lit
+	for i := 0; i < keyBits; i++ {
+		keys = append(keys, g.AddInput(locking.KeyName(i)))
+	}
+	s1 := g.And(in[0], in[1])
+	s2 := g.And(in[2], in[3])
+	s3 := g.And(in[4], in[5])
+	l1 := g.Xor(s1, keys[0].NotIf(key[0]))
+	l2 := g.Xor(s2, keys[1].NotIf(key[1]))
+	l3 := g.Xor(s3, keys[2].NotIf(key[2]))
+	g.AddOutput(g.And(g.And(l1, l2), l3), "f")
+	l := &locking.Locked{Scheme: "xor", Enc: g, NumInputs: 6, KeyBits: keyBits, Key: key}
+	res := SPI(l, 100)
+	if res.XORRuleHits != 3 {
+		t.Fatalf("XOR rule hits = %d, want 3", res.XORRuleHits)
+	}
+	for i := 0; i < keyBits; i++ {
+		if !res.Confident[i] || res.Key[i] != key[i] {
+			t.Fatalf("bit %d: confident=%v got=%v want=%v", i, res.Confident[i], res.Key[i], key[i])
+		}
+	}
+}
+
+func TestCriticalNodeSurvivesOnSARLock(t *testing.T) {
+	// The SARLock flip signal (x==k & k!=k*) bound to any key is a pure
+	// function of x; its equivalent must exist in the bound netlist. Use
+	// the first output of the original as an easy "spec that exists":
+	// out0_enc == out0_orig XOR flip, so orig out0 itself exists in enc
+	// only if flip is factored out — instead check a function that
+	// certainly survives: the original's second output (unprotected).
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 8, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := orig.Output(1)
+	if _, ok := CriticalNodeSurvives(l, orig, spec, 8, 1, -1); !ok {
+		t.Fatal("unprotected output cone should survive untouched")
+	}
+}

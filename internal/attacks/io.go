@@ -1,0 +1,381 @@
+// Package attacks implements the attack suite ObfusLock is evaluated
+// against: the oracle-guided SAT attack and AppSAT (I/O attacks), the
+// sensitization attack, and the structural attacks — SPS, removal, bypass,
+// Valkyrie-style perturb/restore search, a structural-feature classifier
+// standing in for the published ML attacks, and an SPI-style synthesis
+// attack.
+package attacks
+
+import (
+	"time"
+
+	"obfuslock/internal/cnf"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/sat"
+)
+
+// IOOptions bounds an oracle-guided attack.
+type IOOptions struct {
+	// Timeout on the whole attack (0: none).
+	Timeout time.Duration
+	// MaxIterations caps DIP iterations (0: unlimited).
+	MaxIterations int
+	// Seed drives randomized reinforcement (AppSAT).
+	Seed int64
+	// ReinforceEvery iterations AppSAT adds RandomQueries random-pattern
+	// constraints (AppSAT only).
+	ReinforceEvery int
+	// RandomQueries per reinforcement round (AppSAT only).
+	RandomQueries int
+}
+
+// DefaultIOOptions is an unbounded exact attack.
+func DefaultIOOptions() IOOptions {
+	return IOOptions{ReinforceEvery: 5, RandomQueries: 8}
+}
+
+// IOResult reports an I/O attack outcome.
+type IOResult struct {
+	// Key is the returned key (nil when none could be extracted).
+	Key []bool
+	// Exact is true when the attack proved no DIP remains (SAT attack
+	// termination); the key is then provably correct.
+	Exact bool
+	// TimedOut is true when the budget expired first.
+	TimedOut bool
+	// Iterations counts DIPs processed.
+	Iterations int
+	// Queries counts oracle queries.
+	Queries int
+	// Runtime of the attack.
+	Runtime time.Duration
+}
+
+// attackState shares the miter machinery of SATAttack and AppSAT.
+type attackState struct {
+	l       *locking.Locked
+	oracle  *locking.Oracle
+	s       *sat.Solver
+	xLits   []sat.Lit
+	k1Lits  []sat.Lit
+	k2Lits  []sat.Lit
+	actDiff sat.Lit // activation literal for the difference miter
+	stopped func() bool
+}
+
+func newAttackState(l *locking.Locked, oracle *locking.Oracle, deadline time.Time) *attackState {
+	s := sat.New()
+	e1 := cnf.NewEncoder(l.Enc, s)
+	e2 := cnf.NewEncoder(l.Enc, s)
+	xLits := make([]sat.Lit, l.NumInputs)
+	for i := range xLits {
+		xLits[i] = e1.InputLit(i)
+		e2.TieInput(i, xLits[i])
+	}
+	k1 := make([]sat.Lit, l.KeyBits)
+	k2 := make([]sat.Lit, l.KeyBits)
+	for i := 0; i < l.KeyBits; i++ {
+		k1[i] = e1.InputLit(l.NumInputs + i)
+		k2[i] = e2.InputLit(l.NumInputs + i)
+	}
+	o1 := e1.Encode()
+	o2 := e2.Encode()
+	diffs := make([]sat.Lit, len(o1))
+	for i := range o1 {
+		diffs[i] = cnf.XorLit(s, o1[i], o2[i])
+	}
+	diff := cnf.OrLit(s, diffs...)
+	act := sat.MkLit(s.NewVar(), false)
+	// act -> diff: the miter is active only under assumption act.
+	s.AddClause(diff, act.Not())
+	st := &attackState{
+		l: l, oracle: oracle, s: s,
+		xLits: xLits, k1Lits: k1, k2Lits: k2, actDiff: act,
+	}
+	if !deadline.IsZero() {
+		st.stopped = func() bool { return time.Now().After(deadline) }
+		s.SetStop(st.stopped)
+	} else {
+		st.stopped = func() bool { return false }
+	}
+	return st
+}
+
+// addIOConstraint asserts enc(x, k) == y for both key copies by
+// constant-folding the inputs into a key-only cone.
+func (st *attackState) addIOConstraint(x, y []bool) {
+	spec := locking.BindInputs(st.l.Enc, st.l.NumInputs, x)
+	for _, kLits := range [][]sat.Lit{st.k1Lits, st.k2Lits} {
+		e := cnf.NewEncoder(spec, st.s)
+		for i := 0; i < st.l.KeyBits; i++ {
+			e.TieInput(i, kLits[i])
+		}
+		outs := e.Encode()
+		for i, o := range outs {
+			if y[i] {
+				st.s.AddClause(o)
+			} else {
+				st.s.AddClause(o.Not())
+			}
+		}
+	}
+}
+
+// extractKey solves with the miter deactivated; any model's k1 satisfies
+// every recorded I/O constraint.
+func (st *attackState) extractKey() []bool {
+	if st.s.Solve(st.actDiff.Not()) != sat.Sat {
+		return nil
+	}
+	key := make([]bool, st.l.KeyBits)
+	for i, kl := range st.k1Lits {
+		key[i] = st.s.ModelValue(kl)
+	}
+	return key
+}
+
+// SATAttack runs the oracle-guided SAT attack (Subramanyan et al.): find a
+// distinguishing input pattern, query the oracle, constrain both key
+// copies, repeat until no DIP remains; then any consistent key is correct.
+func SATAttack(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
+	start := time.Now()
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = start.Add(opt.Timeout)
+	}
+	st := newAttackState(l, oracle, deadline)
+	res := IOResult{}
+	for {
+		if opt.MaxIterations > 0 && res.Iterations >= opt.MaxIterations {
+			res.TimedOut = true
+			break
+		}
+		status := st.s.Solve(st.actDiff)
+		if status == sat.Unknown {
+			res.TimedOut = true
+			break
+		}
+		if status == sat.Unsat {
+			// No DIP remains: extract a correct key.
+			res.Key = st.extractKey()
+			res.Exact = res.Key != nil
+			break
+		}
+		dip := make([]bool, l.NumInputs)
+		for i, xl := range st.xLits {
+			dip[i] = st.s.ModelValue(xl)
+		}
+		y := oracle.Query(dip)
+		st.addIOConstraint(dip, y)
+		res.Iterations++
+		if st.stopped() {
+			res.TimedOut = true
+			break
+		}
+	}
+	if res.TimedOut && res.Key == nil {
+		res.Key = st.extractKey()
+	}
+	res.Queries = oracle.Queries
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// AppSAT runs the approximate SAT attack (Shamsi et al.): the DIP loop is
+// augmented with random-query reinforcement and cut off after a fixed
+// iteration budget, returning a key not yet proved incorrect.
+func AppSAT(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
+	start := time.Now()
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = start.Add(opt.Timeout)
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 2048
+	}
+	if opt.ReinforceEvery <= 0 {
+		opt.ReinforceEvery = 5
+	}
+	if opt.RandomQueries <= 0 {
+		opt.RandomQueries = 8
+	}
+	st := newAttackState(l, oracle, deadline)
+	rng := newSplitMix(opt.Seed)
+	res := IOResult{}
+	for res.Iterations < opt.MaxIterations {
+		status := st.s.Solve(st.actDiff)
+		if status == sat.Unknown {
+			res.TimedOut = true
+			break
+		}
+		if status == sat.Unsat {
+			res.Key = st.extractKey()
+			res.Exact = res.Key != nil
+			break
+		}
+		dip := make([]bool, l.NumInputs)
+		for i, xl := range st.xLits {
+			dip[i] = st.s.ModelValue(xl)
+		}
+		st.addIOConstraint(dip, oracle.Query(dip))
+		res.Iterations++
+		if res.Iterations%opt.ReinforceEvery == 0 {
+			for q := 0; q < opt.RandomQueries; q++ {
+				x := make([]bool, l.NumInputs)
+				for i := range x {
+					x[i] = rng.next()&1 == 1
+				}
+				st.addIOConstraint(x, oracle.Query(x))
+			}
+		}
+		if st.stopped() {
+			res.TimedOut = true
+			break
+		}
+	}
+	if res.Key == nil {
+		res.Key = st.extractKey()
+	}
+	res.Queries = oracle.Queries
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// splitMix is a tiny deterministic PRNG for reinforcement patterns.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{uint64(seed)*0x9E3779B97F4A7C15 + 1} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// SensitizationResult reports the sensitization attack outcome.
+type SensitizationResult struct {
+	// Isolatable marks key bits that could be sensitized to an output with
+	// all other key bits muted.
+	Isolatable []bool
+	// Recovered holds bit values inferred via oracle queries for the
+	// isolatable bits (undefined elsewhere).
+	Recovered []bool
+	// NumIsolatable counts true entries of Isolatable.
+	NumIsolatable int
+	// Runtime of the analysis.
+	Runtime time.Duration
+}
+
+// Sensitization runs the key-sensitization attack (Rajendran et al.): for
+// each key bit it searches for an input pattern propagating that bit to an
+// output while the other key bits are muted, then infers the bit with one
+// oracle query. ObfusLock's input-permutation keys resist this because all
+// key bits interfere on every path.
+func Sensitization(l *locking.Locked, oracle *locking.Oracle, perBitBudget int64) SensitizationResult {
+	start := time.Now()
+	res := SensitizationResult{
+		Isolatable: make([]bool, l.KeyBits),
+		Recovered:  make([]bool, l.KeyBits),
+	}
+	for i := 0; i < l.KeyBits; i++ {
+		// Two copies sharing x and all key bits except bit i (0 vs 1).
+		s := sat.New()
+		if perBitBudget >= 0 {
+			s.SetBudget(perBitBudget)
+		}
+		e1 := cnf.NewEncoder(l.Enc, s)
+		e2 := cnf.NewEncoder(l.Enc, s)
+		xLits := make([]sat.Lit, l.NumInputs)
+		for j := range xLits {
+			xLits[j] = e1.InputLit(j)
+			e2.TieInput(j, xLits[j])
+		}
+		kLits := make([]sat.Lit, l.KeyBits)
+		for j := 0; j < l.KeyBits; j++ {
+			if j == i {
+				continue
+			}
+			kLits[j] = e1.InputLit(l.NumInputs + j)
+			e2.TieInput(l.NumInputs+j, kLits[j])
+		}
+		ki1 := e1.InputLit(l.NumInputs + i)
+		ki2 := e2.InputLit(l.NumInputs + i)
+		s.AddClause(ki1.Not()) // copy 1: k_i = 0
+		s.AddClause(ki2)       // copy 2: k_i = 1
+		o1 := e1.Encode()
+		o2 := e2.Encode()
+		diffs := make([]sat.Lit, len(o1))
+		for j := range o1 {
+			diffs[j] = cnf.XorLit(s, o1[j], o2[j])
+		}
+		s.AddClause(cnf.OrLit(s, diffs...))
+		if s.Solve() != sat.Sat {
+			continue // bit cannot be sensitized at all
+		}
+		x := make([]bool, l.NumInputs)
+		for j, xl := range xLits {
+			x[j] = s.ModelValue(xl)
+		}
+		krest := make([]bool, l.KeyBits)
+		for j, kl := range kLits {
+			if j != i {
+				krest[j] = s.ModelValue(kl)
+			}
+		}
+		// Mute check: at (x, krest), no other single key bit may influence
+		// the outputs for either value of k_i.
+		if !otherBitsMuted(l, x, krest, i) {
+			continue
+		}
+		res.Isolatable[i] = true
+		res.NumIsolatable++
+		// Infer the bit with one oracle query.
+		y := oracle.Query(x)
+		k0 := append([]bool(nil), krest...)
+		k0[i] = false
+		if outputsEqual(evalLocked(l, x, k0), y) {
+			res.Recovered[i] = false
+		} else {
+			res.Recovered[i] = true
+		}
+	}
+	res.Runtime = time.Since(start)
+	return res
+}
+
+func evalLocked(l *locking.Locked, x, k []bool) []bool {
+	full := make([]bool, 0, len(x)+len(k))
+	full = append(full, x...)
+	full = append(full, k...)
+	return l.Enc.Eval(full)
+}
+
+func outputsEqual(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func otherBitsMuted(l *locking.Locked, x, krest []bool, i int) bool {
+	for _, base := range []bool{false, true} {
+		k := append([]bool(nil), krest...)
+		k[i] = base
+		ref := evalLocked(l, x, k)
+		for j := 0; j < l.KeyBits; j++ {
+			if j == i {
+				continue
+			}
+			kf := append([]bool(nil), k...)
+			kf[j] = !kf[j]
+			if !outputsEqual(evalLocked(l, x, kf), ref) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,409 @@
+package attacks
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/cec"
+	"obfuslock/internal/cnf"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/sat"
+	"obfuslock/internal/sim"
+)
+
+// SPSResult reports the signal-probability-skewness analysis.
+type SPSResult struct {
+	// Candidates are internal node variables ranked by skewness (most
+	// skewed first).
+	Candidates []uint32
+	// SkewBits are the matching skewness values in bits.
+	SkewBits []float64
+	// All maps every variable to its skewness bits (Fig. 4 raw data).
+	All []float64
+}
+
+// SPS runs the signal probability skewness attack (Yasin et al.): simulate
+// the locked netlist under random inputs and random keys and rank internal
+// nodes by skewness; single-flip defences expose their flip node as the
+// extreme outlier.
+func SPS(l *locking.Locked, words int, seed int64, topK int) SPSResult {
+	v := sim.RunRandom(l.Enc, words, seed)
+	type entry struct {
+		v    uint32
+		bits float64
+	}
+	all := make([]float64, l.Enc.MaxVar()+1)
+	var entries []entry
+	for n := uint32(1); n <= l.Enc.MaxVar(); n++ {
+		p := v.OnesFraction(aig.MkLit(n, false))
+		b := skewBits(p)
+		all[n] = b
+		if l.Enc.Op(n) == aig.OpInput {
+			continue
+		}
+		entries = append(entries, entry{n, b})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].bits > entries[j].bits })
+	if len(entries) > topK {
+		entries = entries[:topK]
+	}
+	res := SPSResult{All: all}
+	for _, e := range entries {
+		res.Candidates = append(res.Candidates, e.v)
+		res.SkewBits = append(res.SkewBits, e.bits)
+	}
+	return res
+}
+
+func skewBits(p float64) float64 {
+	h := math.Min(p, 1-p)
+	if h <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log2(h)
+}
+
+// replaceNodes rebuilds g with each variable in repl replaced by the given
+// constant. All replacements refer to variables of g (one pass, so several
+// nodes can be pinned at once).
+func replaceNodes(g *aig.AIG, repl map[uint32]bool) *aig.AIG {
+	ng := aig.New()
+	ng.Name = g.Name
+	m := make([]aig.Lit, g.MaxVar()+1)
+	m[0] = aig.ConstFalse
+	constOf := func(val bool) aig.Lit {
+		if val {
+			return aig.ConstTrue
+		}
+		return aig.ConstFalse
+	}
+	for i := 0; i < g.NumInputs(); i++ {
+		v := g.InputVar(i)
+		m[v] = ng.AddInput(g.InputName(i))
+		if val, ok := repl[v]; ok {
+			m[v] = constOf(val)
+		}
+	}
+	mapped := func(l aig.Lit) aig.Lit { return m[l.Var()].NotIf(l.IsCompl()) }
+	for v := uint32(1); v <= g.MaxVar(); v++ {
+		if g.Op(v) == aig.OpInput {
+			continue
+		}
+		fan := g.Fanins(v)
+		var nl aig.Lit
+		switch g.Op(v) {
+		case aig.OpAnd:
+			nl = ng.And(mapped(fan[0]), mapped(fan[1]))
+		case aig.OpXor:
+			nl = ng.Xor(mapped(fan[0]), mapped(fan[1]))
+		case aig.OpMaj:
+			nl = ng.Maj(mapped(fan[0]), mapped(fan[1]), mapped(fan[2]))
+		}
+		if val, ok := repl[v]; ok {
+			nl = constOf(val)
+		}
+		m[v] = nl
+	}
+	for i := 0; i < g.NumOutputs(); i++ {
+		ng.AddOutput(mapped(g.Output(i)), g.OutputName(i))
+	}
+	return ng
+}
+
+// replaceNode rebuilds g with a single variable replaced by a constant.
+func replaceNode(g *aig.AIG, target uint32, val bool) *aig.AIG {
+	return replaceNodes(g, map[uint32]bool{target: val})
+}
+
+// RemovalResult reports a removal attack outcome.
+type RemovalResult struct {
+	Success  bool
+	Node     uint32
+	Constant bool
+	Tried    int
+	Runtime  time.Duration
+}
+
+// Removal runs the removal attack: take the most skewed candidate nodes,
+// replace each with a constant (both polarities), bind an arbitrary key,
+// and check equivalence with the original. Single-flip defences fall to
+// this; ObfusLock leaves no removable node.
+func Removal(l *locking.Locked, orig *aig.AIG, candidates []uint32, opt cec.Options) RemovalResult {
+	start := time.Now()
+	res := RemovalResult{}
+	anyKey := make([]bool, l.KeyBits) // all-zero wrong key
+	for _, cand := range candidates {
+		for _, val := range []bool{false, true} {
+			res.Tried++
+			mod := replaceNode(l.Enc, cand, val)
+			bound := (&locking.Locked{
+				Scheme: l.Scheme, Enc: mod,
+				NumInputs: l.NumInputs, KeyBits: l.KeyBits, Key: anyKey,
+			}).ApplyKey(anyKey)
+			r, err := cec.Check(orig, bound, opt)
+			if err == nil && r.Decided && r.Equivalent {
+				res.Success = true
+				res.Node = cand
+				res.Constant = val
+				res.Runtime = time.Since(start)
+				return res
+			}
+		}
+	}
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// BypassResult reports a bypass attack outcome.
+type BypassResult struct {
+	// Success is true when all differing patterns were enumerated within
+	// the budget (a bypass unit of that size would restore the chip).
+	Success bool
+	// Patterns actually enumerated.
+	Patterns int
+	// Exhausted is true when the pattern budget was hit (attack failed:
+	// the corrupted set is too large to bypass).
+	Exhausted bool
+	Runtime   time.Duration
+}
+
+// Bypass runs the bypass attack (Xu et al.): pick a wrong key, enumerate
+// every input pattern on which the wrongly-keyed circuit differs from the
+// oracle, and wrap them with bypass logic. It fails when the differing set
+// exceeds the pattern budget — ObfusLock protects all patterns by
+// permutation, so the set is exponential.
+func Bypass(l *locking.Locked, orig *aig.AIG, wrongKey []bool, maxPatterns int, budget int64) BypassResult {
+	start := time.Now()
+	bound := l.ApplyKey(wrongKey)
+	s := sat.New()
+	inputs, diff := cnf.Miter(s, orig, bound)
+	s.AddClause(diff)
+	if budget >= 0 {
+		s.SetBudget(budget)
+	}
+	res := BypassResult{}
+	for res.Patterns <= maxPatterns {
+		switch s.Solve() {
+		case sat.Sat:
+			res.Patterns++
+			if res.Patterns > maxPatterns {
+				res.Exhausted = true
+				res.Runtime = time.Since(start)
+				return res
+			}
+			block := make([]sat.Lit, len(inputs))
+			for i, il := range inputs {
+				if s.ModelValue(il) {
+					block[i] = il.Not()
+				} else {
+					block[i] = il
+				}
+			}
+			if !s.AddClause(block...) {
+				res.Success = true
+				res.Runtime = time.Since(start)
+				return res
+			}
+		case sat.Unsat:
+			res.Success = true
+			res.Runtime = time.Since(start)
+			return res
+		default:
+			res.Runtime = time.Since(start)
+			return res // undecided: treat as failure
+		}
+	}
+	res.Exhausted = true
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// ValkyrieResult reports the perturb/restore search.
+type ValkyrieResult struct {
+	// FoundPair is true when constants for a (perturb, restore) node pair
+	// reproduce the original circuit.
+	FoundPair bool
+	Perturb   uint32
+	Restore   uint32
+	// RestoreOnly is true when killing the restore unit alone reproduces
+	// the functionality-stripped circuit (Valkyrie's first phase): the
+	// attack then still needs the perturb node, which ObfusLock removes.
+	RestoreOnly bool
+	PairsTried  int
+	Runtime     time.Duration
+}
+
+// Valkyrie runs a Valkyrie-style vulnerability assessment (Limaye et al.):
+// shortlist skewed nodes, then search for a node pair whose simultaneous
+// constant replacement makes the locked circuit equivalent to the oracle.
+func Valkyrie(l *locking.Locked, orig *aig.AIG, shortlist int, simWords int, seed int64, opt cec.Options) ValkyrieResult {
+	start := time.Now()
+	res := ValkyrieResult{}
+	sps := SPS(l, simWords, seed, shortlist)
+	anyKey := make([]bool, l.KeyBits)
+	bindAndCheck := func(mod *aig.AIG) bool {
+		bound := (&locking.Locked{
+			Scheme: l.Scheme, Enc: mod,
+			NumInputs: l.NumInputs, KeyBits: l.KeyBits, Key: anyKey,
+		}).ApplyKey(anyKey)
+		r, err := cec.Check(orig, bound, opt)
+		return err == nil && r.Decided && r.Equivalent
+	}
+	// Phase 1: restore-only (single-node) replacements.
+	for _, cand := range sps.Candidates {
+		for _, val := range []bool{false, true} {
+			if bindAndCheck(replaceNode(l.Enc, cand, val)) {
+				res.RestoreOnly = true
+				res.Restore = cand
+				// A single node sufficed — report it as a full break.
+				res.FoundPair = true
+				res.Perturb = cand
+				res.Runtime = time.Since(start)
+				return res
+			}
+		}
+	}
+	// Phase 2: pairs.
+	for i, p := range sps.Candidates {
+		for j, r := range sps.Candidates {
+			if i == j {
+				continue
+			}
+			for _, pv := range []bool{false, true} {
+				for _, rv := range []bool{false, true} {
+					res.PairsTried++
+					mod := replaceNodes(l.Enc, map[uint32]bool{p: pv, r: rv})
+					if bindAndCheck(mod) {
+						res.FoundPair = true
+						res.Perturb = p
+						res.Restore = r
+						res.Runtime = time.Since(start)
+						return res
+					}
+				}
+			}
+		}
+	}
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// ClassifierResult ranks nodes by structural anomaly.
+type ClassifierResult struct {
+	// Ranked lists node variables, most anomalous first.
+	Ranked []uint32
+	// Scores are the matching anomaly scores (z-score norms).
+	Scores []float64
+}
+
+// StructuralClassifier is the stand-in for the published learning-based
+// attacks (GNNUnlock, OMLA, SAIL): it extracts local structural features —
+// gate-type histogram of the 2-hop fanin neighbourhood, fanout count,
+// level, and key-input density of the cone — and ranks nodes by Mahalanobis
+// -like anomaly score. A locking scheme with deterministic local structure
+// places its critical nodes at the top.
+func StructuralClassifier(l *locking.Locked, topK int) ClassifierResult {
+	g := l.Enc
+	lv, _ := g.Levels()
+	fanout := g.FanoutCounts()
+	keyVar := make(map[uint32]bool, l.KeyBits)
+	for i := 0; i < l.KeyBits; i++ {
+		keyVar[g.InputVar(l.NumInputs+i)] = true
+	}
+	const nf = 8
+	var feats [][nf]float64
+	var vars []uint32
+	for v := uint32(1); v <= g.MaxVar(); v++ {
+		if g.Op(v) == aig.OpInput {
+			continue
+		}
+		var f [nf]float64
+		// 2-hop fanin gate-type histogram and inverter count.
+		visit := []aig.Lit{aig.MkLit(v, false)}
+		for hop := 0; hop < 2; hop++ {
+			var next []aig.Lit
+			for _, u := range visit {
+				for _, fi := range g.Fanins(u.Var()) {
+					switch g.Op(fi.Var()) {
+					case aig.OpAnd:
+						f[0]++
+					case aig.OpXor:
+						f[1]++
+					case aig.OpMaj:
+						f[2]++
+					case aig.OpInput:
+						f[3]++
+						if keyVar[fi.Var()] {
+							f[4]++
+						}
+					}
+					if fi.IsCompl() {
+						f[5]++
+					}
+					next = append(next, fi)
+				}
+			}
+			visit = next
+		}
+		f[6] = float64(fanout[v])
+		f[7] = float64(lv[v])
+		feats = append(feats, f)
+		vars = append(vars, v)
+	}
+	if len(feats) == 0 {
+		return ClassifierResult{}
+	}
+	var mean, std [nf]float64
+	for _, f := range feats {
+		for i := range f {
+			mean[i] += f[i]
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(feats))
+	}
+	for _, f := range feats {
+		for i := range f {
+			d := f[i] - mean[i]
+			std[i] += d * d
+		}
+	}
+	for i := range std {
+		std[i] = math.Sqrt(std[i]/float64(len(feats))) + 1e-9
+	}
+	type scored struct {
+		v uint32
+		s float64
+	}
+	sc := make([]scored, len(feats))
+	for i, f := range feats {
+		var norm float64
+		for j := range f {
+			z := (f[j] - mean[j]) / std[j]
+			norm += z * z
+		}
+		sc[i] = scored{vars[i], math.Sqrt(norm)}
+	}
+	sort.Slice(sc, func(i, j int) bool { return sc[i].s > sc[j].s })
+	if len(sc) > topK {
+		sc = sc[:topK]
+	}
+	res := ClassifierResult{}
+	for _, e := range sc {
+		res.Ranked = append(res.Ranked, e.v)
+		res.Scores = append(res.Scores, e.s)
+	}
+	return res
+}
+
+// CriticalNodeSurvives checks whether any node of enc (keys bound to an
+// arbitrary wrong key) is functionally equivalent to the given function of
+// the original inputs — the paper's combinational-equivalence check that
+// all critical nodes were eliminated.
+func CriticalNodeSurvives(l *locking.Locked, specG *aig.AIG, spec aig.Lit, simWords int, seed int64, budget int64) (aig.Lit, bool) {
+	anyKey := make([]bool, l.KeyBits)
+	bound := l.ApplyKey(anyKey)
+	return cec.FindEquivalentNode(bound, specG, spec, simWords, seed, budget)
+}

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/cec"
+)
+
+const sampleNetlist = `
+# a small sample
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+OUTPUT(g)
+t1 = AND(a, b)
+t2 = NOT(c)
+t3 = OR(t1, t2)
+f = NAND(t3, a)
+g = XOR(a, b)
+`
+
+func TestReadSample(t *testing.T) {
+	g, err := Read(strings.NewReader(sampleNetlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumInputs() != 3 || g.NumOutputs() != 2 {
+		t.Fatalf("interface: %v", g.Stats())
+	}
+	// f = !((a&b | !c) & a), g = a^b — check all 8 patterns.
+	for m := 0; m < 8; m++ {
+		a, b, c := m&1 == 1, m>>1&1 == 1, m>>2&1 == 1
+		out := g.Eval([]bool{a, b, c})
+		wantF := !(((a && b) || !c) && a)
+		wantG := a != b
+		if out[0] != wantF || out[1] != wantG {
+			t.Fatalf("minterm %d: got %v want [%v %v]", m, out, wantF, wantG)
+		}
+	}
+}
+
+func TestReadOutOfOrder(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+f = AND(t, a)
+t = OR(a, b)
+`
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Eval([]bool{true, false})
+	if !out[0] {
+		t.Fatal("out-of-order netlist misparsed")
+	}
+}
+
+func TestReadConstantsAndWideGates(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(f)
+OUTPUT(k)
+one = vdd
+zero = gnd
+w = AND(a, b, c, d)
+x = NOR(a, b, c)
+y = XNOR(a, b, c)
+f = OR(w, x, y, zero)
+k = BUF(one)
+`
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 16; m++ {
+		pat := []bool{m&1 == 1, m>>1&1 == 1, m>>2&1 == 1, m>>3&1 == 1}
+		out := g.Eval(pat)
+		w := pat[0] && pat[1] && pat[2] && pat[3]
+		x := !(pat[0] || pat[1] || pat[2])
+		y := !((pat[0] != pat[1]) != pat[2])
+		if out[0] != (w || x || y) {
+			t.Fatalf("minterm %d wrong", m)
+		}
+		if !out[1] {
+			t.Fatal("vdd output must be constant 1")
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"cycle", "INPUT(a)\nOUTPUT(f)\nf = AND(g, a)\ng = AND(f, a)\n"},
+		{"missing driver", "INPUT(a)\nOUTPUT(f)\nf = AND(x, a)\n"},
+		{"undriven output", "INPUT(a)\nOUTPUT(f)\n"},
+		{"bad gate", "INPUT(a)\nOUTPUT(f)\nf = FROB(a)\n"},
+		{"malformed", "INPUT(a)\nOUTPUT(f)\nf AND a\n"},
+		{"dup input", "INPUT(a)\nINPUT(a)\nOUTPUT(f)\nf = BUF(a)\n"},
+		{"dup signal", "INPUT(a)\nOUTPUT(f)\nf = BUF(a)\nf = NOT(a)\n"},
+		{"maj arity", "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = MAJ(a, b)\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, nin, nnodes int) *aig.AIG {
+	g := aig.New()
+	lits := g.AddInputs(nin)
+	for i := 0; i < nnodes; i++ {
+		pick := func() aig.Lit {
+			l := lits[rng.Intn(len(lits))]
+			if rng.Intn(2) == 0 {
+				l = l.Not()
+			}
+			return l
+		}
+		switch rng.Intn(4) {
+		case 0, 1:
+			lits = append(lits, g.And(pick(), pick()))
+		case 2:
+			lits = append(lits, g.Xor(pick(), pick()))
+		default:
+			lits = append(lits, g.Maj(pick(), pick(), pick()))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		g.AddOutput(lits[len(lits)-1-i], "")
+	}
+	return g
+}
+
+// Round trip: Write then Read must preserve the function exactly.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 5+rng.Intn(4), 30+rng.Intn(40))
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		r, err := cec.Check(g, back, cec.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Equivalent {
+			t.Fatalf("trial %d: round trip not equivalent (cex %v)", trial, r.Counterexample)
+		}
+	}
+}
+
+func TestRoundTripConstOutputs(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	g.AddOutput(aig.ConstTrue, "t")
+	g.AddOutput(aig.ConstFalse, "z")
+	g.AddOutput(a.Not(), "na")
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := back.Eval([]bool{true})
+	if !out[0] || out[1] || out[2] {
+		t.Fatalf("const round trip wrong: %v", out)
+	}
+}

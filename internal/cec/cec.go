@@ -1,0 +1,160 @@
+// Package cec implements SAT-based combinational equivalence checking with
+// a random-simulation pre-filter, plus node-level equivalence queries used
+// by the structural attacks and the critical-node elimination check.
+package cec
+
+import (
+	"fmt"
+	"time"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/cnf"
+	"obfuslock/internal/sat"
+	"obfuslock/internal/sim"
+)
+
+// Result reports the outcome of an equivalence check.
+type Result struct {
+	Equivalent bool
+	// Counterexample is an input pattern on which the circuits differ
+	// (valid only when Equivalent is false and Decided is true).
+	Counterexample []bool
+	// Decided is false when the solver hit its budget.
+	Decided bool
+	// Runtime of the check.
+	Runtime time.Duration
+}
+
+// Options configures a check.
+type Options struct {
+	// SimWords of 64 random patterns tried before SAT (0 disables).
+	SimWords int
+	// Seed for the simulation pre-filter.
+	Seed int64
+	// ConflictBudget bounds the SAT effort (<0: unlimited).
+	ConflictBudget int64
+}
+
+// DefaultOptions uses a small simulation pre-filter and no SAT budget.
+func DefaultOptions() Options {
+	return Options{SimWords: 4, Seed: 1, ConflictBudget: -1}
+}
+
+// Check decides whether two circuits with identical interfaces are
+// functionally equivalent.
+func Check(a, b *aig.AIG, opt Options) (Result, error) {
+	start := time.Now()
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		return Result{}, fmt.Errorf("cec: interface mismatch: %d/%d inputs, %d/%d outputs",
+			a.NumInputs(), b.NumInputs(), a.NumOutputs(), b.NumOutputs())
+	}
+	// Simulation pre-filter: a single differing pattern refutes quickly.
+	if opt.SimWords > 0 && a.NumInputs() > 0 {
+		in := sim.RandomInputs(a.NumInputs(), opt.SimWords, opt.Seed)
+		va := sim.Run(a, in)
+		vb := sim.Run(b, in)
+		for o := 0; o < a.NumOutputs(); o++ {
+			wa, wb := va.Output(o), vb.Output(o)
+			for w := range wa {
+				if d := wa[w] ^ wb[w]; d != 0 {
+					idx := w * 64
+					for bit := 0; bit < 64; bit++ {
+						if d>>uint(bit)&1 == 1 {
+							idx += bit
+							break
+						}
+					}
+					return Result{
+						Equivalent:     false,
+						Counterexample: sim.Pattern(in, idx),
+						Decided:        true,
+						Runtime:        time.Since(start),
+					}, nil
+				}
+			}
+		}
+	}
+	s := sat.New()
+	if opt.ConflictBudget >= 0 {
+		s.SetBudget(opt.ConflictBudget)
+	}
+	inputs, diff := cnf.Miter(s, a, b)
+	s.AddClause(diff)
+	switch s.Solve() {
+	case sat.Unsat:
+		return Result{Equivalent: true, Decided: true, Runtime: time.Since(start)}, nil
+	case sat.Sat:
+		cex := make([]bool, len(inputs))
+		for i, l := range inputs {
+			cex[i] = s.ModelValue(l)
+		}
+		return Result{Equivalent: false, Counterexample: cex, Decided: true, Runtime: time.Since(start)}, nil
+	}
+	return Result{Decided: false, Runtime: time.Since(start)}, nil
+}
+
+// LitsEquivalent decides whether two literals of the same graph compute the
+// same function of the primary inputs (up to the given conflict budget;
+// Unknown maps to decided=false).
+func LitsEquivalent(g *aig.AIG, x, y aig.Lit, budget int64) (equal, decided bool) {
+	s := sat.New()
+	e := cnf.NewEncoder(g, s)
+	lits := e.Encode(x, y)
+	if budget >= 0 {
+		s.SetBudget(budget)
+	}
+	d := cnf.XorLit(s, lits[0], lits[1])
+	s.AddClause(d)
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, true
+	case sat.Sat:
+		return false, true
+	}
+	return false, false
+}
+
+// FindEquivalentNode searches g for a node (in either phase) functionally
+// equivalent to the function computed by literal spec in graph specG, where
+// both graphs share the same primary-input ordering. It returns the
+// matching literal in g and true, or false when no node matches.
+//
+// This implements the attacker's "does the critical node still exist?"
+// query from the paper's structural-security evaluation: simulation
+// signatures shortlist candidates and SAT confirms them.
+func FindEquivalentNode(g *aig.AIG, specG *aig.AIG, spec aig.Lit, simWords int, seed int64, budget int64) (aig.Lit, bool) {
+	if g.NumInputs() != specG.NumInputs() {
+		panic("cec: FindEquivalentNode input mismatch")
+	}
+	in := sim.RandomInputs(g.NumInputs(), simWords, seed)
+	vg := sim.Run(g, in)
+	vs := sim.Run(specG, in)
+	specWords := vs.Lit(spec)
+
+	// Combined graph for SAT confirmation: import specG into a copy of g.
+	comb := g.Copy()
+	mapped := comb.ImportCone(specG, comb.Inputs(), []aig.Lit{spec})
+	specIn := mapped[0]
+
+	matches := func(cand aig.Lit) bool {
+		cw := vg.Lit(cand)
+		for w := range cw {
+			if cw[w] != specWords[w] {
+				return false
+			}
+		}
+		return true
+	}
+	for v := uint32(1); v <= g.MaxVar(); v++ {
+		for _, ph := range []bool{false, true} {
+			cand := aig.MkLit(v, ph)
+			if !matches(cand) {
+				continue
+			}
+			if eq, dec := LitsEquivalent(comb, cand, specIn, budget); dec && eq {
+				return cand, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,227 @@
+// Package cnf encodes AIGs into CNF via the Tseitin transformation and
+// provides the miter constructions used by equivalence checking and the
+// oracle-guided attacks.
+package cnf
+
+import (
+	"obfuslock/internal/aig"
+	"obfuslock/internal/sat"
+)
+
+// Encoder maps the nodes of one AIG instance into solver variables.
+// Several encoders may share one solver (e.g. two copies of a locked
+// circuit inside a SAT-attack miter): inputs can be tied to existing
+// solver literals before Encode is called.
+type Encoder struct {
+	G      *aig.AIG
+	S      *sat.Solver
+	varOf  []sat.Lit // per AIG variable: solver literal of positive phase
+	mapped []bool
+}
+
+// NewEncoder prepares an encoder of g into s. No clauses are added yet.
+func NewEncoder(g *aig.AIG, s *sat.Solver) *Encoder {
+	e := &Encoder{
+		G:      g,
+		S:      s,
+		varOf:  make([]sat.Lit, g.MaxVar()+1),
+		mapped: make([]bool, g.MaxVar()+1),
+	}
+	return e
+}
+
+// constVar lazily creates a solver variable pinned to false to stand for
+// the AIG constant node.
+func (e *Encoder) constLit() sat.Lit {
+	if !e.mapped[0] {
+		v := e.S.NewVar()
+		l := sat.MkLit(v, false)
+		e.S.AddClause(l.Not()) // pin to false
+		e.varOf[0] = l
+		e.mapped[0] = true
+	}
+	return e.varOf[0]
+}
+
+// TieInput binds the i-th primary input of the AIG to an existing solver
+// literal. Must be called before Encode.
+func (e *Encoder) TieInput(i int, l sat.Lit) {
+	v := e.G.InputVar(i)
+	e.varOf[v] = l
+	e.mapped[v] = true
+}
+
+// InputLit returns the solver literal of the i-th primary input, creating a
+// fresh variable if the input was not tied.
+func (e *Encoder) InputLit(i int) sat.Lit {
+	v := e.G.InputVar(i)
+	if !e.mapped[v] {
+		e.varOf[v] = sat.MkLit(e.S.NewVar(), false)
+		e.mapped[v] = true
+	}
+	return e.varOf[v]
+}
+
+// Lit returns the solver literal for an AIG literal. The cone feeding it
+// must already have been encoded.
+func (e *Encoder) Lit(l aig.Lit) sat.Lit {
+	if l.IsConst() {
+		c := e.constLit()
+		if l == aig.ConstTrue {
+			return c.Not()
+		}
+		return c
+	}
+	if !e.mapped[l.Var()] {
+		panic("cnf: literal not yet encoded")
+	}
+	sl := e.varOf[l.Var()]
+	if l.IsCompl() {
+		return sl.Not()
+	}
+	return sl
+}
+
+// Encode adds Tseitin clauses for the cones of the given roots (or the
+// whole graph when roots is empty). Untied inputs get fresh variables.
+// Returns the solver literals of the roots.
+func (e *Encoder) Encode(roots ...aig.Lit) []sat.Lit {
+	g := e.G
+	if len(roots) == 0 {
+		roots = g.Outputs()
+	}
+	need := g.TFI(roots...)
+	for v := uint32(1); v <= g.MaxVar(); v++ {
+		if !need[v] || e.mapped[v] {
+			continue
+		}
+		if g.Op(v) == aig.OpInput {
+			e.varOf[v] = sat.MkLit(e.S.NewVar(), false)
+			e.mapped[v] = true
+			continue
+		}
+		fan := g.Fanins(v)
+		out := sat.MkLit(e.S.NewVar(), false)
+		a := e.Lit(fan[0])
+		b := e.Lit(fan[1])
+		switch g.Op(v) {
+		case aig.OpAnd:
+			// out <-> a & b
+			e.S.AddClause(out.Not(), a)
+			e.S.AddClause(out.Not(), b)
+			e.S.AddClause(out, a.Not(), b.Not())
+		case aig.OpXor:
+			// out <-> a ^ b
+			e.S.AddClause(out.Not(), a, b)
+			e.S.AddClause(out.Not(), a.Not(), b.Not())
+			e.S.AddClause(out, a.Not(), b)
+			e.S.AddClause(out, a, b.Not())
+		case aig.OpMaj:
+			c := e.Lit(fan[2])
+			// out <-> maj(a,b,c): clauses from the two-level forms.
+			e.S.AddClause(out.Not(), a, b)
+			e.S.AddClause(out.Not(), a, c)
+			e.S.AddClause(out.Not(), b, c)
+			e.S.AddClause(out, a.Not(), b.Not())
+			e.S.AddClause(out, a.Not(), c.Not())
+			e.S.AddClause(out, b.Not(), c.Not())
+		}
+		e.varOf[v] = out
+		e.mapped[v] = true
+	}
+	lits := make([]sat.Lit, len(roots))
+	for i, r := range roots {
+		lits[i] = e.Lit(r)
+	}
+	return lits
+}
+
+// XorLit adds clauses defining a fresh literal out <-> a ^ b and returns it.
+func XorLit(s *sat.Solver, a, b sat.Lit) sat.Lit {
+	out := sat.MkLit(s.NewVar(), false)
+	s.AddClause(out.Not(), a, b)
+	s.AddClause(out.Not(), a.Not(), b.Not())
+	s.AddClause(out, a.Not(), b)
+	s.AddClause(out, a, b.Not())
+	return out
+}
+
+// OrLit adds clauses defining a fresh literal out <-> (l1 | l2 | ...).
+func OrLit(s *sat.Solver, lits ...sat.Lit) sat.Lit {
+	out := sat.MkLit(s.NewVar(), false)
+	big := make([]sat.Lit, 0, len(lits)+1)
+	big = append(big, out.Not())
+	for _, l := range lits {
+		s.AddClause(out, l.Not())
+		big = append(big, l)
+	}
+	s.AddClause(big...)
+	return out
+}
+
+// AndLit adds clauses defining a fresh literal out <-> (l1 & l2 & ...).
+func AndLit(s *sat.Solver, lits ...sat.Lit) sat.Lit {
+	out := sat.MkLit(s.NewVar(), false)
+	big := make([]sat.Lit, 0, len(lits)+1)
+	big = append(big, out)
+	for _, l := range lits {
+		s.AddClause(out.Not(), l)
+		big = append(big, l.Not())
+	}
+	s.AddClause(big...)
+	return out
+}
+
+// EqualLit adds clauses defining out <-> (a == b).
+func EqualLit(s *sat.Solver, a, b sat.Lit) sat.Lit {
+	return XorLit(s, a, b).Not()
+}
+
+// AddXorConstraint adds the parity constraint lits[0] ^ ... ^ lits[n-1] = rhs
+// by chaining fresh variables (3-literal XOR steps). Used by the XOR-hashing
+// model counter and sampler.
+func AddXorConstraint(s *sat.Solver, lits []sat.Lit, rhs bool) {
+	if len(lits) == 0 {
+		if rhs {
+			// 0 = 1: unsatisfiable.
+			v := s.NewVar()
+			s.AddClause(sat.MkLit(v, false))
+			s.AddClause(sat.MkLit(v, true))
+		}
+		return
+	}
+	acc := lits[0]
+	for _, l := range lits[1:] {
+		acc = XorLit(s, acc, l)
+	}
+	if rhs {
+		s.AddClause(acc)
+	} else {
+		s.AddClause(acc.Not())
+	}
+}
+
+// Miter encodes "outputs of ga differ from outputs of gb" over shared
+// inputs into s. Both graphs must have identical PI/PO counts. It returns
+// the shared input literals and the literal asserting inequality (already
+// constrained true is NOT done; caller decides).
+func Miter(s *sat.Solver, ga, gb *aig.AIG) (inputs []sat.Lit, diff sat.Lit) {
+	if ga.NumInputs() != gb.NumInputs() || ga.NumOutputs() != gb.NumOutputs() {
+		panic("cnf: miter interface mismatch")
+	}
+	ea := NewEncoder(ga, s)
+	eb := NewEncoder(gb, s)
+	inputs = make([]sat.Lit, ga.NumInputs())
+	for i := range inputs {
+		inputs[i] = ea.InputLit(i)
+		eb.TieInput(i, inputs[i])
+	}
+	oa := ea.Encode()
+	ob := eb.Encode()
+	diffs := make([]sat.Lit, len(oa))
+	for i := range oa {
+		diffs[i] = XorLit(s, oa[i], ob[i])
+	}
+	diff = OrLit(s, diffs...)
+	return inputs, diff
+}

@@ -1,0 +1,443 @@
+// Package core implements ObfusLock itself: a logic-locking framework that
+// simultaneously achieves SAT-attack resilience (through input permutation
+// encryption of a highly skewed locking circuit), structural-attack
+// resilience (through reshaping and elimination rewrites that remove the
+// critical node), and locking efficiency (small keys, low overhead,
+// seconds of runtime).
+//
+// The double-flip architecture follows Fig. 2(b) of the paper: the shipped
+// netlist computes C(x) ⊕ L(x) ⊕ L*(x ⊕ k), where L is a highly skewed
+// single-output function built from nodes of C, the obfuscated unit
+// C ⊕ L is blended by the rewrite rules (2)-(5), and the restoring unit
+// L*(x ⊕ k) carries key-controlled input permutation with randomized,
+// hidden bubble polarities. With the correct key the two L terms cancel.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/cec"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/rewrite"
+	"obfuslock/internal/skew"
+)
+
+// criticalSurvives checks whether any node of the wrong-key-bound netlist
+// computes the given spec function of the original inputs.
+func criticalSurvives(l *locking.Locked, specG *aig.AIG, spec aig.Lit) bool {
+	wrong := make([]bool, l.KeyBits)
+	same := true
+	for i, b := range l.Key {
+		if b != wrong[i] {
+			same = false
+			break
+		}
+	}
+	if same && l.KeyBits > 0 {
+		wrong[0] = !wrong[0]
+	}
+	bound := l.ApplyKey(wrong)
+	_, found := cec.FindEquivalentNode(bound, specG, spec, 8, 1, 100000)
+	return found
+}
+
+// Options configures ObfusLock.
+type Options struct {
+	// TargetSkewBits is the desired skewness of the locking circuit
+	// (paper notation: -20.0 bits of skewness means 2^-20).
+	TargetSkewBits float64
+	// Seed drives every randomized choice; equal seeds reproduce equal
+	// locks.
+	Seed int64
+	// ProtectedOutput selects the output to double-flip (-1: the output
+	// with the deepest cone).
+	ProtectedOutput int
+	// ReshapeApplications budgets rules (2)-(4).
+	ReshapeApplications int
+	// ElimApplications budgets rule (5)-style eliminations.
+	ElimApplications int
+	// FinalRewrite runs a randomized functional-rewriting pass over the
+	// whole encrypted netlist to erase residual traces.
+	FinalRewrite bool
+	// SubCircuit enables cut-based sub-circuit locking.
+	SubCircuit bool
+	// SubCircuitMinCut is the minimum cut width (0: derived from target).
+	SubCircuitMinCut int
+	// MaxSupport bounds the key length (0: derived from target).
+	MaxSupport int
+	// AllowDirect permits whole-circuit input permutation encryption when
+	// the original outputs are already skewed enough.
+	AllowDirect bool
+	// DisableObfuscation skips structural reshaping/elimination and the
+	// final rewrite, leaving the bare double-flip structure with an
+	// explicit XOR critical node. Insecure against structural analysis —
+	// exists only as the "before transformation" baseline of Fig. 4.
+	DisableObfuscation bool
+}
+
+// DefaultOptions targets 20 bits of skewness. Rule budgets keep the
+// overhead a few percent on benchmark-scale circuits; raise them (or
+// re-run with a larger seed sweep) for extra structural diversity.
+func DefaultOptions() Options {
+	return Options{
+		TargetSkewBits:      20,
+		ProtectedOutput:     -1,
+		ReshapeApplications: 16,
+		ElimApplications:    32,
+		FinalRewrite:        true,
+		AllowDirect:         true,
+	}
+}
+
+// Report summarizes a lock.
+type Report struct {
+	// Mode is "direct", "double-flip" or "sub-circuit".
+	Mode string
+	// KeyBits is the key length.
+	KeyBits int
+	// SkewBits is the verified skewness of the locking circuit (or the
+	// assessed circuit skewness in direct mode).
+	SkewBits float64
+	// LockingNodes is the size of L's cone.
+	LockingNodes int
+	// Attachments counts accepted operator attachments while building L.
+	Attachments int
+	// ProtectedOutput is the double-flipped output index (-1 in direct mode).
+	ProtectedOutput int
+	// CutWidth is the sub-circuit cut size (sub-circuit mode only).
+	CutWidth int
+	// CutLog2Reach is the approximate log2 reachable patterns on the cut.
+	CutLog2Reach float64
+	// EffectiveBits is the honest security floor min(s, l−s), where s is
+	// the skewness and l the key length: a SAT attack needs roughly 2^s
+	// queries to hit the locking circuit's on-set, but once hit, only
+	// 2^(l−s) keys survive, so both sides must be large. Small circuits
+	// cannot push this high — the paper's b09/b10 remark.
+	EffectiveBits float64
+	// OrigNodes / EncNodes are AIG sizes before and after locking.
+	OrigNodes int
+	EncNodes  int
+	// Runtime of the whole lock.
+	Runtime time.Duration
+}
+
+// Result carries the locked circuit and its report.
+type Result struct {
+	Locked *locking.Locked
+	Report Report
+	// LockingFunction is a reference circuit over the original inputs
+	// computing the locking circuit L (single output), available in
+	// double-flip and sub-circuit modes. Analyses use it to check that no
+	// node equivalent to L survives in the shipped netlist.
+	LockingFunction *aig.AIG
+}
+
+// Lock encrypts the circuit with ObfusLock.
+func Lock(c *aig.AIG, opt Options) (*Result, error) {
+	start := time.Now()
+	if c.NumOutputs() == 0 {
+		return nil, fmt.Errorf("core: circuit has no outputs")
+	}
+	if opt.TargetSkewBits <= 0 {
+		opt.TargetSkewBits = 20
+	}
+	if opt.ReshapeApplications <= 0 {
+		opt.ReshapeApplications = 16
+	}
+	if opt.ElimApplications <= 0 {
+		opt.ElimApplications = 32
+	}
+
+	// Step 1: assess the skewness of the original circuit. If every
+	// output is already past the threshold, input permutation encryption
+	// applies directly (Fig. 1, left branch).
+	if opt.AllowDirect && !opt.SubCircuit {
+		if bits, ok := assessCircuitSkewness(c, opt); ok && bits >= opt.TargetSkewBits {
+			res, err := lockDirect(c, opt)
+			if err == nil {
+				res.Report.SkewBits = bits
+				res.Report.Runtime = time.Since(start)
+			}
+			return res, err
+		}
+	}
+
+	var (
+		res *Result
+		err error
+	)
+	if opt.SubCircuit {
+		res, err = lockSubCircuit(c, opt)
+	} else {
+		res, err = lockDoubleFlip(c, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Report.Runtime = time.Since(start)
+	return res, nil
+}
+
+// assessCircuitSkewness estimates the combined output skewness: the sum of
+// h over all outputs must stay below 2^(m - target). Returns the bits of
+// the summed h-fraction and whether the estimate is meaningful.
+func assessCircuitSkewness(c *aig.AIG, opt Options) (float64, bool) {
+	if c.NumInputs() == 0 {
+		return 0, false
+	}
+	// Cheap Monte-Carlo screen: any output near balance disqualifies
+	// immediately (the common case).
+	v := skew.NodeSkewness(c, 64, opt.Seed)
+	var hFrac float64
+	for _, po := range c.Outputs() {
+		b := v[po.Var()]
+		if b < opt.TargetSkewBits {
+			// Refine with splitting only when the screen is borderline.
+			if b < opt.TargetSkewBits/2 {
+				return b, true
+			}
+			so := skew.DefaultSplittingOptions()
+			so.Seed = opt.Seed
+			b = skew.SplittingBits(c, po, so)
+			if b < opt.TargetSkewBits {
+				return b, true
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		hFrac += math.Pow(2, -b)
+	}
+	if hFrac == 0 {
+		return math.Inf(1), true
+	}
+	return -math.Log2(hFrac), true
+}
+
+// lockDirect applies whole-circuit input permutation encryption:
+// C_enc(x, k) = C*(x ⊕ k) with hidden random bubbles; k* = b.
+func lockDirect(c *aig.AIG, opt Options) (*Result, error) {
+	m := c.NumInputs()
+	cb, bubbles := rewrite.InsertBubbles(c, opt.Seed)
+	cb = rewrite.HideInverters(cb)
+	if opt.FinalRewrite {
+		cb = rewrite.FunctionalRewrite(cb, rewrite.ObfuscationOptions(opt.Seed))
+	}
+	enc := aig.New()
+	enc.Name = c.Name + "_obfuslock"
+	xs := make([]aig.Lit, m)
+	for i := 0; i < m; i++ {
+		xs[i] = enc.AddInput(c.InputName(i))
+	}
+	ks := make([]aig.Lit, m)
+	for i := 0; i < m; i++ {
+		ks[i] = enc.AddInput(locking.KeyName(i))
+	}
+	piMap := make([]aig.Lit, m)
+	for i := 0; i < m; i++ {
+		piMap[i] = enc.Xor(xs[i], ks[i])
+	}
+	outs := enc.Import(cb, piMap)
+	for i, o := range outs {
+		enc.AddOutput(o, c.OutputName(i))
+	}
+	l := &locking.Locked{
+		Scheme:    "obfuslock",
+		Enc:       enc,
+		NumInputs: m,
+		KeyBits:   m,
+		Key:       bubbles,
+	}
+	return &Result{
+		Locked: l,
+		Report: Report{
+			Mode:            "direct",
+			KeyBits:         m,
+			ProtectedOutput: -1,
+			OrigNodes:       c.NumNodes(),
+			EncNodes:        enc.NumNodes(),
+		},
+	}, nil
+}
+
+// pickProtectedOutput returns the output with the deepest logic cone.
+func pickProtectedOutput(c *aig.AIG) int {
+	lv, _ := c.Levels()
+	best, bestLv := 0, -1
+	for i, po := range c.Outputs() {
+		if l := lv[po.Var()]; l > bestLv {
+			best, bestLv = i, l
+		}
+	}
+	return best
+}
+
+// lockDoubleFlip runs the main ObfusLock pipeline on the whole circuit.
+func lockDoubleFlip(c *aig.AIG, opt Options) (*Result, error) {
+	po := opt.ProtectedOutput
+	if po < 0 {
+		po = pickProtectedOutput(c)
+	}
+	if po >= c.NumOutputs() {
+		return nil, fmt.Errorf("core: protected output %d out of range", po)
+	}
+
+	// Build L inside a working copy of C so it reuses C's nodes. The
+	// construction is randomized and can stall on an unlucky seed
+	// (correlated candidate pools); retry with fresh seeds before giving
+	// up.
+	var (
+		work *aig.AIG
+		lc   *lockingCircuit
+		err  error
+	)
+	for attempt := int64(0); attempt < 3; attempt++ {
+		work = c.Copy()
+		bopt := defaultBuildOptions(opt.TargetSkewBits, opt.Seed+7919*attempt)
+		bopt.MaxSupport = opt.MaxSupport
+		if bopt.MaxSupport == 0 {
+			bopt.MaxSupport = int(2.5*opt.TargetSkewBits) + 8
+		}
+		lc, err = buildLockingCircuit(work, bopt)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Extract the restoring unit BEFORE blending mutates the cone.
+	lcone, sup := work.ExtractCone(lc.Root)
+	keyBits := len(sup)
+	lb, bubbles := rewrite.InsertBubbles(lcone, opt.Seed+1)
+	lb = rewrite.HideInverters(lb)
+	lb = rewrite.FunctionalRewrite(lb, rewrite.ObfuscationOptions(opt.Seed+2))
+
+	m := c.NumInputs()
+
+	// Critical-function specs over the full input space, used to confirm
+	// elimination after every netlist transformation (the paper's CEC
+	// check that no critical node survives).
+	specF := c.Output(po)
+	specLG := aig.New()
+	specPIs := make([]aig.Lit, m)
+	for i := 0; i < m; i++ {
+		specPIs[i] = specLG.AddInput(c.InputName(i))
+	}
+	lMap := make([]aig.Lit, keyBits)
+	for i, pos := range sup {
+		lMap[i] = specPIs[pos]
+	}
+	specL := specLG.ImportCone(lcone, lMap, []aig.Lit{lcone.Output(0)})[0]
+	specLG.AddOutput(specL, "L")
+
+	mk := func(g *aig.AIG) *locking.Locked {
+		return &locking.Locked{
+			Scheme: "obfuslock", Enc: g,
+			NumInputs: m, KeyBits: keyBits, Key: bubbles,
+		}
+	}
+	clean := func(g *aig.AIG) bool {
+		lk := mk(g)
+		return !criticalSurvives(lk, c, specF) && !criticalSurvives(lk, specLG, specL)
+	}
+
+	// Blend, assemble and verify elimination. L is built from nodes of C,
+	// so rule applications can occasionally cancel semantically and leave
+	// a node equivalent to a critical function; the construction is fully
+	// randomized, so retrying with a fresh seed (and a growing rule
+	// budget) produces a different netlist until the CEC check is clean.
+	var encC *aig.AIG
+	reshape, elim := opt.ReshapeApplications, opt.ElimApplications
+	const blendAttempts = 6
+	for attempt := int64(0); attempt < blendAttempts; attempt++ {
+		wa := work.Copy()
+		var blended aig.Lit
+		if opt.DisableObfuscation {
+			blended = wa.Xor(wa.Output(po), lc.Root)
+		} else {
+			budget := &blendBudget{
+				reshape: reshape,
+				elim:    elim,
+				rng:     rand.New(rand.NewSource(opt.Seed + 3 + 101*attempt)),
+				protect: map[uint32]bool{
+					wa.Output(po).Var(): true,
+					lc.Root.Var():       true,
+				},
+			}
+			blended = xorBlend(wa, wa.Output(po), lc.Root, budget)
+		}
+		wa.SetOutput(po, blended)
+
+		// Assemble the encrypted netlist: x inputs, then key inputs.
+		enc := aig.New()
+		enc.Name = c.Name + "_obfuslock"
+		xs := make([]aig.Lit, m)
+		for i := 0; i < m; i++ {
+			xs[i] = enc.AddInput(c.InputName(i))
+		}
+		ks := make([]aig.Lit, keyBits)
+		for i := range ks {
+			ks[i] = enc.AddInput(locking.KeyName(i))
+		}
+		outs := enc.Import(wa, xs)
+		// Restoring unit: L*(x_S ⊕ k).
+		piMapL := make([]aig.Lit, keyBits)
+		for i, pos := range sup {
+			piMapL[i] = enc.Xor(xs[pos], ks[i])
+		}
+		restore := enc.ImportCone(lb, piMapL, []aig.Lit{lb.Output(0)})[0]
+		final := enc.And(enc.And(outs[po], restore.Not()).Not(), enc.And(outs[po].Not(), restore).Not()).Not()
+		outs[po] = final
+		for i, o := range outs {
+			enc.AddOutput(o, c.OutputName(i))
+		}
+		cand := enc.Cleanup()
+		if opt.DisableObfuscation {
+			encC = cand
+			break
+		}
+		if opt.FinalRewrite {
+			rw := rewrite.FunctionalRewrite(cand, rewrite.ObfuscationOptions(opt.Seed+4+attempt))
+			rw = rewrite.Balance(rw)
+			if clean(rw) {
+				encC = rw
+				break
+			}
+		}
+		bal := rewrite.Balance(cand)
+		if clean(bal) {
+			encC = bal
+			break
+		}
+		reshape += reshape / 2
+		elim += elim / 2
+		if attempt == blendAttempts-1 {
+			// Keep the last candidate rather than failing the lock; the
+			// security tests surface this case.
+			encC = cand
+		}
+	}
+
+	l := mk(encC)
+	return &Result{
+		Locked:          l,
+		LockingFunction: specLG,
+		Report: Report{
+			Mode:            "double-flip",
+			KeyBits:         keyBits,
+			SkewBits:        lc.SkewBits,
+			LockingNodes:    lcone.NumNodes(),
+			Attachments:     lc.Attachments,
+			ProtectedOutput: po,
+			EffectiveBits:   math.Min(lc.SkewBits, float64(keyBits)-lc.SkewBits),
+			OrigNodes:       c.NumNodes(),
+			EncNodes:        encC.NumNodes(),
+		},
+	}, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+
+	"obfuslock/internal/aig"
+)
+
+// blendBudget tracks the remaining rule applications during structural
+// reshaping and elimination.
+type blendBudget struct {
+	reshape int // applications of rules (2)-(4): decompose the L side
+	elim    int // applications of rule (5)-style C-side elimination
+	rng     *rand.Rand
+	// protect lists critical variables (root of C's protected cone, root
+	// of L) that must never be referenced by a fallback XOR: rules keep
+	// firing on them even with exhausted budgets, so the critical nodes
+	// are guaranteed to be decomposed away.
+	protect map[uint32]bool
+}
+
+func (b *blendBudget) spendReshape(t aig.Lit) bool {
+	if b.reshape > 0 {
+		b.reshape--
+		return true
+	}
+	return b.protect[t.Var()]
+}
+
+func (b *blendBudget) spendElim(f aig.Lit) bool {
+	if b.elim > 0 {
+		b.elim--
+		return true
+	}
+	return b.protect[f.Var()]
+}
+
+// xorBlend computes a literal equivalent to f XOR t while decomposing,
+// propagating and eliminating the XOR through the structures of both
+// operands — the paper's rewrite rules:
+//
+//	(2) f ⊕ ab      = (f ⊕ a) ⊕ a¬b
+//	(3) f ⊕ (a ⊕ b) = (f ⊕ a) ⊕ b
+//	(4) f ⊕ <abc>   = <(f⊕a)(f⊕b)(f⊕c)>        (majority is self-dual)
+//	(5a) f = ¬f0:    f ⊕ t = ¬(f0 ⊕ t)
+//	(5b) f = f0·f1:  f ⊕ t = (f0 ⊕ t)·f1 ∨ t·¬f1
+//
+// Rule (5c) of the paper — absorption of a¬b terms into existing nodes —
+// falls out of structural hashing: when the residual term already exists
+// in the network it is reused rather than recreated. Which side is
+// decomposed first is randomized per call, diversifying the netlist
+// across seeds (the paper's "fully randomized locking patterns"). When
+// both budgets are exhausted the remaining XOR is built from AND nodes
+// (no native XOR trace); protected variables never reach the fallback.
+func xorBlend(g *aig.AIG, f, t aig.Lit, b *blendBudget) aig.Lit {
+	// Cheap exits first: constants and equal/complementary operands.
+	if t.IsConst() {
+		return f.NotIf(t == aig.ConstTrue)
+	}
+	if f.IsConst() {
+		return t.NotIf(f == aig.ConstTrue)
+	}
+	if f == t {
+		return aig.ConstFalse
+	}
+	if f == t.Not() {
+		return aig.ConstTrue
+	}
+
+	if b.rng.Intn(3) == 0 {
+		if l, ok := blendF(g, f, t, b); ok {
+			return l
+		}
+		if l, ok := blendT(g, f, t, b); ok {
+			return l
+		}
+	} else {
+		if l, ok := blendT(g, f, t, b); ok {
+			return l
+		}
+		if l, ok := blendF(g, f, t, b); ok {
+			return l
+		}
+	}
+
+	// Budgets exhausted (or input operands): plain AND-structure XOR.
+	return g.And(g.And(f, t.Not()).Not(), g.And(f.Not(), t).Not()).Not()
+}
+
+// blendT decomposes the locking side t with rules (2)-(4).
+func blendT(g *aig.AIG, f, t aig.Lit, b *blendBudget) (aig.Lit, bool) {
+	if g.Op(t.Var()) == aig.OpInput || !b.spendReshape(t) {
+		return 0, false
+	}
+	if t.IsCompl() {
+		// ¬t decomposes through rule (5a) mirrored on the t side.
+		return xorBlend(g, f, t.Not(), b).Not(), true
+	}
+	fan := g.Fanins(t.Var())
+	switch g.Op(t.Var()) {
+	case aig.OpAnd:
+		inner := xorBlend(g, f, fan[0], b)
+		residual := g.And(fan[0], fan[1].Not())
+		return xorBlend(g, inner, residual, b), true
+	case aig.OpXor:
+		inner := xorBlend(g, f, fan[0], b)
+		return xorBlend(g, inner, fan[1], b), true
+	case aig.OpMaj:
+		return g.Maj(
+			xorBlend(g, f, fan[0], b),
+			xorBlend(g, f, fan[1], b),
+			xorBlend(g, f, fan[2], b),
+		), true
+	}
+	return 0, false
+}
+
+// blendF eliminates through the original side f with rule (5).
+func blendF(g *aig.AIG, f, t aig.Lit, b *blendBudget) (aig.Lit, bool) {
+	if g.Op(f.Var()) == aig.OpInput || !b.spendElim(f) {
+		return 0, false
+	}
+	if f.IsCompl() {
+		return xorBlend(g, f.Not(), t, b).Not(), true // (5a)
+	}
+	fan := g.Fanins(f.Var())
+	switch g.Op(f.Var()) {
+	case aig.OpAnd:
+		// (5b): pick which conjunct to descend into for diversity.
+		f0, f1 := fan[0], fan[1]
+		if b.rng.Intn(2) == 1 {
+			f0, f1 = f1, f0
+		}
+		left := g.And(xorBlend(g, f0, t, b), f1)
+		right := g.And(t, f1.Not())
+		return g.Or(left, right), true
+	case aig.OpXor:
+		// f = fa ⊕ fb: f ⊕ t = fa ⊕ (fb ⊕ t).
+		inner := xorBlend(g, fan[1], t, b)
+		return xorBlend(g, fan[0], inner, b), true
+	case aig.OpMaj:
+		return g.Maj(
+			xorBlend(g, fan[0], t, b),
+			xorBlend(g, fan[1], t, b),
+			xorBlend(g, fan[2], t, b),
+		), true
+	}
+	return 0, false
+}

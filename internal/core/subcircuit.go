@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/count"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/rewrite"
+)
+
+// selectCut walks backwards from the protected output's root, repeatedly
+// expanding the deepest frontier node into its fanins, until the frontier
+// is wide enough AND the number of reachable patterns on it is exponential
+// in its width (checked with the approximate model counter). Primary
+// inputs stop the expansion (a PI frontier is trivially fully reachable).
+func selectCut(g *aig.AIG, po int, minCut int, seed int64) ([]uint32, float64, error) {
+	lv, _ := g.Levels()
+	root := g.Output(po)
+	inFrontier := map[uint32]bool{}
+	var frontier []uint32
+	add := func(v uint32) {
+		if v != 0 && !inFrontier[v] {
+			inFrontier[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	if g.Op(root.Var()) == aig.OpInput {
+		return nil, 0, fmt.Errorf("core: protected output is a primary input")
+	}
+	for _, f := range g.Fanins(root.Var()) {
+		add(f.Var())
+	}
+	expand := func() bool {
+		// Pick the deepest expandable frontier node.
+		best := -1
+		for i, v := range frontier {
+			if g.Op(v) == aig.OpInput {
+				continue
+			}
+			if best < 0 || lv[v] > lv[frontier[best]] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return false // all PIs
+		}
+		v := frontier[best]
+		frontier = append(frontier[:best], frontier[best+1:]...)
+		delete(inFrontier, v)
+		for _, f := range g.Fanins(v) {
+			add(f.Var())
+		}
+		return true
+	}
+	const gamma = 0.7
+	copt := count.DefaultOptions()
+	copt.Seed = seed
+	copt.Trials = 3
+	for round := 0; ; round++ {
+		for len(frontier) < minCut {
+			if !expand() {
+				break
+			}
+		}
+		// All-PI frontier: fully reachable by definition.
+		allPI := true
+		for _, v := range frontier {
+			if g.Op(v) != aig.OpInput {
+				allPI = false
+				break
+			}
+		}
+		cutLits := make([]aig.Lit, len(frontier))
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		for i, v := range frontier {
+			cutLits[i] = aig.MkLit(v, false)
+		}
+		if allPI {
+			return frontier, float64(len(frontier)), nil
+		}
+		r := count.ReachablePatterns(g, cutLits, copt)
+		if r.Decided && !math.IsInf(r.Log2Count, -1) && r.Log2Count >= gamma*float64(len(frontier)) {
+			return frontier, r.Log2Count, nil
+		}
+		// Not reachable enough: push the cut deeper.
+		progressed := false
+		for i := 0; i < 4; i++ {
+			if expand() {
+				progressed = true
+			}
+		}
+		if !progressed {
+			return frontier, float64(len(frontier)), nil // PI cut fallback
+		}
+		if round > 64 {
+			return nil, 0, fmt.Errorf("core: no sufficiently reachable cut found")
+		}
+	}
+}
+
+// lockSubCircuit locks only the transitive fan-out cone of a selected cut:
+// the sub-circuit between the cut and the protected output is double-flip
+// locked over the cut variables, and the result is stitched back into the
+// full netlist. Attackers must reason through the input logic to drive cut
+// patterns, which the reachability condition makes expensive.
+func lockSubCircuit(c *aig.AIG, opt Options) (*Result, error) {
+	po := opt.ProtectedOutput
+	if po < 0 {
+		po = pickProtectedOutput(c)
+	}
+	if po >= c.NumOutputs() {
+		return nil, fmt.Errorf("core: protected output %d out of range", po)
+	}
+	minCut := opt.SubCircuitMinCut
+	if minCut <= 0 {
+		minCut = int(opt.TargetSkewBits) + 8
+	}
+	cut, reach, err := selectCut(c, po, minCut, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sub, bnd := c.ExtractBounded([]aig.Lit{c.Output(po)}, cut)
+
+	subOpt := opt
+	subOpt.SubCircuit = false
+	subOpt.AllowDirect = false
+	subOpt.ProtectedOutput = 0
+	subRes, err := lockDoubleFlip(sub, subOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: sub-circuit lock: %w", err)
+	}
+	subL := subRes.Locked
+
+	// Stitch: rebuild C, append key inputs, replace the protected output
+	// by the locked sub-circuit evaluated on the cut signals.
+	enc := c.Copy()
+	enc.Name = c.Name + "_obfuslock"
+	ks := make([]aig.Lit, subL.KeyBits)
+	for i := range ks {
+		ks[i] = enc.AddInput(locking.KeyName(i))
+	}
+	piMap := make([]aig.Lit, len(bnd)+subL.KeyBits)
+	for i, v := range bnd {
+		piMap[i] = aig.MkLit(v, false)
+	}
+	copy(piMap[len(bnd):], ks)
+	newOut := enc.ImportCone(subL.Enc, piMap, []aig.Lit{subL.Enc.Output(0)})[0]
+	enc.SetOutput(po, newOut)
+	encC := enc.Cleanup()
+	if opt.FinalRewrite {
+		encC = rewrite.FunctionalRewrite(encC, rewrite.ObfuscationOptions(opt.Seed+9))
+	}
+
+	l := &locking.Locked{
+		Scheme:    "obfuslock",
+		Enc:       encC,
+		NumInputs: c.NumInputs(),
+		KeyBits:   subL.KeyBits,
+		Key:       subL.Key,
+	}
+	rep := subRes.Report
+	rep.Mode = "sub-circuit"
+	rep.ProtectedOutput = po
+	rep.CutWidth = len(cut)
+	rep.CutLog2Reach = reach
+	rep.OrigNodes = c.NumNodes()
+	rep.EncNodes = encC.NumNodes()
+
+	// Compose the locking-function reference over the full inputs:
+	// L(cut(x)).
+	var lockFn *aig.AIG
+	if subRes.LockingFunction != nil {
+		lockFn = aig.New()
+		xs2 := make([]aig.Lit, c.NumInputs())
+		for i := range xs2 {
+			xs2[i] = lockFn.AddInput(c.InputName(i))
+		}
+		bndRoots := make([]aig.Lit, len(bnd))
+		for i, v := range bnd {
+			bndRoots[i] = aig.MkLit(v, false)
+		}
+		mappedBnd := lockFn.ImportCone(c, xs2, bndRoots)
+		lOut := lockFn.ImportCone(subRes.LockingFunction, mappedBnd,
+			[]aig.Lit{subRes.LockingFunction.Output(0)})
+		lockFn.AddOutput(lOut[0], "L")
+	}
+	return &Result{Locked: l, Report: rep, LockingFunction: lockFn}, nil
+}

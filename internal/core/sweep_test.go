@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"obfuslock/internal/attacks"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/netlistgen"
+)
+
+// Seed sweep: locks at 10 bits of skewness must survive a 150-DIP SAT
+// attack for every construction seed (Theorem 3 needs ~2^10/c queries).
+func TestSATResistanceSeedSweep(t *testing.T) {
+	c := netlistgen.AdderCmp(12)
+	for seed := int64(41); seed <= 42; seed++ {
+		opt := DefaultOptions()
+		opt.TargetSkewBits = 10
+		opt.Seed = seed
+		opt.AllowDirect = false
+		res, err := Lock(c, opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Report.Attachments < 3 {
+			t.Fatalf("seed %d: only %d attachments; L must be composed", seed, res.Report.Attachments)
+		}
+		oracle := locking.NewOracle(c)
+		aopt := attacks.DefaultIOOptions()
+		aopt.MaxIterations = 150
+		r := attacks.SATAttack(res.Locked, oracle, aopt)
+		if r.Exact {
+			t.Fatalf("seed %d: cracked in %d iterations", seed, r.Iterations)
+		}
+		if r.Key != nil {
+			if ok, _ := res.Locked.VerifyKey(c, r.Key); ok {
+				t.Fatalf("seed %d: partial key correct", seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package count implements approximate (projected) model counting with
+// random XOR hashing, in the style of ApproxMC. ObfusLock uses it to track
+// the number of reachable patterns on a candidate cut when selecting the
+// sub-circuit to encrypt.
+package count
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/cnf"
+	"obfuslock/internal/sat"
+)
+
+// Options configures the counter.
+type Options struct {
+	// Pivot is the cell-size threshold; larger is more accurate and slower.
+	Pivot int
+	// Trials is the number of independent hashing rounds (median taken).
+	Trials int
+	// Budget is the per-solve conflict budget (<0 unlimited).
+	Budget int64
+	// Seed drives the random parity constraints.
+	Seed int64
+}
+
+// DefaultOptions balances accuracy and runtime for cut selection.
+func DefaultOptions() Options {
+	return Options{Pivot: 24, Trials: 5, Budget: 500000, Seed: 1}
+}
+
+// Result is an approximate count.
+type Result struct {
+	// Log2Count estimates log2 of the model count (-Inf when zero).
+	Log2Count float64
+	// Exact is set when the count was fully enumerated (<= Pivot).
+	Exact bool
+	// Decided is false when solver budgets prevented an estimate.
+	Decided bool
+}
+
+// problem captures one projected counting instance: a base encoding
+// factory so every trial gets a fresh solver.
+type problem struct {
+	build func() (*sat.Solver, []sat.Lit) // returns solver + projection lits
+}
+
+// enumerateUpTo counts models over the projection literals, stopping at
+// limit+1. Returns count and whether the solver stayed decisive.
+func enumerateUpTo(s *sat.Solver, proj []sat.Lit, limit int) (int, bool) {
+	count := 0
+	for count <= limit {
+		switch s.Solve() {
+		case sat.Sat:
+			count++
+			block := make([]sat.Lit, len(proj))
+			for i, l := range proj {
+				if s.ModelValue(l) {
+					block[i] = l.Not()
+				} else {
+					block[i] = l
+				}
+			}
+			if !s.AddClause(block...) {
+				return count, true
+			}
+		case sat.Unsat:
+			return count, true
+		default:
+			return count, false
+		}
+	}
+	return count, true
+}
+
+// approx runs the ApproxMC loop on one problem.
+func approx(p problem, opt Options) Result {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	// Fast path: full enumeration below the pivot.
+	s, proj := p.build()
+	if opt.Budget >= 0 {
+		s.SetBudget(opt.Budget)
+	}
+	n, ok := enumerateUpTo(s, proj, opt.Pivot)
+	if !ok {
+		return Result{Decided: false}
+	}
+	if n == 0 {
+		return Result{Log2Count: math.Inf(-1), Exact: true, Decided: true}
+	}
+	if n <= opt.Pivot {
+		return Result{Log2Count: math.Log2(float64(n)), Exact: true, Decided: true}
+	}
+	nproj := 0
+	{
+		_, pr := p.build()
+		nproj = len(pr)
+	}
+	var estimates []float64
+	for trial := 0; trial < opt.Trials; trial++ {
+		// Galloping search for the number of XORs that leaves <= pivot
+		// models in the cell, then refine.
+		lo, hi := 1, nproj
+		found := -1
+		cellAt := func(m int) (int, bool) {
+			s, proj := p.build()
+			if opt.Budget >= 0 {
+				s.SetBudget(opt.Budget)
+			}
+			for x := 0; x < m; x++ {
+				var lits []sat.Lit
+				for _, l := range proj {
+					if rng.Intn(2) == 0 {
+						lits = append(lits, l)
+					}
+				}
+				cnf.AddXorConstraint(s, lits, rng.Intn(2) == 0)
+			}
+			return enumerateUpTo(s, proj, opt.Pivot)
+		}
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			c, ok := cellAt(mid)
+			if !ok {
+				found = -2
+				break
+			}
+			if c > opt.Pivot {
+				lo = mid + 1
+			} else if c == 0 {
+				hi = mid - 1
+			} else {
+				found = mid
+				estimates = append(estimates, math.Log2(float64(c))+float64(mid))
+				break
+			}
+		}
+		if found == -2 {
+			continue
+		}
+		if found == -1 && lo > nproj {
+			// Even with nproj XORs the cell stayed large; count ~ 2^nproj.
+			estimates = append(estimates, float64(nproj))
+		}
+	}
+	if len(estimates) == 0 {
+		return Result{Decided: false}
+	}
+	sort.Float64s(estimates)
+	return Result{Log2Count: estimates[len(estimates)/2], Decided: true}
+}
+
+// Models approximately counts satisfying input assignments of cond in g.
+func Models(g *aig.AIG, cond aig.Lit, opt Options) Result {
+	return approx(problem{build: func() (*sat.Solver, []sat.Lit) {
+		s := sat.New()
+		e := cnf.NewEncoder(g, s)
+		ins := make([]sat.Lit, g.NumInputs())
+		for i := range ins {
+			ins[i] = e.InputLit(i)
+		}
+		root := e.Encode(cond)
+		s.AddClause(root[0])
+		return s, ins
+	}}, opt)
+}
+
+// ReachablePatterns approximately counts the number of distinct value
+// combinations the given cut literals can take over all inputs — the
+// projected count used by ObfusLock's sub-circuit selection.
+func ReachablePatterns(g *aig.AIG, cut []aig.Lit, opt Options) Result {
+	return approx(problem{build: func() (*sat.Solver, []sat.Lit) {
+		s := sat.New()
+		e := cnf.NewEncoder(g, s)
+		lits := e.Encode(cut...)
+		return s, lits
+	}}, opt)
+}

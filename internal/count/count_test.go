@@ -1,0 +1,126 @@
+package count
+
+import (
+	"math"
+	"testing"
+
+	"obfuslock/internal/aig"
+)
+
+func TestExactSmallCounts(t *testing.T) {
+	// cond = AND of k inputs over n: exactly 2^(n-k) models.
+	g := aig.New()
+	in := g.AddInputs(8)
+	cond := g.AndN(in[:4]...)
+	g.AddOutput(cond, "c")
+	r := Models(g, cond, DefaultOptions())
+	if !r.Decided || !r.Exact {
+		t.Fatalf("expected exact count, got %+v", r)
+	}
+	if r.Log2Count != 4 {
+		t.Fatalf("log2 count = %v, want 4", r.Log2Count)
+	}
+}
+
+func TestZeroCount(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	cond := g.And(a, a.Not())
+	g.AddOutput(cond, "c")
+	r := Models(g, cond, DefaultOptions())
+	if !r.Decided || !math.IsInf(r.Log2Count, -1) {
+		t.Fatalf("unsat condition: %+v", r)
+	}
+}
+
+func TestApproximateLargeCount(t *testing.T) {
+	// cond = OR of 16 inputs: 2^16 - 1 models, log2 ≈ 16.
+	g := aig.New()
+	in := g.AddInputs(16)
+	cond := g.OrN(in...)
+	g.AddOutput(cond, "c")
+	opt := DefaultOptions()
+	opt.Trials = 7
+	r := Models(g, cond, opt)
+	if !r.Decided {
+		t.Fatal("undecided")
+	}
+	if math.Abs(r.Log2Count-16) > 2.5 {
+		t.Fatalf("log2 count = %v, want ~16", r.Log2Count)
+	}
+}
+
+func TestApproximateMidCount(t *testing.T) {
+	// cond = parity of 14 inputs: exactly 2^13 models.
+	g := aig.New()
+	in := g.AddInputs(14)
+	acc := in[0]
+	for _, l := range in[1:] {
+		acc = g.Xor(acc, l)
+	}
+	g.AddOutput(acc, "c")
+	opt := DefaultOptions()
+	opt.Trials = 7
+	opt.Seed = 3
+	r := Models(g, acc, opt)
+	if !r.Decided {
+		t.Fatal("undecided")
+	}
+	if math.Abs(r.Log2Count-13) > 2.5 {
+		t.Fatalf("log2 count = %v, want ~13", r.Log2Count)
+	}
+}
+
+func TestReachablePatternsFullCut(t *testing.T) {
+	// Cut = the inputs themselves: all 2^10 patterns reachable.
+	g := aig.New()
+	in := g.AddInputs(10)
+	g.AddOutput(g.AndN(in...), "f")
+	r := ReachablePatterns(g, in, DefaultOptions())
+	if !r.Decided {
+		t.Fatal("undecided")
+	}
+	if math.Abs(r.Log2Count-10) > 2 {
+		t.Fatalf("log2 reachable = %v, want ~10", r.Log2Count)
+	}
+}
+
+func TestReachablePatternsConstrainedCut(t *testing.T) {
+	// Cut of 6 literals that can only ever take 2 patterns:
+	// all equal to x0 or its complement pattern — use replicated x0.
+	g := aig.New()
+	in := g.AddInputs(6)
+	x := in[0]
+	cut := []aig.Lit{x, x, x.Not(), x, x.Not(), x}
+	g.AddOutput(g.AndN(in...), "f")
+	r := ReachablePatterns(g, cut, DefaultOptions())
+	if !r.Decided || !r.Exact {
+		t.Fatalf("expected exact: %+v", r)
+	}
+	if r.Log2Count != 1 {
+		t.Fatalf("log2 reachable = %v, want 1", r.Log2Count)
+	}
+}
+
+func TestReachablePatternsOneHot(t *testing.T) {
+	// Cut = one-hot decoder outputs of 3 inputs: 8 reachable patterns out
+	// of 2^8 cut combinations.
+	g := aig.New()
+	in := g.AddInputs(3)
+	var cut []aig.Lit
+	for m := 0; m < 8; m++ {
+		lits := make([]aig.Lit, 3)
+		for i := 0; i < 3; i++ {
+			lits[i] = in[i]
+			if m>>i&1 == 0 {
+				lits[i] = lits[i].Not()
+			}
+		}
+		cut = append(cut, g.AndN(lits...))
+	}
+	g.AddOutput(g.OrN(cut...), "f")
+	r := ReachablePatterns(g, cut, DefaultOptions())
+	if !r.Decided || !r.Exact || r.Log2Count != 3 {
+		t.Fatalf("one-hot cut: %+v, want exact log2=3", r)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"obfuslock/internal/netlistgen"
+)
+
+func quickBudget() Budget {
+	return Budget{Timeout: 15 * time.Second, MaxIterations: 40}
+}
+
+func TestTableIEntryShape(t *testing.T) {
+	b := netlistgen.SmallSuite()[1] // adder/comparator
+	var out bytes.Buffer
+	row, err := TableIEntry(b, 8, 1, quickBudget(), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.KeyBits < 8 {
+		t.Fatalf("key bits %d too small for 8-bit skew", row.KeyBits)
+	}
+	if row.SkewBits < 8 {
+		t.Fatalf("achieved skew %.1f below target", row.SkewBits)
+	}
+	// At 8 bits with a 40-DIP budget, all four attack cells must be
+	// failures (TO or wrong) — the paper's shape for >= 20-bit rows.
+	for _, cell := range []string{row.SATSub, row.SATWhole, row.AppSATSub, row.AppSATWhole} {
+		if cell != "TO" && cell != "wrong" {
+			t.Fatalf("attack cell %q — lock broke or harness mislabeled (row %v)", cell, row)
+		}
+	}
+	if !strings.Contains(out.String(), b.Name) {
+		t.Fatal("row not printed")
+	}
+}
+
+func TestTableISweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	rows, err := TableI(netlistgen.SmallSuite()[:2], []float64{8}, 1, quickBudget(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+}
+
+func TestFig4BeforeAfter(t *testing.T) {
+	c := netlistgen.SmallSuite()[1].Build()
+	before, after, err := Fig4(c, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.CriticalVisible {
+		t.Fatal("naive double-flip should expose a critical node")
+	}
+	if after.CriticalVisible {
+		t.Fatal("transformation left a critical node visible")
+	}
+	totalBefore, totalAfter := 0, 0
+	for i := range before.SkewHist {
+		totalBefore += before.SkewHist[i]
+		totalAfter += after.SkewHist[i]
+	}
+	if totalBefore == 0 || totalAfter == 0 {
+		t.Fatal("empty histograms")
+	}
+	// Both netlists carry nodes with full-key TFIs (the restore unit).
+	if before.KeyHist[4] == 0 || after.KeyHist[4] == 0 {
+		t.Fatal("restore unit missing from key histograms")
+	}
+}
+
+func TestFig5Overheads(t *testing.T) {
+	var out bytes.Buffer
+	rows, err := Fig5(netlistgen.SmallSuite()[1:3], []float64{8}, 1, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Area.AreaPct < 0 {
+			t.Fatalf("%s: negative area overhead", r.Bench)
+		}
+	}
+	if !strings.Contains(out.String(), "AVERAGE") {
+		t.Fatal("missing average row")
+	}
+}
+
+func TestStructuralBattery(t *testing.T) {
+	rows, err := Structural(netlistgen.SmallSuite()[1:2], 8, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if !r.CriticalEliminated || r.ValkyrieBroke || !r.SPIWrong || !r.RemovalFailed {
+		t.Fatalf("structural resistance violated: %+v", r)
+	}
+}
+
+func TestCountKeysInTFI(t *testing.T) {
+	b := netlistgen.SmallSuite()[2]
+	c := b.Build()
+	// Fake "keys": the last two inputs.
+	n := c.NumInputs()
+	keyVars := []uint32{c.InputVar(n - 2), c.InputVar(n - 1)}
+	counts := countKeysInTFI(c, keyVars)
+	if counts[keyVars[0]] != 1 || counts[keyVars[1]] != 1 {
+		t.Fatal("key inputs must count themselves")
+	}
+	if counts[c.InputVar(0)] != 0 {
+		t.Fatal("unrelated input counts keys")
+	}
+	// Outputs depending on both keys count 2.
+	found := false
+	for _, po := range c.Outputs() {
+		if counts[po.Var()] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no output depends on both fake keys — unexpected for a multiplier")
+	}
+}

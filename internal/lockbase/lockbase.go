@@ -1,0 +1,303 @@
+// Package lockbase implements the classic logic-locking baselines ObfusLock
+// is compared against: random XOR insertion (RLL/EPIC), SARLock, Anti-SAT,
+// TTLock, and SFLL-HD. Each exhibits one corner of the locking trilemma —
+// RLL is efficient but falls to the SAT attack; SARLock/Anti-SAT resist SAT
+// but expose a critical flip node to structural analysis; TTLock/SFLL-HD
+// strip functionality but with deterministic, discoverable patterns.
+package lockbase
+
+import (
+	"fmt"
+	"math/rand"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/locking"
+)
+
+// rebuildWithKeys copies g into a new graph and appends l key inputs,
+// returning the new graph, the map from old vars to new literals and the
+// key literals.
+func rebuildWithKeys(g *aig.AIG, l int) (*aig.AIG, []aig.Lit, []aig.Lit) {
+	ng := aig.New()
+	ng.Name = g.Name
+	piMap := make([]aig.Lit, g.NumInputs())
+	for i := range piMap {
+		piMap[i] = ng.AddInput(g.InputName(i))
+	}
+	keys := make([]aig.Lit, l)
+	for i := range keys {
+		keys[i] = ng.AddInput(locking.KeyName(i))
+	}
+	return ng, piMap, keys
+}
+
+// RLL performs random logic locking: keyBits XOR/XNOR key gates inserted on
+// randomly chosen internal signals (Roy et al., "Ending piracy of
+// integrated circuits").
+func RLL(g *aig.AIG, keyBits int, seed int64) (*locking.Locked, error) {
+	if g.NumNodes() < keyBits {
+		return nil, fmt.Errorf("lockbase: circuit too small for %d key bits", keyBits)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Choose distinct internal nodes to re-key.
+	var internal []uint32
+	for v := uint32(1); v <= g.MaxVar(); v++ {
+		if g.Op(v) != aig.OpInput {
+			internal = append(internal, v)
+		}
+	}
+	rng.Shuffle(len(internal), func(i, j int) { internal[i], internal[j] = internal[j], internal[i] })
+	chosen := make(map[uint32]int, keyBits)
+	for i := 0; i < keyBits; i++ {
+		chosen[internal[i]] = i
+	}
+	key := make([]bool, keyBits)
+	for i := range key {
+		key[i] = rng.Intn(2) == 1 // XNOR insertion when true
+	}
+
+	ng, piMap, keys := rebuildWithKeys(g, keyBits)
+	m := make([]aig.Lit, g.MaxVar()+1)
+	m[0] = aig.ConstFalse
+	for i, v := range gInputVars(g) {
+		m[v] = piMap[i]
+	}
+	mapped := func(l aig.Lit) aig.Lit { return m[l.Var()].NotIf(l.IsCompl()) }
+	for v := uint32(1); v <= g.MaxVar(); v++ {
+		if g.Op(v) == aig.OpInput {
+			continue
+		}
+		fan := g.Fanins(v)
+		var nl aig.Lit
+		switch g.Op(v) {
+		case aig.OpAnd:
+			nl = ng.And(mapped(fan[0]), mapped(fan[1]))
+		case aig.OpXor:
+			nl = ng.Xor(mapped(fan[0]), mapped(fan[1]))
+		case aig.OpMaj:
+			nl = ng.Maj(mapped(fan[0]), mapped(fan[1]), mapped(fan[2]))
+		}
+		if ki, ok := chosen[v]; ok {
+			// XOR with key; XNOR when the correct bit is 1.
+			nl = ng.Xor(nl, keys[ki].NotIf(key[ki]))
+		}
+		m[v] = nl
+	}
+	for i := 0; i < g.NumOutputs(); i++ {
+		ng.AddOutput(mapped(g.Output(i)), g.OutputName(i))
+	}
+	return &locking.Locked{
+		Scheme:    "rll",
+		Enc:       ng,
+		NumInputs: g.NumInputs(),
+		KeyBits:   keyBits,
+		Key:       key,
+	}, nil
+}
+
+func gInputVars(g *aig.AIG) []uint32 {
+	vs := make([]uint32, g.NumInputs())
+	for i := range vs {
+		vs[i] = g.InputVar(i)
+	}
+	return vs
+}
+
+// protectedInputs picks the inputs covered by point-function schemes: the
+// first min(n, limit) inputs.
+func protectedInputs(g *aig.AIG, limit int) int {
+	n := g.NumInputs()
+	if n > limit {
+		return limit
+	}
+	return n
+}
+
+// equalsConst builds AND_i (x_i XNOR c_i).
+func equalsConst(ng *aig.AIG, xs []aig.Lit, c []bool) aig.Lit {
+	terms := make([]aig.Lit, len(xs))
+	for i := range xs {
+		terms[i] = xs[i].NotIf(!c[i])
+	}
+	return ng.AndN(terms...)
+}
+
+// equalsLits builds AND_i (a_i XNOR b_i).
+func equalsLits(ng *aig.AIG, a, b []aig.Lit) aig.Lit {
+	terms := make([]aig.Lit, len(a))
+	for i := range a {
+		terms[i] = ng.Xor(a[i], b[i]).Not()
+	}
+	return ng.AndN(terms...)
+}
+
+// SARLock locks g with a comparator-based single-flip unit (Yasin et al.):
+// the first output is XORed with (x == k) & (k != k*). Each wrong key
+// corrupts exactly one input pattern, forcing the SAT attack through
+// exponentially many DIPs. protLimit bounds the compared input width.
+func SARLock(g *aig.AIG, protLimit int, seed int64) (*locking.Locked, error) {
+	if g.NumOutputs() == 0 {
+		return nil, fmt.Errorf("lockbase: no outputs to protect")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := protectedInputs(g, protLimit)
+	key := make([]bool, n)
+	for i := range key {
+		key[i] = rng.Intn(2) == 1
+	}
+	ng, piMap, keys := rebuildWithKeys(g, n)
+	outs := ng.Import(g, piMap)
+	xs := piMap[:n]
+	xEqK := equalsLits(ng, xs, keys)
+	kEqStar := equalsConst(ng, keys, key)
+	flip := ng.And(xEqK, kEqStar.Not())
+	outs[0] = ng.Xor(outs[0], flip)
+	for i, o := range outs {
+		ng.AddOutput(o, g.OutputName(i))
+	}
+	return &locking.Locked{
+		Scheme:    "sarlock",
+		Enc:       ng,
+		NumInputs: g.NumInputs(),
+		KeyBits:   n,
+		Key:       key,
+	}, nil
+}
+
+// AntiSAT locks g with an Anti-SAT block (Xie & Srivastava): the flip
+// signal is AND(x XOR kA) & NAND(x XOR kB), which is constant 0 exactly
+// when kA == kB. Key: kA ++ kB with kA = kB = r.
+func AntiSAT(g *aig.AIG, protLimit int, seed int64) (*locking.Locked, error) {
+	if g.NumOutputs() == 0 {
+		return nil, fmt.Errorf("lockbase: no outputs to protect")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := protectedInputs(g, protLimit)
+	r := make([]bool, n)
+	for i := range r {
+		r[i] = rng.Intn(2) == 1
+	}
+	key := append(append([]bool{}, r...), r...)
+	ng, piMap, keys := rebuildWithKeys(g, 2*n)
+	outs := ng.Import(g, piMap)
+	xs := piMap[:n]
+	ta := make([]aig.Lit, n)
+	tb := make([]aig.Lit, n)
+	for i := 0; i < n; i++ {
+		ta[i] = ng.Xor(xs[i], keys[i])
+		tb[i] = ng.Xor(xs[i], keys[n+i])
+	}
+	flip := ng.And(ng.AndN(ta...), ng.AndN(tb...).Not())
+	outs[0] = ng.Xor(outs[0], flip)
+	for i, o := range outs {
+		ng.AddOutput(o, g.OutputName(i))
+	}
+	return &locking.Locked{
+		Scheme:    "antisat",
+		Enc:       ng,
+		NumInputs: g.NumInputs(),
+		KeyBits:   2 * n,
+		Key:       key,
+	}, nil
+}
+
+// TTLock strips one input minterm p from the first output and restores it
+// with a comparator keyed by k (Yasin et al., "What to lock?"). Correct key
+// k* = p.
+func TTLock(g *aig.AIG, protLimit int, seed int64) (*locking.Locked, error) {
+	if g.NumOutputs() == 0 {
+		return nil, fmt.Errorf("lockbase: no outputs to protect")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := protectedInputs(g, protLimit)
+	p := make([]bool, n)
+	for i := range p {
+		p[i] = rng.Intn(2) == 1
+	}
+	ng, piMap, keys := rebuildWithKeys(g, n)
+	outs := ng.Import(g, piMap)
+	xs := piMap[:n]
+	// Functionality-stripped circuit: flip output at x == p (hard-coded).
+	strip := equalsConst(ng, xs, p)
+	// Restore unit: flip back at x == k.
+	restore := equalsLits(ng, xs, keys)
+	outs[0] = ng.Xor(ng.Xor(outs[0], strip), restore)
+	for i, o := range outs {
+		ng.AddOutput(o, g.OutputName(i))
+	}
+	return &locking.Locked{
+		Scheme:    "ttlock",
+		Enc:       ng,
+		NumInputs: g.NumInputs(),
+		KeyBits:   n,
+		Key:       p,
+	}, nil
+}
+
+// hammingEquals builds a circuit testing popcount(bits) == h.
+func hammingEquals(ng *aig.AIG, bits []aig.Lit, h int) aig.Lit {
+	// Dynamic-programming one-hot counter: cnt[j] = "exactly j ones so far".
+	n := len(bits)
+	if h < 0 || h > n {
+		return aig.ConstFalse
+	}
+	cnt := make([]aig.Lit, n+1)
+	cnt[0] = aig.ConstTrue
+	for j := 1; j <= n; j++ {
+		cnt[j] = aig.ConstFalse
+	}
+	for _, b := range bits {
+		next := make([]aig.Lit, n+1)
+		next[0] = ng.And(cnt[0], b.Not())
+		for j := 1; j <= n; j++ {
+			next[j] = ng.Or(ng.And(cnt[j], b.Not()), ng.And(cnt[j-1], b))
+		}
+		cnt = next
+	}
+	return cnt[h]
+}
+
+// SFLLHD locks g with stripped-functionality logic locking at Hamming
+// distance h (Yasin et al., CCS'17): the first output is flipped for every
+// input at distance h from k*, and the restore unit flips back inputs at
+// distance h from k.
+func SFLLHD(g *aig.AIG, protLimit, h int, seed int64) (*locking.Locked, error) {
+	if g.NumOutputs() == 0 {
+		return nil, fmt.Errorf("lockbase: no outputs to protect")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := protectedInputs(g, protLimit)
+	if h >= n {
+		return nil, fmt.Errorf("lockbase: hamming distance %d >= protected width %d", h, n)
+	}
+	key := make([]bool, n)
+	for i := range key {
+		key[i] = rng.Intn(2) == 1
+	}
+	ng, piMap, keys := rebuildWithKeys(g, n)
+	outs := ng.Import(g, piMap)
+	xs := piMap[:n]
+	// Strip: HD(x, k*) == h with k* hard-coded.
+	diffStar := make([]aig.Lit, n)
+	for i := range diffStar {
+		diffStar[i] = xs[i].NotIf(key[i]) // x_i XOR k*_i
+	}
+	strip := hammingEquals(ng, diffStar, h)
+	// Restore: HD(x, k) == h.
+	diffKey := make([]aig.Lit, n)
+	for i := range diffKey {
+		diffKey[i] = ng.Xor(xs[i], keys[i])
+	}
+	restore := hammingEquals(ng, diffKey, h)
+	outs[0] = ng.Xor(ng.Xor(outs[0], strip), restore)
+	for i, o := range outs {
+		ng.AddOutput(o, g.OutputName(i))
+	}
+	return &locking.Locked{
+		Scheme:    "sfll-hd",
+		Enc:       ng,
+		NumInputs: g.NumInputs(),
+		KeyBits:   n,
+		Key:       key,
+	}, nil
+}

@@ -1,0 +1,214 @@
+package lockbase
+
+import (
+	"math/rand"
+	"testing"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/netlistgen"
+)
+
+func testCircuit() *aig.AIG { return netlistgen.Multiplier(4) }
+
+func flipBit(key []bool, i int) []bool {
+	k := append([]bool(nil), key...)
+	k[i] = !k[i]
+	return k
+}
+
+func checkScheme(t *testing.T, orig *aig.AIG, l *locking.Locked, wrongMustBreak bool) {
+	t.Helper()
+	if err := l.Verify(orig); err != nil {
+		t.Fatalf("%s: %v", l.Scheme, err)
+	}
+	if wrongMustBreak {
+		rng := rand.New(rand.NewSource(5))
+		for trial := 0; trial < 3; trial++ {
+			wrong := flipBit(l.Key, rng.Intn(l.KeyBits))
+			broke, err := l.WrongKeyIsWrong(orig, wrong)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !broke {
+				t.Fatalf("%s: wrong key %v still correct", l.Scheme, wrong)
+			}
+		}
+	}
+}
+
+func TestRLL(t *testing.T) {
+	orig := testCircuit()
+	l, err := RLL(orig, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.KeyBits != 12 || l.Scheme != "rll" {
+		t.Fatalf("meta: %+v", l)
+	}
+	// RLL wrong keys are not guaranteed observable on redundant nodes, so
+	// only require the correct key to work plus at least one wrong key to
+	// break.
+	checkScheme(t, orig, l, false)
+	broke := false
+	for i := 0; i < l.KeyBits && !broke; i++ {
+		b, err := l.WrongKeyIsWrong(orig, flipBit(l.Key, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		broke = b
+	}
+	if !broke {
+		t.Fatal("rll: no single-bit flip corrupts the circuit")
+	}
+}
+
+func TestSARLock(t *testing.T) {
+	orig := testCircuit()
+	l, err := SARLock(orig, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkScheme(t, orig, l, true)
+	// Error profile: a wrong key corrupts exactly the pattern x == k on the
+	// protected bits.
+	wrong := flipBit(l.Key, 3)
+	bound := l.ApplyKey(wrong)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		x := make([]bool, orig.NumInputs())
+		for i := range x {
+			x[i] = rng.Intn(2) == 1
+		}
+		atK := true
+		for i := 0; i < l.KeyBits; i++ {
+			if x[i] != wrong[i] {
+				atK = false
+				break
+			}
+		}
+		want := orig.Eval(x)
+		got := bound.Eval(x)
+		same := true
+		for i := range want {
+			if want[i] != got[i] {
+				same = false
+			}
+		}
+		if atK && same {
+			t.Fatal("sarlock: wrong key did not corrupt its own pattern")
+		}
+		if !atK && !same {
+			t.Fatal("sarlock: wrong key corrupted a non-matching pattern")
+		}
+	}
+}
+
+func TestAntiSAT(t *testing.T) {
+	orig := testCircuit()
+	l, err := AntiSAT(orig, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.KeyBits != 16 {
+		t.Fatalf("antisat key bits = %d, want 16", l.KeyBits)
+	}
+	if err := l.Verify(orig); err != nil {
+		t.Fatal(err)
+	}
+	// Any key with kA == kB is correct — check a second equal pair.
+	alt := make([]bool, 16)
+	for i := 0; i < 8; i++ {
+		alt[i] = i%2 == 0
+		alt[8+i] = i%2 == 0
+	}
+	ok, err := l.VerifyKey(orig, alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("antisat: equal key halves must be correct")
+	}
+	// Unequal halves must break.
+	broke, err := l.WrongKeyIsWrong(orig, flipBit(l.Key, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !broke {
+		t.Fatal("antisat: unequal halves still correct")
+	}
+}
+
+func TestTTLock(t *testing.T) {
+	orig := testCircuit()
+	l, err := TTLock(orig, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkScheme(t, orig, l, true)
+}
+
+func TestSFLLHD(t *testing.T) {
+	orig := testCircuit()
+	for _, h := range []int{0, 1, 2} {
+		l, err := SFLLHD(orig, 8, h, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkScheme(t, orig, l, true)
+		// The stripped circuit (wrong key far from k*) must differ from the
+		// original on patterns at distance h from k*.
+		wrong := append([]bool(nil), l.Key...)
+		for i := range wrong {
+			wrong[i] = !wrong[i]
+		}
+		broke, err := l.WrongKeyIsWrong(orig, wrong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !broke {
+			t.Fatalf("sfll-hd(h=%d): inverted key still correct", h)
+		}
+	}
+}
+
+func TestSFLLHDInvalidParams(t *testing.T) {
+	orig := testCircuit()
+	if _, err := SFLLHD(orig, 4, 4, 1); err == nil {
+		t.Fatal("expected error for h >= width")
+	}
+}
+
+func TestRLLTooManyKeys(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	g.AddOutput(g.And(a, b), "f")
+	if _, err := RLL(g, 10, 1); err == nil {
+		t.Fatal("expected error for oversized key")
+	}
+}
+
+func TestHammingEquals(t *testing.T) {
+	g := aig.New()
+	in := g.AddInputs(5)
+	for h := 0; h <= 5; h++ {
+		g.AddOutput(hammingEquals(g, in, h), "")
+	}
+	pat := make([]bool, 5)
+	for m := 0; m < 32; m++ {
+		ones := 0
+		for i := 0; i < 5; i++ {
+			pat[i] = m>>i&1 == 1
+			if pat[i] {
+				ones++
+			}
+		}
+		out := g.Eval(pat)
+		for h := 0; h <= 5; h++ {
+			if out[h] != (ones == h) {
+				t.Fatalf("hammingEquals(%d) wrong at %05b", h, m)
+			}
+		}
+	}
+}

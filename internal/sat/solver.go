@@ -1,0 +1,778 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver in pure Go, in the MiniSat lineage: two-literal watching with
+// blockers, first-UIP conflict analysis with basic clause minimization,
+// VSIDS variable ordering, phase saving, Luby restarts and activity-based
+// learnt-clause database reduction.
+//
+// The solver is incremental: clauses can be added between calls to Solve,
+// and Solve accepts assumption literals. Conflict budgets and a stop
+// callback support the time-limited attack loops used elsewhere in the
+// repository.
+package sat
+
+import "fmt"
+
+// Lit is a literal: variable v as 2*v (positive) or 2*v+1 (negated).
+type Lit int32
+
+// LitUndef is the absent literal.
+const LitUndef Lit = -1
+
+// MkLit builds a literal from a variable index (0-based) and a sign.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+const clauseNone int32 = -1
+
+type clause struct {
+	lits    []Lit
+	act     float32
+	learnt  bool
+	deleted bool
+}
+
+type watcher struct {
+	cref    int32
+	blocker Lit
+}
+
+// Stats counts solver work.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+}
+
+// Solver is a CDCL SAT solver. Create with New.
+type Solver struct {
+	clauses []clause
+	learnts []int32 // indices into clauses
+	watches [][]watcher
+
+	assign   []int8
+	level    []int32
+	reason   []int32
+	polarity []bool // saved phases
+	activity []float64
+	seen     []bool
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	order  varHeap
+	varInc float64
+	claInc float64
+
+	rndPol   bool
+	rndState uint64
+
+	ok        bool
+	numVars   int
+	model     []int8
+	stats     Stats
+	limited   bool
+	budget    int64 // remaining conflicts when limited
+	exhausted bool
+	stopFn    func() bool
+	stopTick  int
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{ok: true, varInc: 1, claInc: 1}
+	s.order.s = s
+	return s
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NumClauses returns the number of live problem clauses plus learnts.
+func (s *Solver) NumClauses() int {
+	n := 0
+	for i := range s.clauses {
+		if !s.clauses[i].deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns work counters accumulated across all Solve calls.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// SetBudget limits the total number of conflicts available to subsequent
+// Solve calls; Solve returns Unknown when it is exhausted. A negative value
+// removes the limit.
+func (s *Solver) SetBudget(conflicts int64) {
+	s.limited = conflicts >= 0
+	s.budget = conflicts
+	s.exhausted = false
+}
+
+// SetStop installs a callback polled periodically during search; when it
+// returns true, Solve returns Unknown.
+func (s *Solver) SetStop(f func() bool) { s.stopFn = f }
+
+// SetRandomPolarity makes branching decisions use pseudo-random phases
+// derived from seed instead of saved phases. Model samplers use this to
+// diversify the completions of partially pinned assignments.
+func (s *Solver) SetRandomPolarity(seed int64) {
+	s.rndPol = true
+	s.rndState = uint64(seed)*2685821657736338717 + 1
+}
+
+// NewVar creates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := s.numVars
+	s.numVars++
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, clauseNone)
+	s.polarity = append(s.polarity, true) // default phase: false (negated)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+func (s *Solver) valueLit(l Lit) int8 {
+	a := s.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return -a
+	}
+	return a
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause. It returns false when the formula is already
+// known to be unsatisfiable (now or earlier). Literals falsified at level 0
+// are removed; tautologies are dropped.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	// Sort-free simplification: dedupe, drop false, detect taut/sat.
+	out := lits[:0:0]
+	for _, l := range lits {
+		if l.Var() >= s.numVars {
+			panic("sat: literal references unknown variable")
+		}
+		switch s.valueLit(l) {
+		case lTrue:
+			return true // satisfied at level 0
+		case lFalse:
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], clauseNone)
+		if s.propagate() != clauseNone {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attachNew(out, false)
+	return true
+}
+
+func (s *Solver) attachNew(lits []Lit, learnt bool) int32 {
+	cref := int32(len(s.clauses))
+	s.clauses = append(s.clauses, clause{lits: lits, learnt: learnt})
+	if learnt {
+		s.learnts = append(s.learnts, cref)
+	}
+	s.watch(lits[0], cref, lits[1])
+	s.watch(lits[1], cref, lits[0])
+	return cref
+}
+
+func (s *Solver) watch(l Lit, cref int32, blocker Lit) {
+	s.watches[l] = append(s.watches[l], watcher{cref, blocker})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from int32) {
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the index of a
+// conflicting clause or clauseNone.
+func (s *Solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		falseLit := p.Not()
+		ws := s.watches[falseLit]
+		j := 0
+	nextWatch:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.valueLit(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := &s.clauses[w.cref]
+			if c.deleted {
+				continue
+			}
+			lits := c.lits
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			// Invariant now: lits[1] == falseLit.
+			first := lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				ws[j] = watcher{w.cref, first}
+				j++
+				continue
+			}
+			for k := 2; k < len(lits); k++ {
+				if s.valueLit(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watch(lits[1], w.cref, first)
+					continue nextWatch
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{w.cref, first}
+			j++
+			if s.valueLit(first) == lFalse {
+				// Conflict: copy the remaining watchers and bail.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[falseLit] = ws[:j]
+				s.qhead = len(s.trail)
+				return w.cref
+			}
+			s.uncheckedEnqueue(first, w.cref)
+		}
+		s.watches[falseLit] = ws[:j]
+	}
+	return clauseNone
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assign[v] == lFalse
+		s.assign[v] = lUndef
+		s.reason[v] = clauseNone
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(cref int32) {
+	c := &s.clauses[cref]
+	c.act += float32(s.claInc)
+	if c.act > 1e20 {
+		for _, ci := range s.learnts {
+			s.clauses[ci].act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze computes a first-UIP learnt clause from a conflict, returning the
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl int32) ([]Lit, int) {
+	learnt := []Lit{LitUndef}
+	pathC := 0
+	p := LitUndef
+	index := len(s.trail) - 1
+	var toClear []int
+
+	for {
+		c := &s.clauses[confl]
+		if c.learnt {
+			s.bumpClause(confl)
+		}
+		start := 0
+		if p != LitUndef {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.bumpVar(v)
+				s.seen[v] = true
+				toClear = append(toClear, v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for !s.seen[s.trail[index].Var()] {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Basic clause minimization: drop literals implied by the rest.
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		if s.reason[v] == clauseNone || !s.litRedundant(learnt[i]) {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+
+	for _, v := range toClear {
+		s.seen[v] = false
+	}
+	return learnt, btLevel
+}
+
+// litRedundant implements the "basic" minimization test: a literal is
+// redundant when every literal of its reason clause is either seen (already
+// in the learnt clause) or assigned at level 0.
+func (s *Solver) litRedundant(l Lit) bool {
+	c := &s.clauses[s.reason[l.Var()]]
+	for _, q := range c.lits[1:] {
+		v := q.Var()
+		if !s.seen[v] && s.level[v] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) pickBranchLit() Lit {
+	for !s.order.empty() {
+		v := s.order.removeMin()
+		if s.assign[v] == lUndef {
+			pol := s.polarity[v]
+			if s.rndPol {
+				s.rndState ^= s.rndState << 13
+				s.rndState ^= s.rndState >> 7
+				s.rndState ^= s.rndState << 17
+				pol = s.rndState&1 == 1
+			}
+			return MkLit(v, pol)
+		}
+	}
+	return LitUndef
+}
+
+// luby computes the Luby restart sequence element (1-based index):
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int64) int64 {
+	x := i - 1
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return int64(1) << uint(seq)
+}
+
+func (s *Solver) stopped() bool {
+	if s.stopFn == nil {
+		return false
+	}
+	s.stopTick++
+	if s.stopTick&63 != 0 {
+		return false
+	}
+	return s.stopFn()
+}
+
+// search runs CDCL until a model is found, a conflict at root level proves
+// UNSAT, or nConflicts conflicts pass (restart), whichever first.
+func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
+	conflictC := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != clauseNone {
+			s.stats.Conflicts++
+			conflictC++
+			if s.limited {
+				s.budget--
+				if s.budget < 0 {
+					s.exhausted = true
+					return Unknown
+				}
+			}
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Backtracking may pop assumptions; the decision loop below
+			// re-places them, and an assumption found false there proves
+			// UNSAT under assumptions.
+			s.cancelUntil(btLevel)
+			s.stats.Learnt++
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], clauseNone)
+			} else {
+				cref := s.attachNew(learnt, true)
+				s.uncheckedEnqueue(learnt[0], cref)
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			continue
+		}
+		if conflictC >= nConflicts {
+			return Unknown // restart point
+		}
+		if s.stopped() {
+			s.exhausted = true
+			return Unknown
+		}
+		if len(s.learnts) > 4000+int(s.stats.Conflicts/10) {
+			s.reduceDB()
+		}
+		// Place assumptions, then decide.
+		next := LitUndef
+		for s.decisionLevel() < len(assumps) {
+			p := assumps[s.decisionLevel()]
+			switch s.valueLit(p) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail)) // dummy level
+			case lFalse:
+				return Unsat
+			default:
+				next = p
+			}
+			if next != LitUndef {
+				break
+			}
+		}
+		if next == LitUndef {
+			next = s.pickBranchLit()
+			if next == LitUndef {
+				return Sat // all variables assigned
+			}
+			s.stats.Decisions++
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, clauseNone)
+	}
+}
+
+// reduceDB removes roughly half of the learnt clauses, keeping binary,
+// locked (reason) and high-activity clauses, then rebuilds the watch lists.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	// Sort learnt refs by activity ascending (simple insertion-friendly
+	// approach: selection by median-of-activity threshold).
+	acts := make([]float32, 0, len(s.learnts))
+	for _, ci := range s.learnts {
+		acts = append(acts, s.clauses[ci].act)
+	}
+	med := quickMedian(acts)
+	kept := s.learnts[:0]
+	for _, ci := range s.learnts {
+		c := &s.clauses[ci]
+		locked := false
+		if v := c.lits[0].Var(); s.reason[v] == ci && s.valueLit(c.lits[0]) == lTrue {
+			locked = true
+		}
+		if len(c.lits) <= 2 || locked || c.act >= med {
+			kept = append(kept, ci)
+		} else {
+			c.deleted = true
+			c.lits = nil
+		}
+	}
+	s.learnts = kept
+	// Rebuild watches to drop deleted clauses.
+	for i := range s.watches {
+		ws := s.watches[i][:0]
+		for _, w := range s.watches[i] {
+			if !s.clauses[w.cref].deleted {
+				ws = append(ws, w)
+			}
+		}
+		s.watches[i] = ws
+	}
+}
+
+func quickMedian(v []float32) float32 {
+	if len(v) == 0 {
+		return 0
+	}
+	// Average is a fine threshold for halving by activity.
+	var sum float64
+	for _, x := range v {
+		sum += float64(x)
+	}
+	return float32(sum / float64(len(v)))
+}
+
+// Solve runs the solver under the given assumptions. It returns Sat, Unsat,
+// or Unknown when a budget/stop limit fires. After Sat, the model is
+// available via ModelValue.
+func (s *Solver) Solve(assumps ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != clauseNone {
+		s.ok = false
+		return Unsat
+	}
+	s.exhausted = false
+	status := Unknown
+	for round := int64(1); ; round++ {
+		status = s.search(100*luby(round), assumps)
+		if status != Unknown {
+			break
+		}
+		if s.exhausted {
+			break // budget spent or stop callback fired
+		}
+		s.stats.Restarts++
+		s.cancelUntil(0)
+	}
+	if status == Sat {
+		s.model = append(s.model[:0], s.assign...)
+		// Unassigned vars (possible under assumption-satisfied prefixes)
+		// default to false.
+		for i, a := range s.model {
+			if a == lUndef {
+				s.model[i] = lFalse
+			}
+		}
+	}
+	s.cancelUntil(0)
+	return status
+}
+
+// ModelValue returns the value of a literal in the last satisfying model.
+func (s *Solver) ModelValue(l Lit) bool {
+	v := s.model[l.Var()] == lTrue
+	if l.Neg() {
+		return !v
+	}
+	return v
+}
+
+// Model returns the last satisfying assignment as a bool slice per variable.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.numVars)
+	for i := range m {
+		m[i] = i < len(s.model) && s.model[i] == lTrue
+	}
+	return m
+}
+
+// varHeap is a max-heap of variables ordered by activity.
+type varHeap struct {
+	s       *Solver
+	heap    []int
+	indices []int // var -> heap position, -1 if absent
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) inHeap(v int) bool {
+	return v < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) insert(v int) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.inHeap(v) {
+		return
+	}
+	h.indices[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.percolateUp(h.indices[v])
+}
+
+func (h *varHeap) update(v int) {
+	if h.inHeap(v) {
+		h.percolateUp(h.indices[v])
+	}
+}
+
+func (h *varHeap) removeMin() int {
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 0
+		h.percolateDown(0)
+	}
+	return v
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return h.s.activity[a] > h.s.activity[b]
+}
+
+func (h *varHeap) percolateUp(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) percolateDown(i int) {
+	v := h.heap[i]
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(h.heap) {
+			break
+		}
+		c := l
+		if r < len(h.heap) && h.less(h.heap[r], h.heap[l]) {
+			c = r
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}

@@ -1,0 +1,204 @@
+// Package sim provides 64-way bit-parallel simulation of AIGs.
+//
+// A simulation vector assigns one uint64 word array per node; bit i of word
+// w carries the node value under input pattern 64*w+i. Random simulation is
+// the workhorse behind skewness estimation, signature-based equivalence
+// filtering and switching-activity extraction for power estimation.
+package sim
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"obfuslock/internal/aig"
+)
+
+// Vectors holds per-node simulation words for one run.
+type Vectors struct {
+	Words int        // words per node
+	vals  [][]uint64 // indexed by variable
+	g     *aig.AIG
+}
+
+// RandomInputs draws words*64 uniform input patterns for n inputs.
+func RandomInputs(n, words int, seed int64) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([][]uint64, n)
+	for i := range in {
+		in[i] = make([]uint64, words)
+		for w := range in[i] {
+			in[i][w] = rng.Uint64()
+		}
+	}
+	return in
+}
+
+// Run simulates the whole graph under the given input words (one slice per
+// primary input, all the same length).
+func Run(g *aig.AIG, inputs [][]uint64) *Vectors {
+	if len(inputs) != g.NumInputs() {
+		panic("sim: input count mismatch")
+	}
+	words := 0
+	if len(inputs) > 0 {
+		words = len(inputs[0])
+	}
+	v := &Vectors{Words: words, g: g, vals: make([][]uint64, g.MaxVar()+1)}
+	v.vals[0] = make([]uint64, words) // constant false
+	for i := 0; i < g.NumInputs(); i++ {
+		if len(inputs[i]) != words {
+			panic("sim: ragged input words")
+		}
+		v.vals[g.InputVar(i)] = inputs[i]
+	}
+	for n := uint32(1); n <= g.MaxVar(); n++ {
+		if g.Op(n) == aig.OpInput {
+			continue
+		}
+		dst := make([]uint64, words)
+		fan := g.Fanins(n)
+		a := v.litWords(fan[0])
+		b := v.litWords(fan[1])
+		switch g.Op(n) {
+		case aig.OpAnd:
+			for w := 0; w < words; w++ {
+				dst[w] = a(w) & b(w)
+			}
+		case aig.OpXor:
+			for w := 0; w < words; w++ {
+				dst[w] = a(w) ^ b(w)
+			}
+		case aig.OpMaj:
+			c := v.litWords(fan[2])
+			for w := 0; w < words; w++ {
+				x, y, z := a(w), b(w), c(w)
+				dst[w] = (x & y) | (x & z) | (y & z)
+			}
+		}
+		v.vals[n] = dst
+	}
+	return v
+}
+
+// RunRandom simulates the graph on words*64 random patterns.
+func RunRandom(g *aig.AIG, words int, seed int64) *Vectors {
+	return Run(g, RandomInputs(g.NumInputs(), words, seed))
+}
+
+func (v *Vectors) litWords(l aig.Lit) func(int) uint64 {
+	vals := v.vals[l.Var()]
+	if l.IsCompl() {
+		return func(w int) uint64 { return ^vals[w] }
+	}
+	return func(w int) uint64 { return vals[w] }
+}
+
+// Node returns the raw words of a variable (positive phase).
+func (v *Vectors) Node(n uint32) []uint64 { return v.vals[n] }
+
+// Lit returns a fresh copy of the words of a literal, complement applied.
+func (v *Vectors) Lit(l aig.Lit) []uint64 {
+	src := v.vals[l.Var()]
+	out := make([]uint64, len(src))
+	if l.IsCompl() {
+		for w := range src {
+			out[w] = ^src[w]
+		}
+	} else {
+		copy(out, src)
+	}
+	return out
+}
+
+// Output returns the words of the i-th primary output.
+func (v *Vectors) Output(i int) []uint64 { return v.Lit(v.g.Output(i)) }
+
+// OnesFraction returns the fraction of simulated patterns on which the
+// literal evaluates to 1.
+func (v *Vectors) OnesFraction(l aig.Lit) float64 {
+	if v.Words == 0 {
+		return 0
+	}
+	ones := 0
+	for _, w := range v.vals[l.Var()] {
+		ones += bits.OnesCount64(w)
+	}
+	total := v.Words * 64
+	if l.IsCompl() {
+		ones = total - ones
+	}
+	return float64(ones) / float64(total)
+}
+
+// ToggleFraction returns the per-pattern toggle rate of a variable: the
+// fraction of adjacent pattern pairs on which the node changes value.
+// Used as a switching-activity proxy for dynamic power estimation.
+func (v *Vectors) ToggleFraction(n uint32) float64 {
+	total := v.Words*64 - 1
+	if total <= 0 {
+		return 0
+	}
+	toggles := 0
+	var prev uint64 // last bit of previous word
+	for wi, w := range v.vals[n] {
+		shifted := w<<1 | prev
+		if wi == 0 {
+			// No predecessor for very first pattern: mask bit 0.
+			toggles += bits.OnesCount64((w ^ shifted) &^ 1)
+		} else {
+			toggles += bits.OnesCount64(w ^ shifted)
+		}
+		prev = w >> 63
+	}
+	return float64(toggles) / float64(total)
+}
+
+// Signature returns a 64-bit hash of a literal's simulation words, with the
+// complement folded in so that functionally complementary literals get
+// complementary signatures on the same patterns.
+func (v *Vectors) Signature(l aig.Lit) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset
+	for _, w := range v.vals[l.Var()] {
+		if l.IsCompl() {
+			w = ^w
+		}
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Distinguishes reports whether two literals differ on any simulated
+// pattern, and if so returns the index of one distinguishing pattern.
+func (v *Vectors) Distinguishes(a, b aig.Lit) (int, bool) {
+	wa, wb := v.vals[a.Var()], v.vals[b.Var()]
+	inv := a.IsCompl() != b.IsCompl()
+	for w := range wa {
+		d := wa[w] ^ wb[w]
+		if inv {
+			d = ^d
+		}
+		if d != 0 {
+			return w*64 + bits.TrailingZeros64(d), true
+		}
+	}
+	return 0, false
+}
+
+// Pattern reconstructs input pattern idx from the input words.
+func Pattern(inputs [][]uint64, idx int) []bool {
+	p := make([]bool, len(inputs))
+	for i := range inputs {
+		p[i] = inputs[i][idx/64]>>(idx%64)&1 == 1
+	}
+	return p
+}
+
+// CountOnes counts set bits across a word slice.
+func CountOnes(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

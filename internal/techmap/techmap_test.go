@@ -1,0 +1,111 @@
+package techmap
+
+import (
+	"testing"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/core"
+	"obfuslock/internal/netlistgen"
+)
+
+func TestMapCountsCells(t *testing.T) {
+	g := aig.New()
+	in := g.AddInputs(3)
+	ab := g.And(in[0], in[1])
+	x := g.Xor(ab, in[2])
+	mj := g.Maj(in[0], in[1], in[2])
+	g.AddOutput(x, "f")
+	g.AddOutput(mj, "g")
+	m := Map(g)
+	if m.CellCount[CellAnd.Name] != 1 {
+		t.Fatalf("AND cells = %d, want 1", m.CellCount[CellAnd.Name])
+	}
+	if m.CellCount[CellXor.Name] != 1 {
+		t.Fatalf("XOR cells = %d, want 1", m.CellCount[CellXor.Name])
+	}
+	if m.CellCount[CellMaj.Name] != 1 {
+		t.Fatalf("MAJ cells = %d, want 1", m.CellCount[CellMaj.Name])
+	}
+	if m.NumCells != 3 {
+		t.Fatalf("cells = %d, want 3", m.NumCells)
+	}
+}
+
+func TestMapPolarityChoice(t *testing.T) {
+	// A node used only complemented should map to the inverting cell with
+	// no extra inverter.
+	g := aig.New()
+	in := g.AddInputs(3)
+	ab := g.And(in[0], in[1])
+	g.AddOutput(g.And(ab.Not(), in[2]), "f") // ab used complemented only
+	m := Map(g)
+	if m.CellCount[CellNand.Name] != 1 {
+		t.Fatalf("expected 1 NAND, got %+v", m.CellCount)
+	}
+	if m.CellCount[CellInv.Name] != 0 {
+		t.Fatalf("expected no inverters, got %+v", m.CellCount)
+	}
+}
+
+func TestMapInverterSharing(t *testing.T) {
+	// One net used complemented by two fanouts: a single inverter.
+	g := aig.New()
+	in := g.AddInputs(3)
+	ab := g.And(in[0], in[1])
+	g.AddOutput(g.And(ab.Not(), in[2]), "f")
+	g.AddOutput(g.Xor(ab.Not(), in[2]), "g")
+	g.AddOutput(ab, "h") // positive use too: forces a polarity + INV
+	m := Map(g)
+	if m.CellCount[CellInv.Name] != 1 {
+		t.Fatalf("expected exactly 1 inverter, got %+v", m.CellCount)
+	}
+}
+
+func TestAnalyzeMonotoneInSize(t *testing.T) {
+	small := netlistgen.Multiplier(4)
+	big := netlistgen.Multiplier(8)
+	rs := Analyze(small, 16, 1)
+	rb := Analyze(big, 16, 1)
+	if rb.AreaUM2 <= rs.AreaUM2 || rb.TotalUW <= rs.TotalUW || rb.NumCells <= rs.NumCells {
+		t.Fatalf("bigger multiplier must cost more: %v vs %v", rs, rb)
+	}
+	if rb.CriticalPathPS <= rs.CriticalPathPS {
+		t.Fatalf("bigger multiplier must be slower: %v vs %v", rs, rb)
+	}
+	if rs.DynamicUW <= 0 || rs.LeakageUW <= 0 {
+		t.Fatalf("power must be positive: %v", rs)
+	}
+}
+
+func TestCompareOverheadSigns(t *testing.T) {
+	orig := Analyze(netlistgen.Multiplier(5), 16, 1)
+	// Same circuit: zero overhead.
+	ov := Compare(orig, orig)
+	if ov.AreaPct != 0 || ov.PowerPct != 0 || ov.DelayPct != 0 {
+		t.Fatalf("self-comparison must be zero: %+v", ov)
+	}
+}
+
+func TestObfusLockOverheadModest(t *testing.T) {
+	c := netlistgen.AdderCmp(12)
+	opt := core.DefaultOptions()
+	opt.TargetSkewBits = 10
+	opt.Seed = 31
+	opt.AllowDirect = false
+	res, err := core.Lock(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Analyze(c, 16, 2)
+	locked := Analyze(res.Locked.Enc, 16, 2)
+	ov := Compare(orig, locked)
+	if ov.AreaPct < 0 {
+		t.Fatalf("locked netlist smaller than original? %+v", ov)
+	}
+	// On a small benchmark the relative overhead is large; just bound it
+	// sanely — Fig. 5 percentages are reproduced on the full-size suite.
+	if ov.AreaPct > 400 {
+		t.Fatalf("area overhead implausibly high: %+v", ov)
+	}
+	t.Logf("overhead on small adder: %+v", ov)
+}

@@ -1,0 +1,176 @@
+// Package obfuslock is a pure-Go implementation of ObfusLock (Li, Zhao,
+// He, Zhou — DATE 2023), a logic-locking framework for circuit IP
+// protection that simultaneously achieves locking security (exponential
+// SAT-attack resistance), obfuscation safety (no surviving critical
+// nodes), and locking efficiency (small keys, seconds of runtime, low PPA
+// overhead).
+//
+// The package is a facade over the internal packages:
+//
+//   - circuits are And-Inverter Graphs (Circuit, ReadBench/WriteBench);
+//   - Lock encrypts a circuit, returning the locked netlist, the secret
+//     key and a construction report;
+//   - the attack suite (SAT attack, AppSAT, sensitization, SPS, removal,
+//     bypass, Valkyrie-style, SPI) evaluates locked designs;
+//   - PPA estimates area/power/delay overhead on a NanGate-45nm-flavoured
+//     cell library;
+//   - Benchmarks reproduces the paper's evaluation circuits.
+//
+// A minimal round trip:
+//
+//	c := obfuslock.Benchmarks()[2].Build() // c6288 multiplier
+//	res, err := obfuslock.Lock(c, obfuslock.DefaultOptions())
+//	if err != nil { ... }
+//	err = res.Locked.Verify(c) // correct key restores the circuit
+package obfuslock
+
+import (
+	"io"
+	"time"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/attacks"
+	"obfuslock/internal/bench"
+	"obfuslock/internal/cec"
+	"obfuslock/internal/core"
+	"obfuslock/internal/lockbase"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/skew"
+	"obfuslock/internal/techmap"
+)
+
+// Circuit is an (extended) And-Inverter Graph: AND/XOR/MAJ nodes over
+// primary inputs, with complemented edges.
+type Circuit = aig.AIG
+
+// Lit is a literal (edge) of a Circuit: a node with an optional inverter.
+type Lit = aig.Lit
+
+// NewCircuit returns an empty circuit.
+func NewCircuit() *Circuit { return aig.New() }
+
+// ReadBench parses an ISCAS .bench netlist.
+func ReadBench(r io.Reader) (*Circuit, error) { return bench.Read(r) }
+
+// WriteBench writes the circuit in .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+// Options configures Lock. See core.Options for field documentation.
+type Options = core.Options
+
+// DefaultOptions targets 20 bits of skewness with randomized obfuscation.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Locked is a key-protected circuit: the encrypted netlist, the key
+// convention (original inputs first, key inputs last) and the secret key.
+type Locked = locking.Locked
+
+// Report summarizes a completed lock.
+type Report = core.Report
+
+// Result is a locked circuit plus its report.
+type Result = core.Result
+
+// Lock encrypts the circuit with ObfusLock.
+func Lock(c *Circuit, opt Options) (*Result, error) { return core.Lock(c, opt) }
+
+// Oracle is the attacker's working chip: query access to the original
+// function.
+type Oracle = locking.Oracle
+
+// NewOracle wraps an original circuit as an oracle.
+func NewOracle(c *Circuit) *Oracle { return locking.NewOracle(c) }
+
+// Equivalent proves or refutes functional equivalence of two circuits.
+func Equivalent(a, b *Circuit) (bool, error) {
+	r, err := cec.Check(a, b, cec.DefaultOptions())
+	if err != nil {
+		return false, err
+	}
+	return r.Equivalent, nil
+}
+
+// AttackOptions bounds the oracle-guided attacks.
+type AttackOptions = attacks.IOOptions
+
+// DefaultAttackOptions returns an unbounded exact attack configuration.
+func DefaultAttackOptions() AttackOptions { return attacks.DefaultIOOptions() }
+
+// AttackResult reports an oracle-guided attack outcome.
+type AttackResult = attacks.IOResult
+
+// RunSATAttack launches the oracle-guided SAT attack of Subramanyan et al.
+func RunSATAttack(l *Locked, o *Oracle, opt AttackOptions) AttackResult {
+	return attacks.SATAttack(l, o, opt)
+}
+
+// RunAppSAT launches the approximate SAT attack of Shamsi et al.
+func RunAppSAT(l *Locked, o *Oracle, opt AttackOptions) AttackResult {
+	return attacks.AppSAT(l, o, opt)
+}
+
+// PPAReport estimates area, power and delay of a mapped netlist.
+type PPAReport = techmap.Report
+
+// PPAOverhead is the locked-versus-original percentage overhead.
+type PPAOverhead = techmap.Overhead
+
+// AnalyzePPA maps the circuit onto the cell library and estimates PPA
+// using words*64 random patterns for switching activity.
+func AnalyzePPA(c *Circuit, words int, seed int64) PPAReport {
+	return techmap.Analyze(c, words, seed)
+}
+
+// ComparePPA computes locked-vs-original overhead percentages.
+func ComparePPA(orig, locked PPAReport) PPAOverhead { return techmap.Compare(orig, locked) }
+
+// Benchmark is one evaluation circuit of the paper's Table I.
+type Benchmark = netlistgen.Benchmark
+
+// Benchmarks returns the ten Table I benchmark circuits.
+func Benchmarks() []Benchmark { return netlistgen.Catalog() }
+
+// SmallBenchmarks returns reduced-size counterparts used for quick runs.
+func SmallBenchmarks() []Benchmark { return netlistgen.SmallSuite() }
+
+// SkewnessBits estimates the skewness of an output literal in bits using
+// Boolean multi-level splitting (accurate for exponentially rare events).
+func SkewnessBits(c *Circuit, output int, seed int64) float64 {
+	opt := skew.DefaultSplittingOptions()
+	opt.Seed = seed
+	return skew.SplittingBits(c, c.Output(output), opt)
+}
+
+// Baseline locking schemes for comparison (the trilemma corners).
+
+// LockRLL applies random XOR/XNOR key-gate insertion (EPIC).
+func LockRLL(c *Circuit, keyBits int, seed int64) (*Locked, error) {
+	return lockbase.RLL(c, keyBits, seed)
+}
+
+// LockSARLock applies SARLock single-flip locking.
+func LockSARLock(c *Circuit, protWidth int, seed int64) (*Locked, error) {
+	return lockbase.SARLock(c, protWidth, seed)
+}
+
+// LockAntiSAT applies Anti-SAT locking.
+func LockAntiSAT(c *Circuit, protWidth int, seed int64) (*Locked, error) {
+	return lockbase.AntiSAT(c, protWidth, seed)
+}
+
+// LockTTLock applies TTLock point-function stripping.
+func LockTTLock(c *Circuit, protWidth int, seed int64) (*Locked, error) {
+	return lockbase.TTLock(c, protWidth, seed)
+}
+
+// LockSFLLHD applies SFLL-HD locking at the given Hamming distance.
+func LockSFLLHD(c *Circuit, protWidth, h int, seed int64) (*Locked, error) {
+	return lockbase.SFLLHD(c, protWidth, h, seed)
+}
+
+// WithTimeout is a convenience for building attack budgets.
+func WithTimeout(opt AttackOptions, d time.Duration) AttackOptions {
+	opt.Timeout = d
+	return opt
+}

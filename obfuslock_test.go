@@ -1,0 +1,104 @@
+package obfuslock
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeRoundTrip(t *testing.T) {
+	c := SmallBenchmarks()[1].Build() // small adder/comparator
+	opt := DefaultOptions()
+	opt.TargetSkewBits = 8
+	opt.Seed = 1
+	opt.AllowDirect = false
+	res, err := Lock(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Locked.Verify(c); err != nil {
+		t.Fatal(err)
+	}
+	// Locked netlist serializes and parses.
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, res.Locked.Enc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Equivalent(res.Locked.Enc, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("bench round trip changed the locked netlist")
+	}
+}
+
+func TestFacadeAttackAndPPA(t *testing.T) {
+	c := SmallBenchmarks()[1].Build()
+	opt := DefaultOptions()
+	opt.TargetSkewBits = 8
+	opt.Seed = 2
+	opt.AllowDirect = false
+	res, err := Lock(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aopt := DefaultAttackOptions()
+	aopt.MaxIterations = 30
+	r := RunSATAttack(res.Locked, NewOracle(c), aopt)
+	if r.Exact {
+		t.Fatalf("8-bit lock fell in %d iterations", r.Iterations)
+	}
+	ov := ComparePPA(AnalyzePPA(c, 8, 1), AnalyzePPA(res.Locked.Enc, 8, 1))
+	if ov.AreaPct < 0 {
+		t.Fatalf("negative area overhead: %+v", ov)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	c := SmallBenchmarks()[2].Build() // small multiplier
+	for name, build := range map[string]func() (*Locked, error){
+		"rll":     func() (*Locked, error) { return LockRLL(c, 8, 1) },
+		"sarlock": func() (*Locked, error) { return LockSARLock(c, 8, 1) },
+		"antisat": func() (*Locked, error) { return LockAntiSAT(c, 6, 1) },
+		"ttlock":  func() (*Locked, error) { return LockTTLock(c, 8, 1) },
+		"sfllhd":  func() (*Locked, error) { return LockSFLLHD(c, 8, 1, 1) },
+	} {
+		l, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := l.Verify(c); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeSkewness(t *testing.T) {
+	c := NewCircuit()
+	lits := make([]Lit, 0)
+	_ = lits
+	in := c.AddInputs(12)
+	c.AddOutput(c.AndN(in...), "f")
+	bits := SkewnessBits(c, 0, 1)
+	if bits < 9 || bits > 15 {
+		t.Fatalf("AND12 skewness = %.1f bits, want ~12", bits)
+	}
+}
+
+func TestBenchmarksCatalog(t *testing.T) {
+	names := []string{}
+	for _, b := range Benchmarks() {
+		names = append(names, b.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"s9234", "c7552", "c6288", "max", "square"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("catalog missing %s: %v", want, names)
+		}
+	}
+}
