@@ -11,11 +11,24 @@
 //	attack -fig4
 //	attack -fig5
 //	attack -structural
+//
+// Observability (see DESIGN.md "Observability"):
+//
+//	-trace out.jsonl   full span/event stream as JSON Lines
+//	-progress          live one-line status on stderr
+//	-pprof addr        serve net/http/pprof; spans label profiles
+//	-v                 print cumulative SAT-solver statistics
+//	-metrics path      metrics.json written by -table1 (default metrics.json)
+//
+// Exit status is non-zero when a key-recovery attack returns no key, so
+// scripted resilience sweeps can branch on the result.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -28,6 +41,8 @@ import (
 	"obfuslock/internal/experiments"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/obs"
+	"obfuslock/internal/sat"
 )
 
 func main() {
@@ -44,20 +59,40 @@ func main() {
 	structural := flag.Bool("structural", false, "regenerate the structural-attack evaluation")
 	small := flag.Bool("small", false, "use the reduced-size suite for experiment modes")
 	skews := flag.String("skews", "10,20,30", "comma-separated skewness levels for experiment modes")
+
+	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
+	progress := flag.Bool("progress", false, "live one-line progress on stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	verbose := flag.Bool("v", false, "print cumulative SAT-solver statistics after the attack")
+	metricsPath := flag.String("metrics", "metrics.json", "machine-readable output of -table1")
 	flag.Parse()
+
+	if err := validateFlags(*encPath, *oraclePath, *attackName, *table1, *fig4, *fig5, *structural); err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tracer, finish := setupTracer(*tracePath, *progress, *pprofAddr)
+	defer finish()
 
 	suite := netlistgen.Catalog()
 	if *small {
 		suite = netlistgen.SmallSuite()
 	}
 	levels := parseSkews(*skews)
-	budget := experiments.Budget{Timeout: *timeout, MaxIterations: *maxIter}
+	budget := experiments.Budget{Timeout: *timeout, MaxIterations: *maxIter, Trace: tracer}
 
 	switch {
 	case *table1:
-		if _, err := experiments.TableI(suite, levels, *seed, budget, os.Stdout); err != nil {
+		rows, err := experiments.TableI(suite, levels, *seed, budget, os.Stdout)
+		if err != nil {
 			fatal(err)
 		}
+		if err := writeMetrics(*metricsPath, rows, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *metricsPath, len(rows))
 		return
 	case *fig4:
 		b := suite[0]
@@ -84,9 +119,6 @@ func main() {
 		return
 	}
 
-	if *encPath == "" || *oraclePath == "" {
-		fatal(fmt.Errorf("-enc and -oracle are required (or use an experiment mode)"))
-	}
 	enc := readBench(*encPath)
 	orig := readBench(*oraclePath)
 	l, err := locking.FromNetlist(enc, "unknown")
@@ -102,8 +134,11 @@ func main() {
 	aopt.Timeout = *timeout
 	aopt.MaxIterations = *maxIter
 	aopt.Seed = *seed
+	aopt.Trace = tracer
 
-	report := func(key []bool, extra string) {
+	// report prints the outcome and returns false when no key came back —
+	// the caller exits non-zero so sweep scripts can branch on it.
+	report := func(key []bool, extra string) bool {
 		status := "no key"
 		if key != nil {
 			if ok, _ := l.VerifyKey(orig, key); ok {
@@ -113,17 +148,21 @@ func main() {
 			}
 		}
 		fmt.Printf("%s: %s%s\n", *attackName, status, extra)
+		return key != nil
 	}
 
+	gotKey := true
 	switch *attackName {
 	case "sat":
 		r := attacks.SATAttack(l, oracle, aopt)
-		report(r.Key, fmt.Sprintf(" (iters=%d queries=%d exact=%v timeout=%v runtime=%v)",
+		gotKey = report(r.Key, fmt.Sprintf(" (iters=%d queries=%d exact=%v timeout=%v runtime=%v)",
 			r.Iterations, r.Queries, r.Exact, r.TimedOut, r.Runtime))
+		printSolverStats(*verbose, r.SolverStats)
 	case "appsat":
 		r := attacks.AppSAT(l, oracle, aopt)
-		report(r.Key, fmt.Sprintf(" (iters=%d queries=%d exact=%v runtime=%v)",
+		gotKey = report(r.Key, fmt.Sprintf(" (iters=%d queries=%d exact=%v runtime=%v)",
 			r.Iterations, r.Queries, r.Exact, r.Runtime))
+		printSolverStats(*verbose, r.SolverStats)
 	case "sensitization":
 		r := attacks.Sensitization(l, oracle, 500000)
 		fmt.Printf("sensitization: %d/%d key bits isolatable (runtime %v)\n",
@@ -149,11 +188,110 @@ func main() {
 			r.FoundPair, r.RestoreOnly, r.PairsTried, r.Runtime)
 	case "spi":
 		r := attacks.SPI(l, 6)
-		report(r.Key, fmt.Sprintf(" (xor-rule=%d point-rule=%d runtime=%v)",
+		gotKey = report(r.Key, fmt.Sprintf(" (xor-rule=%d point-rule=%d runtime=%v)",
 			r.XORRuleHits, r.PointRuleHits, r.Runtime))
-	default:
-		fatal(fmt.Errorf("unknown attack %q", *attackName))
 	}
+	if !gotKey {
+		finish()
+		os.Exit(1)
+	}
+}
+
+// validateFlags rejects inconsistent mode combinations before any work
+// starts: exactly one experiment mode, or single-attack mode with both
+// -enc and -oracle.
+func validateFlags(encPath, oraclePath, attackName string, table1, fig4, fig5, structural bool) error {
+	modes := 0
+	for _, m := range []bool{table1, fig4, fig5, structural} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("pick one experiment mode (-table1, -fig4, -fig5 or -structural)")
+	}
+	if modes == 1 {
+		if encPath != "" || oraclePath != "" {
+			return fmt.Errorf("-enc/-oracle do not apply in experiment modes")
+		}
+		return nil
+	}
+	if encPath == "" || oraclePath == "" {
+		return fmt.Errorf("-enc and -oracle are required (or use an experiment mode)")
+	}
+	known := map[string]bool{
+		"sat": true, "appsat": true, "sensitization": true, "sps": true,
+		"removal": true, "bypass": true, "valkyrie": true, "spi": true,
+	}
+	if !known[attackName] {
+		return fmt.Errorf("unknown attack %q", attackName)
+	}
+	return nil
+}
+
+// setupTracer builds the tracer from the observability flags and returns
+// it with a finish func that flushes metrics and closes the trace file.
+// All three flags off yields a nil tracer (the zero-cost path).
+func setupTracer(tracePath string, progress bool, pprofAddr string) (*obs.Tracer, func()) {
+	var sinks []obs.Sink
+	var closers []func()
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		sinks = append(sinks, obs.NewJSONL(f))
+		closers = append(closers, func() { f.Close() })
+	}
+	if progress {
+		p := obs.NewProgress(os.Stderr)
+		sinks = append(sinks, p)
+		closers = append(closers, p.Done)
+	}
+	sink := obs.Multi(sinks...)
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "attack: pprof:", err)
+			}
+		}()
+		if sink == nil {
+			// pprof labels need an enabled tracer even with no stream.
+			sink = obs.Discard
+		}
+	}
+	tracer := obs.New(sink)
+	tracer.EnablePprofLabels()
+	done := false
+	finish := func() {
+		if done {
+			return
+		}
+		done = true
+		tracer.Close()
+		for _, c := range closers {
+			c()
+		}
+	}
+	return tracer, finish
+}
+
+func writeMetrics(path string, rows []experiments.TableIRow, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.WriteMetricsJSON(f, rows, tr)
+}
+
+func printSolverStats(verbose bool, st sat.Stats) {
+	if !verbose {
+		return
+	}
+	fmt.Printf("solver: decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d deleted=%d reductions=%d\n",
+		st.Decisions, st.Propagations, st.Conflicts, st.Restarts,
+		st.Learnt, st.Deleted, st.Reductions)
 }
 
 func parseSkews(s string) []float64 {

@@ -7,11 +7,17 @@
 //
 // The locked netlist's key inputs are named k0, k1, ...; the correct key
 // is written to -key as a 0/1 string (k0 first).
+//
+// Observability: -trace out.jsonl records every lock phase as a JSON-Lines
+// span/event stream, -progress paints a live status line on stderr, and
+// -pprof addr serves net/http/pprof with spans labeling the profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"obfuslock"
@@ -29,7 +35,13 @@ func main() {
 	output := flag.Int("po", -1, "protected output index (-1: deepest cone)")
 	noRewrite := flag.Bool("norewrite", false, "skip the final functional-rewriting pass")
 	verify := flag.Bool("verify", true, "prove key correctness by SAT equivalence checking")
+	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
+	progress := flag.Bool("progress", false, "live one-line progress on stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	tracer, finish := setupTracer(*tracePath, *progress, *pprofAddr)
+	defer finish()
 
 	var (
 		c   *obfuslock.Circuit
@@ -69,6 +81,7 @@ func main() {
 	opt.SubCircuitMinCut = *minCut
 	opt.ProtectedOutput = *output
 	opt.FinalRewrite = !*noRewrite
+	opt.Trace = tracer
 
 	res, err := obfuslock.Lock(c, opt)
 	if err != nil {
@@ -80,9 +93,13 @@ func main() {
 	fmt.Printf("nodes %d -> %d, runtime %v\n", rep.OrigNodes, rep.EncNodes, rep.Runtime)
 
 	if *verify {
-		if err := res.Locked.Verify(c); err != nil {
+		vsp := tracer.Span("verify")
+		err := res.Locked.Verify(c)
+		if err != nil {
+			vsp.End(obfuslock.TraceStr("error", err.Error()))
 			fatal(fmt.Errorf("verification failed: %w", err))
 		}
+		vsp.End()
 		fmt.Println("verified: correct key restores the original function")
 	}
 
@@ -106,6 +123,53 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s and %s\n", *out, *keyOut)
+}
+
+// setupTracer builds the tracer from the observability flags and returns
+// it with a finish func that flushes metrics and closes the trace file.
+// All three flags off yields a nil (zero-cost) tracer.
+func setupTracer(tracePath string, progress bool, pprofAddr string) (*obfuslock.Tracer, func()) {
+	var sinks []obfuslock.TraceSink
+	var closers []func()
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		sinks = append(sinks, obfuslock.NewJSONLSink(f))
+		closers = append(closers, func() { f.Close() })
+	}
+	if progress {
+		p := obfuslock.NewProgressSink(os.Stderr)
+		sinks = append(sinks, p)
+		closers = append(closers, p.Done)
+	}
+	sink := obfuslock.MultiSink(sinks...)
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "obfuslock: pprof:", err)
+			}
+		}()
+		if sink == nil {
+			// pprof labels need an enabled tracer even with no stream.
+			sink = obfuslock.DiscardSink
+		}
+	}
+	tracer := obfuslock.NewTracer(sink)
+	tracer.EnablePprofLabels()
+	done := false
+	finish := func() {
+		if done {
+			return
+		}
+		done = true
+		tracer.Close()
+		for _, c := range closers {
+			c()
+		}
+	}
+	return tracer, finish
 }
 
 func fatal(err error) {

@@ -1,0 +1,79 @@
+package obfuslock
+
+import (
+	"bytes"
+	"testing"
+)
+
+// lockBench locks the small adder/comparator at a fixed seed and returns
+// the serialized locked netlist.
+func lockBench(t *testing.T, tr *Tracer) []byte {
+	t.Helper()
+	c := SmallBenchmarks()[1].Build()
+	opt := DefaultOptions()
+	opt.TargetSkewBits = 8
+	opt.Seed = 5
+	opt.AllowDirect = false
+	opt.Trace = tr
+	res, err := Lock(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, res.Locked.Enc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLockSeedByteIdentical pins the determinism contract: the same
+// Options.Seed yields a byte-identical .bench serialization, with and
+// without tracing (tracing must never influence randomized choices).
+func TestLockSeedByteIdentical(t *testing.T) {
+	a := lockBench(t, nil)
+	b := lockBench(t, nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different .bench output")
+	}
+	traced := lockBench(t, NewTracer(NewTraceCollector()))
+	if !bytes.Equal(a, traced) {
+		t.Fatal("enabling tracing changed the locked netlist")
+	}
+}
+
+// TestAttackTranscriptDeterministic pins the attack-side contract: at a
+// fixed seed the SAT-attack transcript (iteration and oracle-query
+// counts) is reproducible, and tracing does not perturb it.
+func TestAttackTranscriptDeterministic(t *testing.T) {
+	c := SmallBenchmarks()[1].Build()
+	opt := DefaultOptions()
+	opt.TargetSkewBits = 8
+	opt.Seed = 5
+	opt.AllowDirect = false
+	res, err := Lock(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(tr *Tracer) AttackResult {
+		aopt := DefaultAttackOptions()
+		aopt.MaxIterations = 25
+		aopt.Seed = 7
+		aopt.Trace = tr
+		return RunSATAttack(res.Locked, NewOracle(c), aopt)
+	}
+	r1 := run(nil)
+	r2 := run(nil)
+	if r1.Iterations != r2.Iterations || r1.Queries != r2.Queries {
+		t.Fatalf("same seed, different transcript: (%d,%d) vs (%d,%d)",
+			r1.Iterations, r1.Queries, r2.Iterations, r2.Queries)
+	}
+	col := NewTraceCollector()
+	r3 := run(NewTracer(col))
+	if r3.Iterations != r1.Iterations || r3.Queries != r1.Queries {
+		t.Fatalf("tracing changed the transcript: (%d,%d) vs (%d,%d)",
+			r3.Iterations, r3.Queries, r1.Iterations, r1.Queries)
+	}
+	if got := len(col.EventsNamed("dip")); got != r3.Iterations {
+		t.Fatalf("%d dip events for %d iterations", got, r3.Iterations)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"obfuslock/internal/cnf"
 	"obfuslock/internal/locking"
+	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
 )
 
@@ -27,6 +28,15 @@ type IOOptions struct {
 	ReinforceEvery int
 	// RandomQueries per reinforcement round (AppSAT only).
 	RandomQueries int
+	// Trace receives an attack.sat / attack.appsat span with one dip
+	// event per DIP iteration (elapsed time, oracle queries, solver
+	// conflict/learnt deltas), AppSAT reinforce events, and periodic
+	// solver.progress events every ProgressConflicts conflicts. A nil
+	// tracer costs nothing and never changes attack behavior.
+	Trace *obs.Tracer
+	// ProgressConflicts is the solver progress-event interval (default
+	// 10000 conflicts; <0 disables).
+	ProgressConflicts int64
 }
 
 // DefaultIOOptions is an unbounded exact attack.
@@ -49,6 +59,8 @@ type IOResult struct {
 	Queries int
 	// Runtime of the attack.
 	Runtime time.Duration
+	// SolverStats are the miter solver's cumulative work counters.
+	SolverStats sat.Stats
 }
 
 // attackState shares the miter machinery of SATAttack and AppSAT.
@@ -63,7 +75,7 @@ type attackState struct {
 	stopped func() bool
 }
 
-func newAttackState(l *locking.Locked, oracle *locking.Oracle, deadline time.Time) *attackState {
+func newAttackState(l *locking.Locked, oracle *locking.Oracle, deadline time.Time, sp *obs.Span, progressEvery int64) *attackState {
 	s := sat.New()
 	e1 := cnf.NewEncoder(l.Enc, s)
 	e2 := cnf.NewEncoder(l.Enc, s)
@@ -97,6 +109,23 @@ func newAttackState(l *locking.Locked, oracle *locking.Oracle, deadline time.Tim
 		s.SetStop(st.stopped)
 	} else {
 		st.stopped = func() bool { return false }
+	}
+	if sp.Enabled() {
+		if progressEvery == 0 {
+			progressEvery = 10000
+		}
+		if progressEvery > 0 {
+			s.SetProgress(progressEvery, func(p sat.Progress) {
+				sp.Event("solver.progress",
+					obs.Int("conflicts", p.Conflicts),
+					obs.Int("decisions", p.Decisions),
+					obs.Int("propagations", p.Propagations),
+					obs.Int("restarts", p.Restarts),
+					obs.Int("learnt", p.Learnt),
+					obs.Int("deleted", p.Deleted),
+					obs.Int("clauses", int64(p.Clauses)))
+			})
+		}
 	}
 	return st
 }
@@ -143,13 +172,18 @@ func SATAttack(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResul
 	if opt.Timeout > 0 {
 		deadline = start.Add(opt.Timeout)
 	}
-	st := newAttackState(l, oracle, deadline)
+	sp := opt.Trace.Span("attack.sat",
+		obs.Int("inputs", int64(l.NumInputs)),
+		obs.Int("key_bits", int64(l.KeyBits)),
+		obs.Int("enc_nodes", int64(l.Enc.NumNodes())))
+	st := newAttackState(l, oracle, deadline, sp, opt.ProgressConflicts)
 	res := IOResult{}
 	for {
 		if opt.MaxIterations > 0 && res.Iterations >= opt.MaxIterations {
 			res.TimedOut = true
 			break
 		}
+		prev := st.s.Stats()
 		status := st.s.Solve(st.actDiff)
 		if status == sat.Unknown {
 			res.TimedOut = true
@@ -168,6 +202,16 @@ func SATAttack(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResul
 		y := oracle.Query(dip)
 		st.addIOConstraint(dip, y)
 		res.Iterations++
+		if sp.Enabled() {
+			d := st.s.Stats().Sub(prev)
+			sp.Event("dip",
+				obs.Int("iter", int64(res.Iterations)),
+				obs.Dur("elapsed", time.Since(start)),
+				obs.Int("queries", int64(oracle.Queries)),
+				obs.Int("conflicts_delta", d.Conflicts),
+				obs.Int("learnt_delta", d.Learnt),
+				obs.Int("decisions_delta", d.Decisions))
+		}
 		if st.stopped() {
 			res.TimedOut = true
 			break
@@ -178,6 +222,14 @@ func SATAttack(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResul
 	}
 	res.Queries = oracle.Queries
 	res.Runtime = time.Since(start)
+	res.SolverStats = st.s.Stats()
+	sp.End(
+		obs.Int("iterations", int64(res.Iterations)),
+		obs.Int("queries", int64(res.Queries)),
+		obs.Bool("exact", res.Exact),
+		obs.Bool("timed_out", res.TimedOut),
+		obs.Bool("key_found", res.Key != nil),
+		obs.Int("conflicts", res.SolverStats.Conflicts))
 	return res
 }
 
@@ -199,10 +251,15 @@ func AppSAT(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
 	if opt.RandomQueries <= 0 {
 		opt.RandomQueries = 8
 	}
-	st := newAttackState(l, oracle, deadline)
+	sp := opt.Trace.Span("attack.appsat",
+		obs.Int("inputs", int64(l.NumInputs)),
+		obs.Int("key_bits", int64(l.KeyBits)),
+		obs.Int("max_iterations", int64(opt.MaxIterations)))
+	st := newAttackState(l, oracle, deadline, sp, opt.ProgressConflicts)
 	rng := newSplitMix(opt.Seed)
 	res := IOResult{}
 	for res.Iterations < opt.MaxIterations {
+		prev := st.s.Stats()
 		status := st.s.Solve(st.actDiff)
 		if status == sat.Unknown {
 			res.TimedOut = true
@@ -219,6 +276,16 @@ func AppSAT(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
 		}
 		st.addIOConstraint(dip, oracle.Query(dip))
 		res.Iterations++
+		if sp.Enabled() {
+			d := st.s.Stats().Sub(prev)
+			sp.Event("dip",
+				obs.Int("iter", int64(res.Iterations)),
+				obs.Dur("elapsed", time.Since(start)),
+				obs.Int("queries", int64(oracle.Queries)),
+				obs.Int("conflicts_delta", d.Conflicts),
+				obs.Int("learnt_delta", d.Learnt),
+				obs.Int("decisions_delta", d.Decisions))
+		}
 		if res.Iterations%opt.ReinforceEvery == 0 {
 			for q := 0; q < opt.RandomQueries; q++ {
 				x := make([]bool, l.NumInputs)
@@ -226,6 +293,12 @@ func AppSAT(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
 					x[i] = rng.next()&1 == 1
 				}
 				st.addIOConstraint(x, oracle.Query(x))
+			}
+			if sp.Enabled() {
+				sp.Event("reinforce",
+					obs.Int("round", int64(res.Iterations/opt.ReinforceEvery)),
+					obs.Int("random_queries", int64(opt.RandomQueries)),
+					obs.Int("queries", int64(oracle.Queries)))
 			}
 		}
 		if st.stopped() {
@@ -238,6 +311,14 @@ func AppSAT(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
 	}
 	res.Queries = oracle.Queries
 	res.Runtime = time.Since(start)
+	res.SolverStats = st.s.Stats()
+	sp.End(
+		obs.Int("iterations", int64(res.Iterations)),
+		obs.Int("queries", int64(res.Queries)),
+		obs.Bool("exact", res.Exact),
+		obs.Bool("timed_out", res.TimedOut),
+		obs.Bool("key_found", res.Key != nil),
+		obs.Int("conflicts", res.SolverStats.Conflicts))
 	return res
 }
 

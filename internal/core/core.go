@@ -22,6 +22,7 @@ import (
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cec"
 	"obfuslock/internal/locking"
+	"obfuslock/internal/obs"
 	"obfuslock/internal/rewrite"
 	"obfuslock/internal/skew"
 )
@@ -77,6 +78,13 @@ type Options struct {
 	// explicit XOR critical node. Insecure against structural analysis —
 	// exists only as the "before transformation" baseline of Fig. 4.
 	DisableObfuscation bool
+	// Trace receives spans/events for every lock phase (skewness
+	// assessment, L-construction with per-attachment gain events,
+	// permutation encryption, blending with per-rule counts, assembly,
+	// functional rewrite, CEC verification). A nil tracer costs nothing.
+	// Tracing never influences randomized choices: equal seeds produce
+	// equal locks with or without it.
+	Trace *obs.Tracer
 }
 
 // DefaultOptions targets 20 bits of skewness. Rule budgets keep the
@@ -139,6 +147,26 @@ type Result struct {
 // Lock encrypts the circuit with ObfusLock.
 func Lock(c *aig.AIG, opt Options) (*Result, error) {
 	start := time.Now()
+	sp := opt.Trace.Span("lock",
+		obs.Str("circuit", c.Name),
+		obs.Float("target_skew_bits", opt.TargetSkewBits),
+		obs.Int("seed", opt.Seed),
+		obs.Int("nodes", int64(c.NumNodes())))
+	res, err := lock(c, opt, sp, start)
+	if err != nil {
+		sp.End(obs.Str("error", err.Error()))
+		return nil, err
+	}
+	sp.End(
+		obs.Str("mode", res.Report.Mode),
+		obs.Int("key_bits", int64(res.Report.KeyBits)),
+		obs.Float("skew_bits", res.Report.SkewBits),
+		obs.Int("enc_nodes", int64(res.Report.EncNodes)),
+		obs.Dur("runtime", res.Report.Runtime))
+	return res, nil
+}
+
+func lock(c *aig.AIG, opt Options, sp *obs.Span, start time.Time) (*Result, error) {
 	if c.NumOutputs() == 0 {
 		return nil, fmt.Errorf("core: circuit has no outputs")
 	}
@@ -156,8 +184,12 @@ func Lock(c *aig.AIG, opt Options) (*Result, error) {
 	// output is already past the threshold, input permutation encryption
 	// applies directly (Fig. 1, left branch).
 	if opt.AllowDirect && !opt.SubCircuit {
-		if bits, ok := assessCircuitSkewness(c, opt); ok && bits >= opt.TargetSkewBits {
-			res, err := lockDirect(c, opt)
+		asp := sp.Span("lock.assess_skew")
+		bits, ok := assessCircuitSkewness(c, opt)
+		asp.End(obs.Float("bits", bits), obs.Bool("meaningful", ok),
+			obs.Bool("direct", ok && bits >= opt.TargetSkewBits))
+		if ok && bits >= opt.TargetSkewBits {
+			res, err := lockDirect(c, opt, sp)
 			if err == nil {
 				res.Report.SkewBits = bits
 				res.Report.Runtime = time.Since(start)
@@ -171,9 +203,9 @@ func Lock(c *aig.AIG, opt Options) (*Result, error) {
 		err error
 	)
 	if opt.SubCircuit {
-		res, err = lockSubCircuit(c, opt)
+		res, err = lockSubCircuit(c, opt, sp)
 	} else {
-		res, err = lockDoubleFlip(c, opt)
+		res, err = lockDoubleFlip(c, opt, sp)
 	}
 	if err != nil {
 		return nil, err
@@ -220,13 +252,15 @@ func assessCircuitSkewness(c *aig.AIG, opt Options) (float64, bool) {
 
 // lockDirect applies whole-circuit input permutation encryption:
 // C_enc(x, k) = C*(x ⊕ k) with hidden random bubbles; k* = b.
-func lockDirect(c *aig.AIG, opt Options) (*Result, error) {
+func lockDirect(c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
 	m := c.NumInputs()
+	psp := sp.Span("lock.permute")
 	cb, bubbles := rewrite.InsertBubbles(c, opt.Seed)
 	cb = rewrite.HideInverters(cb)
 	if opt.FinalRewrite {
 		cb = rewrite.FunctionalRewrite(cb, rewrite.ObfuscationOptions(opt.Seed))
 	}
+	psp.End(obs.Int("key_bits", int64(m)))
 	enc := aig.New()
 	enc.Name = c.Name + "_obfuslock"
 	xs := make([]aig.Lit, m)
@@ -277,7 +311,7 @@ func pickProtectedOutput(c *aig.AIG) int {
 }
 
 // lockDoubleFlip runs the main ObfusLock pipeline on the whole circuit.
-func lockDoubleFlip(c *aig.AIG, opt Options) (*Result, error) {
+func lockDoubleFlip(c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
 	po := opt.ProtectedOutput
 	if po < 0 {
 		po = pickProtectedOutput(c)
@@ -295,6 +329,7 @@ func lockDoubleFlip(c *aig.AIG, opt Options) (*Result, error) {
 		lc   *lockingCircuit
 		err  error
 	)
+	bsp := sp.Span("lock.build_l", obs.Int("protected_output", int64(po)))
 	for attempt := int64(0); attempt < 3; attempt++ {
 		work = c.Copy()
 		bopt := defaultBuildOptions(opt.TargetSkewBits, opt.Seed+7919*attempt)
@@ -302,21 +337,30 @@ func lockDoubleFlip(c *aig.AIG, opt Options) (*Result, error) {
 		if bopt.MaxSupport == 0 {
 			bopt.MaxSupport = int(2.5*opt.TargetSkewBits) + 8
 		}
+		bopt.Span = bsp
 		lc, err = buildLockingCircuit(work, bopt)
 		if err == nil {
 			break
 		}
+		bsp.Event("retry", obs.Int("attempt", attempt+1), obs.Str("error", err.Error()))
 	}
 	if err != nil {
+		bsp.End(obs.Str("error", err.Error()))
 		return nil, err
 	}
+	bsp.End(
+		obs.Float("skew_bits", lc.SkewBits),
+		obs.Int("attachments", int64(lc.Attachments)),
+		obs.Int("support", int64(len(lc.Support))))
 
 	// Extract the restoring unit BEFORE blending mutates the cone.
+	psp := sp.Span("lock.permute")
 	lcone, sup := work.ExtractCone(lc.Root)
 	keyBits := len(sup)
 	lb, bubbles := rewrite.InsertBubbles(lcone, opt.Seed+1)
 	lb = rewrite.HideInverters(lb)
 	lb = rewrite.FunctionalRewrite(lb, rewrite.ObfuscationOptions(opt.Seed+2))
+	psp.End(obs.Int("key_bits", int64(keyBits)), obs.Int("l_nodes", int64(lcone.NumNodes())))
 
 	m := c.NumInputs()
 
@@ -343,8 +387,11 @@ func lockDoubleFlip(c *aig.AIG, opt Options) (*Result, error) {
 		}
 	}
 	clean := func(g *aig.AIG) bool {
+		csp := sp.Span("lock.cec")
 		lk := mk(g)
-		return !criticalSurvives(lk, c, specF) && !criticalSurvives(lk, specLG, specL)
+		ok := !criticalSurvives(lk, c, specF) && !criticalSurvives(lk, specLG, specL)
+		csp.End(obs.Bool("clean", ok))
+		return ok
 	}
 
 	// Blend, assemble and verify elimination. L is built from nodes of C,
@@ -358,8 +405,13 @@ func lockDoubleFlip(c *aig.AIG, opt Options) (*Result, error) {
 	for attempt := int64(0); attempt < blendAttempts; attempt++ {
 		wa := work.Copy()
 		var blended aig.Lit
+		blendSp := sp.Span("lock.blend",
+			obs.Int("attempt", attempt),
+			obs.Int("reshape_budget", int64(reshape)),
+			obs.Int("elim_budget", int64(elim)))
 		if opt.DisableObfuscation {
 			blended = wa.Xor(wa.Output(po), lc.Root)
+			blendSp.End(obs.Bool("disabled", true))
 		} else {
 			budget := &blendBudget{
 				reshape: reshape,
@@ -371,10 +423,18 @@ func lockDoubleFlip(c *aig.AIG, opt Options) (*Result, error) {
 				},
 			}
 			blended = xorBlend(wa, wa.Output(po), lc.Root, budget)
+			blendSp.End(
+				obs.Int("rule2", int64(budget.applied[ruleAnd])),
+				obs.Int("rule3", int64(budget.applied[ruleXor])),
+				obs.Int("rule4", int64(budget.applied[ruleMaj])),
+				obs.Int("rule5a", int64(budget.applied[ruleCompl])),
+				obs.Int("rule5b", int64(budget.applied[ruleElim])),
+				obs.Int("fallback_xor", int64(budget.applied[ruleFallback])))
 		}
 		wa.SetOutput(po, blended)
 
 		// Assemble the encrypted netlist: x inputs, then key inputs.
+		asp := sp.Span("lock.assemble")
 		enc := aig.New()
 		enc.Name = c.Name + "_obfuslock"
 		xs := make([]aig.Lit, m)
@@ -398,13 +458,16 @@ func lockDoubleFlip(c *aig.AIG, opt Options) (*Result, error) {
 			enc.AddOutput(o, c.OutputName(i))
 		}
 		cand := enc.Cleanup()
+		asp.End(obs.Int("nodes", int64(cand.NumNodes())))
 		if opt.DisableObfuscation {
 			encC = cand
 			break
 		}
 		if opt.FinalRewrite {
+			rsp := sp.Span("lock.rewrite")
 			rw := rewrite.FunctionalRewrite(cand, rewrite.ObfuscationOptions(opt.Seed+4+attempt))
 			rw = rewrite.Balance(rw)
+			rsp.End(obs.Int("nodes", int64(rw.NumNodes())))
 			if clean(rw) {
 				encC = rw
 				break

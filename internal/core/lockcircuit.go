@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"obfuslock/internal/aig"
+	"obfuslock/internal/obs"
 	"obfuslock/internal/sample"
 	"obfuslock/internal/skew"
 )
@@ -42,6 +43,8 @@ type buildOptions struct {
 	RefineSamples int
 	// MaxSupport bounds the key length (support of L).
 	MaxSupport int
+	// Span, when non-nil, receives per-attachment gain events.
+	Span *obs.Span
 	// SupportMargin is the minimum excess of L's support over its
 	// skewness, in bits. The attack needs ~2^skew queries to hit L's
 	// on-set but only 2^(support-skew) keys survive afterwards, so both
@@ -296,6 +299,7 @@ func buildLockingCircuit(work *aig.AIG, opt buildOptions) (*lockingCircuit, erro
 				if ok2 && refined > 0 {
 					newProb = refined
 				}
+				prevBits := curBits
 				lc.Root = tentative
 				lc.Stages = append(lc.Stages, tentative)
 				for _, s := range work.Support(tentative) {
@@ -304,6 +308,14 @@ func buildLockingCircuit(work *aig.AIG, opt buildOptions) (*lockingCircuit, erro
 				curProb = newProb
 				curBits = skew.Bits(newProb)
 				lc.Attachments++
+				if opt.Span.Enabled() {
+					opt.Span.Event("attach",
+						obs.Int("n", int64(lc.Attachments)),
+						obs.Int("op", int64(op)),
+						obs.Float("gain_bits", curBits-prevBits),
+						obs.Float("skew_bits", curBits),
+						obs.Int("support", int64(len(curSup))))
+				}
 				accepted = true
 				gain = opt.GainBits
 				break

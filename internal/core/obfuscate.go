@@ -6,6 +6,20 @@ import (
 	"obfuslock/internal/aig"
 )
 
+// Rule indices for blendBudget.applied, matching the paper's numbering:
+// (2) AND decomposition, (3) XOR propagation, (4) majority self-duality,
+// (5a) complement hoisting, (5b) AND-side elimination, plus the plain
+// AND-structure XOR fallback when both budgets are exhausted.
+const (
+	ruleAnd = iota
+	ruleXor
+	ruleMaj
+	ruleCompl
+	ruleElim
+	ruleFallback
+	numRules
+)
+
 // blendBudget tracks the remaining rule applications during structural
 // reshaping and elimination.
 type blendBudget struct {
@@ -17,6 +31,9 @@ type blendBudget struct {
 	// firing on them even with exhausted budgets, so the critical nodes
 	// are guaranteed to be decomposed away.
 	protect map[uint32]bool
+	// applied counts rule applications per kind, reported on the
+	// lock.blend span.
+	applied [numRules]int
 }
 
 func (b *blendBudget) spendReshape(t aig.Lit) bool {
@@ -84,6 +101,7 @@ func xorBlend(g *aig.AIG, f, t aig.Lit, b *blendBudget) aig.Lit {
 	}
 
 	// Budgets exhausted (or input operands): plain AND-structure XOR.
+	b.applied[ruleFallback]++
 	return g.And(g.And(f, t.Not()).Not(), g.And(f.Not(), t).Not()).Not()
 }
 
@@ -94,18 +112,22 @@ func blendT(g *aig.AIG, f, t aig.Lit, b *blendBudget) (aig.Lit, bool) {
 	}
 	if t.IsCompl() {
 		// ¬t decomposes through rule (5a) mirrored on the t side.
+		b.applied[ruleCompl]++
 		return xorBlend(g, f, t.Not(), b).Not(), true
 	}
 	fan := g.Fanins(t.Var())
 	switch g.Op(t.Var()) {
 	case aig.OpAnd:
+		b.applied[ruleAnd]++
 		inner := xorBlend(g, f, fan[0], b)
 		residual := g.And(fan[0], fan[1].Not())
 		return xorBlend(g, inner, residual, b), true
 	case aig.OpXor:
+		b.applied[ruleXor]++
 		inner := xorBlend(g, f, fan[0], b)
 		return xorBlend(g, inner, fan[1], b), true
 	case aig.OpMaj:
+		b.applied[ruleMaj]++
 		return g.Maj(
 			xorBlend(g, f, fan[0], b),
 			xorBlend(g, f, fan[1], b),
@@ -121,11 +143,13 @@ func blendF(g *aig.AIG, f, t aig.Lit, b *blendBudget) (aig.Lit, bool) {
 		return 0, false
 	}
 	if f.IsCompl() {
+		b.applied[ruleCompl]++
 		return xorBlend(g, f.Not(), t, b).Not(), true // (5a)
 	}
 	fan := g.Fanins(f.Var())
 	switch g.Op(f.Var()) {
 	case aig.OpAnd:
+		b.applied[ruleElim]++
 		// (5b): pick which conjunct to descend into for diversity.
 		f0, f1 := fan[0], fan[1]
 		if b.rng.Intn(2) == 1 {
@@ -136,9 +160,11 @@ func blendF(g *aig.AIG, f, t aig.Lit, b *blendBudget) (aig.Lit, bool) {
 		return g.Or(left, right), true
 	case aig.OpXor:
 		// f = fa ⊕ fb: f ⊕ t = fa ⊕ (fb ⊕ t).
+		b.applied[ruleXor]++
 		inner := xorBlend(g, fan[1], t, b)
 		return xorBlend(g, fan[0], inner, b), true
 	case aig.OpMaj:
+		b.applied[ruleMaj]++
 		return g.Maj(
 			xorBlend(g, fan[0], t, b),
 			xorBlend(g, fan[1], t, b),

@@ -8,6 +8,7 @@ import (
 	"obfuslock/internal/aig"
 	"obfuslock/internal/count"
 	"obfuslock/internal/locking"
+	"obfuslock/internal/obs"
 	"obfuslock/internal/rewrite"
 )
 
@@ -16,7 +17,7 @@ import (
 // is wide enough AND the number of reachable patterns on it is exponential
 // in its width (checked with the approximate model counter). Primary
 // inputs stop the expansion (a PI frontier is trivially fully reachable).
-func selectCut(g *aig.AIG, po int, minCut int, seed int64) ([]uint32, float64, error) {
+func selectCut(g *aig.AIG, po int, minCut int, seed int64, tr *obs.Tracer) ([]uint32, float64, error) {
 	lv, _ := g.Levels()
 	root := g.Output(po)
 	inFrontier := map[uint32]bool{}
@@ -59,6 +60,7 @@ func selectCut(g *aig.AIG, po int, minCut int, seed int64) ([]uint32, float64, e
 	copt := count.DefaultOptions()
 	copt.Seed = seed
 	copt.Trials = 3
+	copt.Trace = tr
 	for round := 0; ; round++ {
 		for len(frontier) < minCut {
 			if !expand() {
@@ -106,7 +108,7 @@ func selectCut(g *aig.AIG, po int, minCut int, seed int64) ([]uint32, float64, e
 // locked over the cut variables, and the result is stitched back into the
 // full netlist. Attackers must reason through the input logic to drive cut
 // patterns, which the reachability condition makes expensive.
-func lockSubCircuit(c *aig.AIG, opt Options) (*Result, error) {
+func lockSubCircuit(c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
 	po := opt.ProtectedOutput
 	if po < 0 {
 		po = pickProtectedOutput(c)
@@ -118,17 +120,20 @@ func lockSubCircuit(c *aig.AIG, opt Options) (*Result, error) {
 	if minCut <= 0 {
 		minCut = int(opt.TargetSkewBits) + 8
 	}
-	cut, reach, err := selectCut(c, po, minCut, opt.Seed)
+	csp := sp.Span("lock.select_cut", obs.Int("min_cut", int64(minCut)))
+	cut, reach, err := selectCut(c, po, minCut, opt.Seed, opt.Trace)
 	if err != nil {
+		csp.End(obs.Str("error", err.Error()))
 		return nil, err
 	}
+	csp.End(obs.Int("cut_width", int64(len(cut))), obs.Float("log2_reach", reach))
 	sub, bnd := c.ExtractBounded([]aig.Lit{c.Output(po)}, cut)
 
 	subOpt := opt
 	subOpt.SubCircuit = false
 	subOpt.AllowDirect = false
 	subOpt.ProtectedOutput = 0
-	subRes, err := lockDoubleFlip(sub, subOpt)
+	subRes, err := lockDoubleFlip(sub, subOpt, sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: sub-circuit lock: %w", err)
 	}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/obs"
+)
+
+// TestLockTraceSpans asserts that a traced lock emits one completed span
+// per pipeline phase, with per-attachment gain events under the
+// L-construction span.
+func TestLockTraceSpans(t *testing.T) {
+	col := obs.NewCollector()
+	c := netlistgen.Multiplier(6)
+	opt := DefaultOptions()
+	opt.TargetSkewBits = 8
+	opt.Seed = 3
+	opt.AllowDirect = false
+	opt.Trace = obs.New(col)
+	res, err := Lock(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lock.assess_skew is absent: it only runs with AllowDirect.
+	for _, name := range []string{
+		"lock", "lock.build_l", "lock.permute",
+		"lock.cec", "lock.blend", "lock.assemble", "lock.rewrite",
+	} {
+		sd, ok := col.SpanNamed(name)
+		if !ok {
+			t.Fatalf("missing span %q", name)
+		}
+		if name != "lock" && sd.Parent == 0 {
+			t.Fatalf("span %q has no parent", name)
+		}
+	}
+	// The root span carries the outcome.
+	root, _ := col.SpanNamed("lock")
+	fields := map[string]any{}
+	for _, f := range root.Fields {
+		fields[f.Key] = f.Value()
+	}
+	if fields["key_bits"] != int64(res.Report.KeyBits) {
+		t.Fatalf("root span key_bits %v, report %d", fields["key_bits"], res.Report.KeyBits)
+	}
+	// L-construction emits one attach event per accepted attachment.
+	attach := col.EventsNamed("attach")
+	if len(attach) == 0 {
+		t.Fatal("no attach events")
+	}
+	if got := attach[len(attach)-1].Fields["n"].(int64); got != int64(res.Report.Attachments) {
+		t.Fatalf("last attach n=%d, report counts %d", got, res.Report.Attachments)
+	}
+}
+
+// TestLockSubCircuitTraceSpans asserts the sub-circuit path adds the cut
+// selection span with the counter's trial events.
+func TestLockSubCircuitTraceSpans(t *testing.T) {
+	col := obs.NewCollector()
+	c := netlistgen.Multiplier(7)
+	opt := DefaultOptions()
+	opt.TargetSkewBits = 8
+	opt.Seed = 1
+	opt.SubCircuit = true
+	opt.Trace = obs.New(col)
+	if _, err := Lock(c, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := col.SpanNamed("lock.select_cut"); !ok {
+		t.Fatal("missing lock.select_cut span")
+	}
+	if _, ok := col.SpanNamed("count.approx"); !ok {
+		t.Fatal("missing count.approx span from cut selection")
+	}
+}

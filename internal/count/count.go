@@ -11,6 +11,7 @@ import (
 
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cnf"
+	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
 )
 
@@ -24,6 +25,9 @@ type Options struct {
 	Budget int64
 	// Seed drives the random parity constraints.
 	Seed int64
+	// Trace receives a count.approx span with one count.trial event per
+	// XOR hashing round. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // DefaultOptions balances accuracy and runtime for cut selection.
@@ -77,6 +81,15 @@ func enumerateUpTo(s *sat.Solver, proj []sat.Lit, limit int) (int, bool) {
 
 // approx runs the ApproxMC loop on one problem.
 func approx(p problem, opt Options) Result {
+	sp := opt.Trace.Span("count.approx",
+		obs.Int("pivot", int64(opt.Pivot)), obs.Int("trials", int64(opt.Trials)))
+	r := approxTraced(p, opt, sp)
+	sp.End(obs.Float("log2_count", r.Log2Count),
+		obs.Bool("exact", r.Exact), obs.Bool("decided", r.Decided))
+	return r
+}
+
+func approxTraced(p problem, opt Options, sp *obs.Span) Result {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	// Fast path: full enumeration below the pivot.
 	s, proj := p.build()
@@ -120,9 +133,13 @@ func approx(p problem, opt Options) Result {
 			}
 			return enumerateUpTo(s, proj, opt.Pivot)
 		}
+		probes := 0
+		lastCell := 0
 		for lo <= hi {
 			mid := (lo + hi) / 2
 			c, ok := cellAt(mid)
+			probes++
+			lastCell = c
 			if !ok {
 				found = -2
 				break
@@ -136,6 +153,18 @@ func approx(p problem, opt Options) Result {
 				estimates = append(estimates, math.Log2(float64(c))+float64(mid))
 				break
 			}
+		}
+		if sp.Enabled() {
+			est := math.NaN()
+			if n := len(estimates); n > 0 && found >= 0 {
+				est = estimates[n-1]
+			}
+			sp.Event("count.trial",
+				obs.Int("trial", int64(trial)),
+				obs.Int("xors", int64(found)),
+				obs.Int("probes", int64(probes)),
+				obs.Int("cell", int64(lastCell)),
+				obs.Float("estimate_log2", est))
 		}
 		if found == -2 {
 			continue

@@ -24,6 +24,7 @@ import (
 	"obfuslock/internal/core"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/obs"
 	"obfuslock/internal/skew"
 	"obfuslock/internal/techmap"
 )
@@ -34,6 +35,9 @@ type Budget struct {
 	Timeout time.Duration
 	// MaxIterations caps DIP loops (the paper capped AppSAT at 2048).
 	MaxIterations int
+	// Trace, when non-nil, receives lock and attack spans for every
+	// sweep cell plus table1.cell wrapper spans.
+	Trace *obs.Tracer
 }
 
 // TableIRow is one row of Table I.
@@ -123,6 +127,7 @@ func TableIEntry(b netlistgen.Benchmark, skewBits float64, seed int64, budget Bu
 	opt.TargetSkewBits = skewBits
 	opt.Seed = seed
 	opt.AllowDirect = false
+	opt.Trace = budget.Trace
 	res, err := core.Lock(c, opt)
 	if err != nil {
 		return TableIRow{}, fmt.Errorf("%s @ %g bits: %w", b.Name, skewBits, err)
@@ -138,18 +143,27 @@ func TableIEntry(b netlistgen.Benchmark, skewBits float64, seed int64, budget Bu
 	aopt := attacks.DefaultIOOptions()
 	aopt.Timeout = budget.Timeout
 	aopt.MaxIterations = budget.MaxIterations
+	aopt.Trace = budget.Trace
+
+	cell := func(name string, run func() attacks.IOResult, cl *locking.Locked, orig *aig.AIG) string {
+		csp := budget.Trace.Span("table1.cell",
+			obs.Str("bench", b.Name), obs.Float("skew", skewBits), obs.Str("attack", name))
+		out := attackCell(run, cl, orig)
+		csp.End(obs.Str("result", out))
+		return out
+	}
 
 	subL, subOrig := singleOutput(l, c, res.Report.ProtectedOutput)
-	row.SATSub = attackCell(func() attacks.IOResult {
+	row.SATSub = cell("sat-sub", func() attacks.IOResult {
 		return attacks.SATAttack(subL, locking.NewOracle(subOrig), aopt)
 	}, subL, subOrig)
-	row.SATWhole = attackCell(func() attacks.IOResult {
+	row.SATWhole = cell("sat-whole", func() attacks.IOResult {
 		return attacks.SATAttack(l, locking.NewOracle(c), aopt)
 	}, l, c)
-	row.AppSATSub = attackCell(func() attacks.IOResult {
+	row.AppSATSub = cell("appsat-sub", func() attacks.IOResult {
 		return attacks.AppSAT(subL, locking.NewOracle(subOrig), aopt)
 	}, subL, subOrig)
-	row.AppSATWhole = attackCell(func() attacks.IOResult {
+	row.AppSATWhole = cell("appsat-whole", func() attacks.IOResult {
 		return attacks.AppSAT(l, locking.NewOracle(c), aopt)
 	}, l, c)
 

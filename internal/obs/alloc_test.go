@@ -1,0 +1,55 @@
+package obs
+
+import "testing"
+
+// hotLoop mimics the solver/attack hot-loop instrumentation pattern: a
+// span per unit of work, a guarded event with fields, counters.
+func hotLoop(tr *Tracer, n int) {
+	c := tr.Counter("conflicts")
+	for i := 0; i < n; i++ {
+		sp := tr.Span("solve")
+		if sp.Enabled() {
+			sp.Event("conflict", Int("n", int64(i)), Float("rate", 0.5))
+		}
+		c.Add(1)
+		sp.End()
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the contract relied on by the solver
+// and attack loops: with tracing disabled, span/event/counter calls
+// allocate nothing.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	if allocs := testing.AllocsPerRun(1000, func() { hotLoop(tr, 1) }); allocs != 0 {
+		t.Fatalf("disabled tracer hot loop allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledSpanEvent measures the disabled-sink fast path; run
+// with -benchmem to see 0 allocs/op.
+func BenchmarkDisabledSpanEvent(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Span("solve")
+		if sp.Enabled() {
+			sp.Event("conflict", Int("n", int64(i)))
+		}
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpanEvent is the comparison point: a live collector
+// sink (in-memory), amortized per span+event.
+func BenchmarkEnabledSpanEvent(b *testing.B) {
+	tr := New(Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Span("solve")
+		if sp.Enabled() {
+			sp.Event("conflict", Int("n", int64(i)))
+		}
+		sp.End()
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricSnapshot is the sink-facing view of one metric.
+type MetricSnapshot struct {
+	Name string
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string
+	// Value is the counter total or last gauge value.
+	Value float64
+	// Count/Sum/Min/Max summarize histogram observations.
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Counter is a monotonically increasing metric. A nil *Counter is valid
+// and inert.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Counter returns the named counter, creating it on first use. Disabled
+// tracers return nil (whose methods are no-ops).
+func (t *Tracer) Counter(name string) *Counter {
+	if !t.Enabled() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.counters == nil {
+		t.counters = make(map[string]*Counter)
+	}
+	c := t.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		t.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the counter total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric. A nil *Gauge is valid and inert.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (t *Tracer) Gauge(name string) *Gauge {
+	if !t.Enabled() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.gauges == nil {
+		t.gauges = make(map[string]*Gauge)
+	}
+	g := t.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		t.gauges[name] = g
+	}
+	return g
+}
+
+// Set records the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram summarizes a stream of observations (count, sum, min, max).
+// A nil *Histogram is valid and inert.
+type Histogram struct {
+	name string
+	mu   sync.Mutex
+	n    int64
+	sum  float64
+	min  float64
+	max  float64
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (t *Tracer) Histogram(name string) *Histogram {
+	if !t.Enabled() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.hists == nil {
+		t.hists = make(map[string]*Histogram)
+	}
+	h := t.hists[name]
+	if h == nil {
+		h = &Histogram{name: name}
+		t.hists[name] = h
+	}
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Metrics snapshots every registered metric, sorted by name.
+func (t *Tracer) Metrics() []MetricSnapshot {
+	if !t.Enabled() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []MetricSnapshot
+	for name, c := range t.counters {
+		out = append(out, MetricSnapshot{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range t.gauges {
+		out = append(out, MetricSnapshot{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range t.hists {
+		h.mu.Lock()
+		out = append(out, MetricSnapshot{
+			Name: name, Kind: "histogram",
+			Count: h.n, Sum: h.sum, Min: h.min, Max: h.max,
+		})
+		h.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

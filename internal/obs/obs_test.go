@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Span("root", Int("i", 1))
+	if sp.Enabled() {
+		t.Fatal("nil span reports enabled")
+	}
+	child := sp.Span("child")
+	child.Event("e", Str("k", "v"))
+	child.End()
+	sp.End()
+	tr.Event("orphan")
+	tr.Counter("c").Add(5)
+	tr.Gauge("g").Set(1)
+	tr.Histogram("h").Observe(2)
+	if got := tr.Metrics(); got != nil {
+		t.Fatalf("nil tracer metrics = %v", got)
+	}
+	tr.Close()
+	if New(nil) != nil {
+		t.Fatal("New(nil) should return a disabled (nil) tracer")
+	}
+}
+
+func TestCollectorHierarchy(t *testing.T) {
+	col := NewCollector()
+	tr := New(col)
+	root := tr.Span("lock", Str("circuit", "c17"))
+	build := root.Span("lock.build_l")
+	build.Event("attach", Int("n", 1), Float("gain_bits", 2.5))
+	build.Event("attach", Int("n", 2), Float("gain_bits", 1.25))
+	build.End(Int("attachments", 2))
+	root.End()
+
+	spans := col.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "lock.build_l" || spans[1].Name != "lock" {
+		t.Fatalf("span order: %q then %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent=%d, root id=%d", spans[0].Parent, spans[1].ID)
+	}
+	ev := col.EventsNamed("attach")
+	if len(ev) != 2 {
+		t.Fatalf("got %d attach events, want 2", len(ev))
+	}
+	if ev[0].SpanID != spans[0].ID {
+		t.Fatalf("event span=%d, want %d", ev[0].SpanID, spans[0].ID)
+	}
+	if ev[1].Fields["gain_bits"] != 1.25 {
+		t.Fatalf("gain_bits = %v", ev[1].Fields["gain_bits"])
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	tr := New(NewCollector())
+	c := tr.Counter("sat.conflicts")
+	c.Add(10)
+	tr.Counter("sat.conflicts").Inc() // same instance by name
+	if c.Value() != 11 {
+		t.Fatalf("counter = %d, want 11", c.Value())
+	}
+	tr.Gauge("skew.bits").Set(20.5)
+	h := tr.Histogram("dip.us")
+	h.Observe(3)
+	h.Observe(1)
+	h.Observe(2)
+	ms := tr.Metrics()
+	if len(ms) != 3 {
+		t.Fatalf("got %d metrics, want 3", len(ms))
+	}
+	// Sorted by name: dip.us, sat.conflicts, skew.bits.
+	if ms[0].Name != "dip.us" || ms[0].Count != 3 || ms[0].Min != 1 || ms[0].Max != 3 || ms[0].Sum != 6 {
+		t.Fatalf("histogram snapshot = %+v", ms[0])
+	}
+	if ms[1].Name != "sat.conflicts" || ms[1].Value != 11 {
+		t.Fatalf("counter snapshot = %+v", ms[1])
+	}
+	if ms[2].Name != "skew.bits" || ms[2].Value != 20.5 {
+		t.Fatalf("gauge snapshot = %+v", ms[2])
+	}
+}
+
+func TestJSONLValidAndComplete(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONL(&buf))
+	root := tr.Span("attack.sat", Int("key_bits", 12))
+	root.Event("dip", Int("iter", 1), Dur("elapsed", 1500*time.Microsecond),
+		Bool("exact", false), Float("rate", 0.5), Str("phase", "solve"))
+	root.End(Bool("exact", true))
+	tr.Counter("oracle.queries").Add(7)
+	tr.Histogram("iter.us").Observe(12)
+	tr.Close()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d JSONL lines, want 5:\n%s", len(lines), buf.String())
+	}
+	types := map[string]int{}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", ln, err)
+		}
+		types[m["type"].(string)]++
+	}
+	if types["span_start"] != 1 || types["span_end"] != 1 || types["event"] != 1 || types["metric"] != 2 {
+		t.Fatalf("record mix = %v", types)
+	}
+
+	// Spot-check the event record's field encoding.
+	var ev map[string]any
+	json.Unmarshal([]byte(lines[1]), &ev)
+	fields := ev["fields"].(map[string]any)
+	if fields["iter"] != float64(1) || fields["elapsed"] != float64(1500) ||
+		fields["exact"] != false || fields["rate"] != 0.5 || fields["phase"] != "solve" {
+		t.Fatalf("event fields = %v", fields)
+	}
+}
+
+func TestJSONLNonFiniteFloats(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONL(&buf))
+	tr.Span("x", Float("inf", math.Inf(1)), Float("nan", math.NaN())).End()
+	tr.Gauge("g").Set(math.Inf(-1))
+	tr.Close()
+	for _, ln := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("invalid JSON with non-finite float %q: %v", ln, err)
+		}
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	tr := New(Multi(a, nil, b))
+	tr.Span("s").End()
+	if len(a.Spans()) != 1 || len(b.Spans()) != 1 {
+		t.Fatalf("multi fan-out: a=%d b=%d", len(a.Spans()), len(b.Spans()))
+	}
+	if Multi() != nil {
+		t.Fatal("Multi() should collapse to nil")
+	}
+	if Multi(nil, a) != Sink(a) {
+		t.Fatal("Multi with one live sink should return it directly")
+	}
+}
+
+func TestProgressSinkPaints(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	tr := New(p)
+	sp := tr.Span("lock")
+	inner := sp.Span("lock.blend")
+	inner.End()
+	sp.End()
+	p.Done()
+	out := buf.String()
+	if !strings.Contains(out, "lock>lock.blend") {
+		t.Fatalf("progress output missing span path: %q", out)
+	}
+	if !strings.Contains(out, "done in") {
+		t.Fatalf("progress output missing completion note: %q", out)
+	}
+}

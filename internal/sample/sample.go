@@ -19,6 +19,7 @@ import (
 
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cnf"
+	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
 )
 
@@ -57,6 +58,8 @@ type CubeSampler struct {
 	Attempts int
 	// Budget is the per-call solver conflict budget (<0 unlimited).
 	Budget int64
+	// Trace receives one sample.cube event per Sample call. Nil disables.
+	Trace *obs.Tracer
 }
 
 // NewCubeSampler returns a sampler of witnesses of cond in g.
@@ -73,6 +76,15 @@ func NewCubeSampler(g *aig.AIG, cond aig.Lit, seed int64) *CubeSampler {
 
 // Sample implements Sampler.
 func (cs *CubeSampler) Sample(n int) [][]bool {
+	out := cs.sample(n)
+	if cs.Trace.Enabled() {
+		cs.Trace.Event("sample.cube",
+			obs.Int("requested", int64(n)), obs.Int("got", int64(len(out))))
+	}
+	return out
+}
+
+func (cs *CubeSampler) sample(n int) [][]bool {
 	s, ins := prepare(cs.g, cs.cond, cs.Budget)
 	s.SetRandomPolarity(cs.rng.Int63())
 	nin := len(ins)
@@ -138,6 +150,9 @@ type XorSampler struct {
 	CellTarget int
 	// Budget is the per-solver conflict budget (<0 unlimited).
 	Budget int64
+	// Trace receives one sample.cell event per enumerated XOR cell. Nil
+	// disables.
+	Trace *obs.Tracer
 }
 
 // NewXorSampler returns a UniGen-style sampler of witnesses of cond in g.
@@ -184,6 +199,10 @@ func (xs *XorSampler) enumerateCell(nXor, limit int) [][]bool {
 		if !s.AddClause(block...) {
 			break
 		}
+	}
+	if xs.Trace.Enabled() {
+		xs.Trace.Event("sample.cell",
+			obs.Int("xors", int64(nXor)), obs.Int("size", int64(len(cell))))
 	}
 	return cell
 }

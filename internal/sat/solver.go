@@ -89,7 +89,33 @@ type Stats struct {
 	Propagations int64
 	Conflicts    int64
 	Restarts     int64
-	Learnt       int64
+	// Learnt counts clauses learnt from conflict analysis.
+	Learnt int64
+	// Deleted counts learnt clauses removed by database reduction.
+	Deleted int64
+	// Reductions counts learnt-database reduction passes.
+	Reductions int64
+}
+
+// Sub returns the per-interval delta s - prev (all counters).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Decisions:    s.Decisions - prev.Decisions,
+		Propagations: s.Propagations - prev.Propagations,
+		Conflicts:    s.Conflicts - prev.Conflicts,
+		Restarts:     s.Restarts - prev.Restarts,
+		Learnt:       s.Learnt - prev.Learnt,
+		Deleted:      s.Deleted - prev.Deleted,
+		Reductions:   s.Reductions - prev.Reductions,
+	}
+}
+
+// Progress is the snapshot handed to the SetProgress callback.
+type Progress struct {
+	Stats
+	// Vars and Clauses describe the live formula.
+	Vars    int
+	Clauses int
 }
 
 // Solver is a CDCL SAT solver. Create with New.
@@ -125,6 +151,10 @@ type Solver struct {
 	exhausted bool
 	stopFn    func() bool
 	stopTick  int
+
+	progressFn    func(Progress)
+	progressEvery int64
+	progressNext  int64
 }
 
 // New returns an empty solver.
@@ -163,6 +193,21 @@ func (s *Solver) SetBudget(conflicts int64) {
 // SetStop installs a callback polled periodically during search; when it
 // returns true, Solve returns Unknown.
 func (s *Solver) SetStop(f func() bool) { s.stopFn = f }
+
+// SetProgress installs a callback invoked every `every` conflicts
+// (cumulative across Solve calls) with a snapshot of the solver
+// counters. A nil callback or non-positive interval disables reporting.
+// The callback runs on the solving goroutine; keep it cheap.
+func (s *Solver) SetProgress(every int64, f func(Progress)) {
+	if f == nil || every <= 0 {
+		s.progressFn = nil
+		s.progressEvery = 0
+		return
+	}
+	s.progressFn = f
+	s.progressEvery = every
+	s.progressNext = s.stats.Conflicts + every
+}
 
 // SetRandomPolarity makes branching decisions use pseudo-random phases
 // derived from seed instead of saved phases. Model samplers use this to
@@ -518,6 +563,10 @@ func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
 		if confl != clauseNone {
 			s.stats.Conflicts++
 			conflictC++
+			if s.progressFn != nil && s.stats.Conflicts >= s.progressNext {
+				s.progressNext = s.stats.Conflicts + s.progressEvery
+				s.progressFn(Progress{Stats: s.stats, Vars: s.numVars, Clauses: s.NumClauses()})
+			}
 			if s.limited {
 				s.budget--
 				if s.budget < 0 {
@@ -608,9 +657,11 @@ func (s *Solver) reduceDB() {
 		} else {
 			c.deleted = true
 			c.lits = nil
+			s.stats.Deleted++
 		}
 	}
 	s.learnts = kept
+	s.stats.Reductions++
 	// Rebuild watches to drop deleted clauses.
 	for i := range s.watches {
 		ws := s.watches[i][:0]

@@ -377,3 +377,64 @@ func BenchmarkRandom3SAT(b *testing.B) {
 		s.Solve()
 	}
 }
+
+func TestProgressCallback(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8, 7)
+	var snaps []Progress
+	s.SetProgress(50, func(p Progress) { snaps = append(snaps, p) })
+	if s.Solve() != Unsat {
+		t.Fatal("PHP(8,7) should be UNSAT")
+	}
+	if len(snaps) == 0 {
+		t.Fatalf("no progress callbacks fired over %d conflicts", s.Stats().Conflicts)
+	}
+	// Snapshots must be spaced by the interval and monotone.
+	for i, p := range snaps {
+		if p.Conflicts < 50*int64(i+1) {
+			t.Fatalf("snapshot %d at %d conflicts, want >= %d", i, p.Conflicts, 50*(i+1))
+		}
+		if i > 0 && p.Conflicts <= snaps[i-1].Conflicts {
+			t.Fatalf("snapshots not monotone: %d then %d", snaps[i-1].Conflicts, p.Conflicts)
+		}
+		if p.Vars != s.NumVars() {
+			t.Fatalf("snapshot vars = %d, want %d", p.Vars, s.NumVars())
+		}
+	}
+	// Disabling stops further callbacks.
+	s.SetProgress(0, nil)
+	if s.progressFn != nil {
+		t.Fatal("SetProgress(0, nil) did not disable reporting")
+	}
+}
+
+func TestStatsDeltasAndDeletion(t *testing.T) {
+	// A large hard instance drives the learnt DB over the reduction
+	// threshold so Deleted/Reductions become nonzero.
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	n := 120
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	for c := 0; c < int(4.26*float64(n)); c++ {
+		var cl [3]Lit
+		for j := range cl {
+			cl[j] = MkLit(rng.Intn(n), rng.Intn(2) == 1)
+		}
+		s.AddClause(cl[:]...)
+	}
+	s.SetBudget(80000)
+	s.Solve()
+	st := s.Stats()
+	if st.Learnt == 0 || st.Propagations == 0 {
+		t.Fatalf("expected learning and propagation work, got %+v", st)
+	}
+	if st.Reductions > 0 && st.Deleted == 0 {
+		t.Fatalf("reduction passes ran but deleted nothing: %+v", st)
+	}
+	d := st.Sub(Stats{Conflicts: 1, Learnt: 1})
+	if d.Conflicts != st.Conflicts-1 || d.Learnt != st.Learnt-1 || d.Deleted != st.Deleted {
+		t.Fatalf("Sub delta wrong: %+v", d)
+	}
+}

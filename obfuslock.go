@@ -36,6 +36,7 @@ import (
 	"obfuslock/internal/lockbase"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/obs"
 	"obfuslock/internal/skew"
 	"obfuslock/internal/techmap"
 )
@@ -174,3 +175,50 @@ func WithTimeout(opt AttackOptions, d time.Duration) AttackOptions {
 	opt.Timeout = d
 	return opt
 }
+
+// Observability. Options.Trace and AttackOptions.Trace accept a *Tracer;
+// a nil tracer is fully disabled and costs nothing. See internal/obs and
+// DESIGN.md "Observability" for the span taxonomy and JSONL schema.
+
+// Tracer delivers hierarchical spans, events and metrics to a TraceSink.
+type Tracer = obs.Tracer
+
+// TraceSink receives the span/event/metric stream.
+type TraceSink = obs.Sink
+
+// NewTracer returns a tracer delivering to sink (nil sink: nil tracer).
+func NewTracer(sink TraceSink) *Tracer { return obs.New(sink) }
+
+// NewJSONLSink returns a sink writing the stream as JSON Lines to w.
+func NewJSONLSink(w io.Writer) TraceSink { return obs.NewJSONL(w) }
+
+// NewProgressSink returns a sink painting a live one-line status on w.
+// Call Done on it after the tracer is finished to end the line.
+func NewProgressSink(w io.Writer) *obs.Progress { return obs.NewProgress(w) }
+
+// NewTraceCollector returns an in-memory sink for tests and inspection.
+func NewTraceCollector() *obs.Collector { return obs.NewCollector() }
+
+// MultiSink fans the stream out to several sinks (nils are skipped).
+func MultiSink(sinks ...TraceSink) TraceSink { return obs.Multi(sinks...) }
+
+// DiscardSink drops the stream; use it when only pprof labels are wanted.
+var DiscardSink TraceSink = obs.Discard
+
+// TraceField is a typed key/value attached to spans and events.
+type TraceField = obs.Field
+
+// TraceInt builds an integer trace field.
+func TraceInt(key string, v int64) TraceField { return obs.Int(key, v) }
+
+// TraceFloat builds a float trace field.
+func TraceFloat(key string, v float64) TraceField { return obs.Float(key, v) }
+
+// TraceStr builds a string trace field.
+func TraceStr(key, v string) TraceField { return obs.Str(key, v) }
+
+// TraceBool builds a boolean trace field.
+func TraceBool(key string, v bool) TraceField { return obs.Bool(key, v) }
+
+// TraceDur builds a duration trace field (serialized as microseconds).
+func TraceDur(key string, d time.Duration) TraceField { return obs.Dur(key, d) }
