@@ -7,6 +7,7 @@ package obfuslock
 // -structural). EXPERIMENTS.md records paper-vs-measured for every row.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -57,7 +58,7 @@ func BenchmarkTableI(b *testing.B) {
 		for _, s := range benchSkews {
 			b.Run(fmt.Sprintf("%s/skew%g", bench.Name, s), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					row, err := experiments.TableIEntry(bench, s, 1, benchBudget, nil)
+					row, err := experiments.TableIEntry(context.Background(), bench, s, 1, benchBudget, nil)
 					if err != nil {
 						b.Skip(err) // e.g. too few inputs for the skew target
 					}
@@ -80,7 +81,7 @@ func BenchmarkFig4(b *testing.B) {
 	bench := netlistgen.SmallSuite()[0] // s9234-s
 	c := bench.Build()
 	for i := 0; i < b.N; i++ {
-		before, after, err := experiments.Fig4(c, 10, 1)
+		before, after, err := experiments.Fig4(context.Background(), c, 10, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func BenchmarkFig4(b *testing.B) {
 // skewness levels.
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig5(suiteByName("c7552-s", "max-s"), benchSkews, 1, os.Stderr)
+		rows, err := experiments.Fig5(context.Background(), suiteByName("c7552-s", "max-s"), benchSkews, 1, 0, os.Stderr)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func BenchmarkFig5(b *testing.B) {
 // evaluation: critical-node elimination, Valkyrie, SPI and removal.
 func BenchmarkStructuralAttacks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Structural(suiteByName("c7552-s", "max-s"), 10, 1, os.Stderr)
+		rows, err := experiments.Structural(context.Background(), suiteByName("c7552-s", "max-s"), 10, 1, 0, os.Stderr)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func BenchmarkLockRuntime(b *testing.B) {
 					opt.TargetSkewBits = s
 					opt.Seed = int64(i + 1)
 					opt.AllowDirect = false
-					if _, err := core.Lock(c, opt); err != nil {
+					if _, err := core.Lock(context.Background(), c, opt); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -193,7 +194,7 @@ func BenchmarkAblation(b *testing.B) {
 				opt.TargetSkewBits = 10
 				opt.Seed = 3
 				opt.AllowDirect = false
-				res, err := core.Lock(c, opt)
+				res, err := core.Lock(context.Background(), c, opt)
 				if err != nil {
 					b.Fatal(err)
 				}

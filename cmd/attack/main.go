@@ -8,9 +8,17 @@
 // Regenerate experiments (full benchmark suite — hours at paper scale):
 //
 //	attack -table1 -skews 10,20,30 -timeout 10m
+//	attack -table1 -small -workers 4 -det   # deterministic parallel sweep
 //	attack -fig4
 //	attack -fig5
 //	attack -structural
+//
+// Experiment modes run on a worker pool (-workers, default GOMAXPROCS)
+// with per-cell seeds derived from -seed, so the emitted tables are
+// byte-identical at any worker count; -det additionally replaces
+// wall-clock cells with stable markers so the whole output (and
+// metrics.json) is byte-for-byte reproducible. Ctrl-C cancels the run
+// cleanly through every layer down to the SAT solvers.
 //
 // Observability (see DESIGN.md "Observability"):
 //
@@ -25,19 +33,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"obfuslock/internal/aig"
 	"obfuslock/internal/attacks"
 	"obfuslock/internal/bench"
 	"obfuslock/internal/cec"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/experiments"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
@@ -48,7 +60,7 @@ import (
 func main() {
 	encPath := flag.String("enc", "", "encrypted .bench netlist")
 	oraclePath := flag.String("oracle", "", "original .bench netlist (the working chip)")
-	attackName := flag.String("attack", "sat", "attack: sat, appsat, sensitization, sps, removal, bypass, valkyrie, spi")
+	attackName := flag.String("attack", "sat", "attack: sat, appsat, portfolio, sensitization, sps, removal, bypass, valkyrie, spi")
 	timeout := flag.Duration("timeout", time.Minute, "attack timeout")
 	maxIter := flag.Int("maxiter", 2048, "DIP iteration cap")
 	seed := flag.Int64("seed", 1, "attack randomness seed")
@@ -59,6 +71,8 @@ func main() {
 	structural := flag.Bool("structural", false, "regenerate the structural-attack evaluation")
 	small := flag.Bool("small", false, "use the reduced-size suite for experiment modes")
 	skews := flag.String("skews", "10,20,30", "comma-separated skewness levels for experiment modes")
+	workers := flag.Int("workers", 0, "experiment parallelism (0: GOMAXPROCS)")
+	det := flag.Bool("det", false, "deterministic sweep: no wall-clock cells or timeouts; output is byte-reproducible")
 
 	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
 	progress := flag.Bool("progress", false, "live one-line progress on stderr")
@@ -76,20 +90,37 @@ func main() {
 	tracer, finish := setupTracer(*tracePath, *progress, *pprofAddr)
 	defer finish()
 
+	// Ctrl-C / SIGTERM cancels the context; every layer down to the SAT
+	// solvers polls it, so the run winds down instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	suite := netlistgen.Catalog()
 	if *small {
 		suite = netlistgen.SmallSuite()
 	}
 	levels := parseSkews(*skews)
-	budget := experiments.Budget{Timeout: *timeout, MaxIterations: *maxIter, Trace: tracer}
+	budget := experiments.Budget{
+		Timeout:       *timeout,
+		MaxIterations: *maxIter,
+		Workers:       *workers,
+		Deterministic: *det,
+		Trace:         tracer,
+	}
 
 	switch {
 	case *table1:
-		rows, err := experiments.TableI(suite, levels, *seed, budget, os.Stdout)
+		rows, err := experiments.TableI(ctx, suite, levels, *seed, budget, os.Stdout)
 		if err != nil {
 			fatal(err)
 		}
-		if err := writeMetrics(*metricsPath, rows, tracer); err != nil {
+		// In deterministic mode the tracer metrics (wall-clock histograms)
+		// are excluded so metrics.json is byte-reproducible too.
+		mtr := tracer
+		if *det {
+			mtr = nil
+		}
+		if err := writeMetrics(*metricsPath, rows, mtr); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", *metricsPath, len(rows))
@@ -97,7 +128,7 @@ func main() {
 	case *fig4:
 		b := suite[0]
 		c := b.Build()
-		before, after, err := experiments.Fig4(c, levels[0], *seed)
+		before, after, err := experiments.Fig4(ctx, c, levels[0], *seed, *workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -108,12 +139,12 @@ func main() {
 			after.SkewHist, after.KeyHist, after.MaxSkewBits, after.CriticalVisible)
 		return
 	case *fig5:
-		if _, err := experiments.Fig5(suite, levels, *seed, os.Stdout); err != nil {
+		if _, err := experiments.Fig5(ctx, suite, levels, *seed, *workers, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
 	case *structural:
-		if _, err := experiments.Structural(suite, levels[0], *seed, os.Stdout); err != nil {
+		if _, err := experiments.Structural(ctx, suite, levels[0], *seed, *workers, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -154,17 +185,29 @@ func main() {
 	gotKey := true
 	switch *attackName {
 	case "sat":
-		r := attacks.SATAttack(l, oracle, aopt)
+		r := attacks.SATAttack(ctx, l, oracle, aopt)
 		gotKey = report(r.Key, fmt.Sprintf(" (iters=%d queries=%d exact=%v timeout=%v runtime=%v)",
 			r.Iterations, r.Queries, r.Exact, r.TimedOut, r.Runtime))
 		printSolverStats(*verbose, r.SolverStats)
 	case "appsat":
-		r := attacks.AppSAT(l, oracle, aopt)
+		r := attacks.AppSAT(ctx, l, oracle, aopt)
 		gotKey = report(r.Key, fmt.Sprintf(" (iters=%d queries=%d exact=%v runtime=%v)",
 			r.Iterations, r.Queries, r.Exact, r.Runtime))
 		printSolverStats(*verbose, r.SolverStats)
+	case "portfolio":
+		// Race SAT and AppSAT (plus an AppSAT with a shifted seed) and take
+		// the first verified key; losers are cancelled. Each variant owns
+		// its oracle — query counters are not shared across goroutines.
+		appopt := aopt
+		appopt.Seed = exec.DeriveSeed(*seed, 1)
+		r := attacks.Portfolio(ctx, []attacks.PortfolioVariant{
+			{Name: "sat", Attack: "sat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: aopt},
+			{Name: "appsat", Attack: "appsat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: aopt},
+			{Name: "appsat-r2", Attack: "appsat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: appopt},
+		}, tracer)
+		gotKey = report(r.Key, fmt.Sprintf(" (winner=%s runtime=%v)", r.Winner, r.Runtime))
 	case "sensitization":
-		r := attacks.Sensitization(l, oracle, 500000)
+		r := attacks.Sensitization(ctx, l, oracle, exec.WithConflicts(500000))
 		fmt.Printf("sensitization: %d/%d key bits isolatable (runtime %v)\n",
 			r.NumIsolatable, l.KeyBits, r.Runtime)
 	case "sps":
@@ -175,15 +218,15 @@ func main() {
 		}
 	case "removal":
 		sps := attacks.SPS(l, 256, *seed, 10)
-		r := attacks.Removal(l, orig, sps.Candidates, cec.DefaultOptions())
+		r := attacks.Removal(ctx, l, orig, sps.Candidates, cec.DefaultOptions())
 		fmt.Printf("removal: success=%v tried=%d runtime=%v\n", r.Success, r.Tried, r.Runtime)
 	case "bypass":
 		wrong := make([]bool, l.KeyBits)
-		r := attacks.Bypass(l, orig, wrong, 1024, 1000000)
+		r := attacks.Bypass(ctx, l, orig, wrong, 1024, exec.WithConflicts(1000000))
 		fmt.Printf("bypass: success=%v patterns=%d exhausted=%v runtime=%v\n",
 			r.Success, r.Patterns, r.Exhausted, r.Runtime)
 	case "valkyrie":
-		r := attacks.Valkyrie(l, orig, 8, 128, *seed, cec.DefaultOptions())
+		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cec.DefaultOptions())
 		fmt.Printf("valkyrie: found-pair=%v restore-only=%v pairs-tried=%d runtime=%v\n",
 			r.FoundPair, r.RestoreOnly, r.PairsTried, r.Runtime)
 	case "spi":
@@ -220,8 +263,8 @@ func validateFlags(encPath, oraclePath, attackName string, table1, fig4, fig5, s
 		return fmt.Errorf("-enc and -oracle are required (or use an experiment mode)")
 	}
 	known := map[string]bool{
-		"sat": true, "appsat": true, "sensitization": true, "sps": true,
-		"removal": true, "bypass": true, "valkyrie": true, "spi": true,
+		"sat": true, "appsat": true, "portfolio": true, "sensitization": true,
+		"sps": true, "removal": true, "bypass": true, "valkyrie": true, "spi": true,
 	}
 	if !known[attackName] {
 		return fmt.Errorf("unknown attack %q", attackName)

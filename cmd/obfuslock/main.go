@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
 	"obfuslock"
 )
@@ -38,10 +42,20 @@ func main() {
 	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
 	progress := flag.Bool("progress", false, "live one-line progress on stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	workers := flag.Int("workers", 0, "GOMAXPROCS override for the construction (0: leave as is)")
 	flag.Parse()
+
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	tracer, finish := setupTracer(*tracePath, *progress, *pprofAddr)
 	defer finish()
+
+	// Ctrl-C / SIGTERM cancels the lock construction down to its SAT
+	// solves instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var (
 		c   *obfuslock.Circuit
@@ -83,7 +97,7 @@ func main() {
 	opt.FinalRewrite = !*noRewrite
 	opt.Trace = tracer
 
-	res, err := obfuslock.Lock(c, opt)
+	res, err := obfuslock.LockContext(ctx, c, opt)
 	if err != nil {
 		fatal(err)
 	}

@@ -2,7 +2,10 @@ package obfuslock
 
 import (
 	"bytes"
+	"context"
 	"testing"
+
+	"obfuslock/internal/experiments"
 )
 
 // lockBench locks the small adder/comparator at a fixed seed and returns
@@ -59,7 +62,7 @@ func TestAttackTranscriptDeterministic(t *testing.T) {
 		aopt.MaxIterations = 25
 		aopt.Seed = 7
 		aopt.Trace = tr
-		return RunSATAttack(res.Locked, NewOracle(c), aopt)
+		return RunSATAttack(context.Background(), res.Locked, NewOracle(c), aopt)
 	}
 	r1 := run(nil)
 	r2 := run(nil)
@@ -75,5 +78,52 @@ func TestAttackTranscriptDeterministic(t *testing.T) {
 	}
 	if got := len(col.EventsNamed("dip")); got != r3.Iterations {
 		t.Fatalf("%d dip events for %d iterations", got, r3.Iterations)
+	}
+}
+
+// sweepAt runs a small deterministic Table I sweep at the given worker
+// count and returns the rendered table and metrics.json bytes.
+func sweepAt(t *testing.T, workers int) (table, metrics []byte) {
+	t.Helper()
+	suite := SmallBenchmarks()[:2]
+	budget := experiments.Budget{
+		MaxIterations: 40,
+		Workers:       workers,
+		Deterministic: true,
+	}
+	var tbl bytes.Buffer
+	rows, err := experiments.TableI(context.Background(), suite, []float64{8}, 5, budget, &tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("sweep produced no rows")
+	}
+	var mj bytes.Buffer
+	if err := experiments.WriteMetricsJSON(&mj, rows, nil); err != nil {
+		t.Fatal(err)
+	}
+	return tbl.Bytes(), mj.Bytes()
+}
+
+// TestTableIWorkersByteIdentical pins the parallel-sweep determinism
+// contract: a deterministic Table I sweep emits byte-identical tables and
+// metrics.json at any worker count, because every cell derives its seed
+// from the master seed and its cell index, and rows are emitted in cell
+// order regardless of completion order.
+func TestTableIWorkersByteIdentical(t *testing.T) {
+	tbl1, mj1 := sweepAt(t, 1)
+	tbl4, mj4 := sweepAt(t, 4)
+	if !bytes.Equal(tbl1, tbl4) {
+		t.Fatalf("table differs between 1 and 4 workers:\n--- workers=1\n%s--- workers=4\n%s", tbl1, tbl4)
+	}
+	if !bytes.Equal(mj1, mj4) {
+		t.Fatalf("metrics.json differs between 1 and 4 workers:\n--- workers=1\n%s--- workers=4\n%s", mj1, mj4)
+	}
+	if bytes.Contains(tbl1, []byte("s  ")) && !bytes.Contains(tbl1, []byte("-")) {
+		t.Fatal("deterministic table still renders wall-clock lock cells")
+	}
+	if !bytes.Contains(mj1, []byte(`"lock_seconds": 0`)) {
+		t.Fatal("deterministic metrics.json carries non-zero lock_seconds")
 	}
 }

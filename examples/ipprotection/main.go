@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"obfuslock"
 	"obfuslock/internal/attacks"
 	"obfuslock/internal/cec"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/experiments"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
@@ -56,7 +58,7 @@ func main() {
 		ov.AreaPct, ov.PowerPct, ov.DelayPct)
 
 	// Fig. 4 style check: before/after structural transformation.
-	before, after, err := experiments.Fig4(c, 10, 7)
+	before, after, err := experiments.Fig4(context.Background(), c, 10, 7, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,25 +73,25 @@ func main() {
 	aopt := attacks.DefaultIOOptions()
 	aopt.MaxIterations = 64
 	aopt.Timeout = time.Minute
-	sat := attacks.SATAttack(l, oracle, aopt)
+	sat := attacks.SATAttack(context.Background(), l, oracle, aopt)
 	fmt.Printf("  SAT attack:   %s\n", verdict(l, c, sat))
-	app := attacks.AppSAT(l, oracle, aopt)
+	app := attacks.AppSAT(context.Background(), l, oracle, aopt)
 	fmt.Printf("  AppSAT:       %s\n", verdict(l, c, app))
 
-	sens := attacks.Sensitization(l, oracle, 200000)
+	sens := attacks.Sensitization(context.Background(), l, oracle, exec.WithConflicts(200000))
 	fmt.Printf("  sensitization: %d/%d key bits isolatable\n", sens.NumIsolatable, l.KeyBits)
 
 	fmt.Println("red team: structural attacks")
-	_, survives := attacks.CriticalNodeSurvives(l, c, c.Output(res.Report.ProtectedOutput), 8, 1, 100000)
+	_, survives := attacks.CriticalNodeSurvives(context.Background(), l, c, c.Output(res.Report.ProtectedOutput), 8, 1, 100000)
 	fmt.Printf("  critical node survives CEC search: %v\n", survives)
 
 	copt := cec.DefaultOptions()
-	copt.ConflictBudget = 50000
+	copt.Budget = exec.WithConflicts(50000)
 	sps := attacks.SPS(l, 128, 1, 8)
-	rm := attacks.Removal(l, c, sps.Candidates, copt)
+	rm := attacks.Removal(context.Background(), l, c, sps.Candidates, copt)
 	fmt.Printf("  SPS+removal:  success=%v (%d candidates tried)\n", rm.Success, rm.Tried)
 
-	vk := attacks.Valkyrie(l, c, 6, 64, 1, copt)
+	vk := attacks.Valkyrie(context.Background(), l, c, 6, 64, 1, copt)
 	fmt.Printf("  valkyrie:     found perturb/restore pair=%v (%d pairs tried)\n",
 		vk.FoundPair, vk.PairsTried)
 
@@ -98,7 +100,7 @@ func main() {
 	fmt.Printf("  SPI:          returned correct key=%v\n", ok)
 
 	wrong := make([]bool, l.KeyBits)
-	bp := attacks.Bypass(l, c, wrong, 128, 500000)
+	bp := attacks.Bypass(context.Background(), l, c, wrong, 128, exec.WithConflicts(500000))
 	fmt.Printf("  bypass:       feasible=%v (corrupted patterns enumerated: %d, budget exhausted: %v)\n",
 		bp.Success, bp.Patterns, bp.Exhausted)
 }

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -57,7 +58,7 @@ func main() {
 	aopt := obfuslock.DefaultAttackOptions()
 	aopt.MaxIterations = 40
 	aopt.Timeout = 30 * time.Second
-	r := obfuslock.RunSATAttack(res.Locked, obfuslock.NewOracle(c), aopt)
+	r := obfuslock.RunSATAttack(context.Background(), res.Locked, obfuslock.NewOracle(c), aopt)
 	verdict := "defeated (no correct key within budget)"
 	if r.Key != nil {
 		if ok, _ := res.Locked.VerifyKey(c, r.Key); ok {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"obfuslock"
 	"obfuslock/internal/attacks"
 	"obfuslock/internal/cec"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
 	"obfuslock/internal/techmap"
@@ -61,7 +63,7 @@ func main() {
 		aopt := attacks.DefaultIOOptions()
 		aopt.MaxIterations = 80
 		aopt.Timeout = time.Minute
-		r := attacks.SATAttack(l, locking.NewOracle(c), aopt)
+		r := attacks.SATAttack(context.Background(), l, locking.NewOracle(c), aopt)
 		satCell := "resists"
 		if r.Key != nil {
 			if ok, _ := l.VerifyKey(c, r.Key); ok {
@@ -71,9 +73,9 @@ func main() {
 
 		// Structural: SPS shortlist + removal.
 		copt := cec.DefaultOptions()
-		copt.ConflictBudget = 50000
+		copt.Budget = exec.WithConflicts(50000)
 		sps := attacks.SPS(l, 128, 1, 8)
-		rm := attacks.Removal(l, c, sps.Candidates, copt)
+		rm := attacks.Removal(context.Background(), l, c, sps.Candidates, copt)
 		structCell := "resists"
 		if rm.Success {
 			structCell = "broken"

@@ -1,11 +1,13 @@
 package attacks
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cec"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/lockbase"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
@@ -21,7 +23,7 @@ func TestSATAttackCracksRLL(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := locking.NewOracle(orig)
-	res := SATAttack(l, oracle, DefaultIOOptions())
+	res := SATAttack(context.Background(), l, oracle, DefaultIOOptions())
 	if !res.Exact || res.Key == nil {
 		t.Fatalf("SAT attack failed on RLL: %+v", res)
 	}
@@ -48,7 +50,7 @@ func TestSATAttackStallsOnSARLock(t *testing.T) {
 	oracle := locking.NewOracle(orig)
 	opt := DefaultIOOptions()
 	opt.MaxIterations = 30 // far below 2^8
-	res := SATAttack(l, oracle, opt)
+	res := SATAttack(context.Background(), l, oracle, opt)
 	if res.Exact {
 		t.Fatalf("SARLock cracked exactly in %d iterations?", res.Iterations)
 	}
@@ -68,7 +70,7 @@ func TestSATAttackFinishesSmallSARLock(t *testing.T) {
 	oracle := locking.NewOracle(orig)
 	opt := DefaultIOOptions()
 	opt.MaxIterations = 200 // > 2^5
-	res := SATAttack(l, oracle, opt)
+	res := SATAttack(context.Background(), l, oracle, opt)
 	if !res.Exact {
 		t.Fatalf("SAT attack should finish 5-bit SARLock: %+v", res)
 	}
@@ -91,7 +93,7 @@ func TestAppSATOnSARLock(t *testing.T) {
 	opt := DefaultIOOptions()
 	opt.MaxIterations = 40
 	opt.Seed = 7
-	res := AppSAT(l, oracle, opt)
+	res := AppSAT(context.Background(), l, oracle, opt)
 	if res.Key == nil {
 		t.Fatalf("AppSAT returned no key: %+v", res)
 	}
@@ -125,7 +127,7 @@ func TestAppSATExactOnRLL(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := locking.NewOracle(orig)
-	res := AppSAT(l, oracle, DefaultIOOptions())
+	res := AppSAT(context.Background(), l, oracle, DefaultIOOptions())
 	if !res.Exact {
 		t.Fatalf("AppSAT should finish RLL exactly: %+v", res)
 	}
@@ -144,7 +146,7 @@ func TestSATAttackTimeout(t *testing.T) {
 	oracle := locking.NewOracle(orig)
 	opt := DefaultIOOptions()
 	opt.Timeout = 300 * time.Millisecond
-	res := SATAttack(l, oracle, opt)
+	res := SATAttack(context.Background(), l, oracle, opt)
 	if res.Exact {
 		t.Skip("machine fast enough to crack 12-bit SARLock in 300ms")
 	}
@@ -182,7 +184,7 @@ func TestRemovalBreaksSARLock(t *testing.T) {
 		t.Fatal(err)
 	}
 	sps := SPS(l, 256, 2, 10)
-	res := Removal(l, orig, sps.Candidates, cec.DefaultOptions())
+	res := Removal(context.Background(), l, orig, sps.Candidates, cec.DefaultOptions())
 	if !res.Success {
 		t.Fatalf("removal failed on SARLock: %+v", res)
 	}
@@ -198,7 +200,7 @@ func TestBypassBreaksSARLock(t *testing.T) {
 	}
 	wrong := append([]bool(nil), l.Key...)
 	wrong[0] = !wrong[0]
-	res := Bypass(l, orig, wrong, 16, -1)
+	res := Bypass(context.Background(), l, orig, wrong, 16, exec.Budget{})
 	if !res.Success {
 		t.Fatalf("bypass failed on SARLock: %+v", res)
 	}
@@ -227,7 +229,7 @@ func TestBypassFailsOnMassCorruption(t *testing.T) {
 	if !broke {
 		t.Skip("picked a don't-care wrong key")
 	}
-	res := Bypass(l, orig, wrong, 32, -1)
+	res := Bypass(context.Background(), l, orig, wrong, 32, exec.Budget{})
 	if res.Success {
 		t.Fatalf("bypass should be infeasible: %+v", res)
 	}
@@ -244,7 +246,7 @@ func TestValkyrieBreaksTTLock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Valkyrie(l, orig, 8, 256, 3, cec.DefaultOptions())
+	res := Valkyrie(context.Background(), l, orig, 8, 256, 3, cec.DefaultOptions())
 	if !res.FoundPair {
 		t.Fatalf("valkyrie failed on TTLock: %+v", res)
 	}
@@ -290,7 +292,7 @@ func TestSensitizationOnRLL(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := locking.NewOracle(orig)
-	res := Sensitization(l, oracle, 200000)
+	res := Sensitization(context.Background(), l, oracle, exec.WithConflicts(200000))
 	// RLL on a multiplier: typically some bits are isolatable; recovered
 	// bits must be correct.
 	for i := 0; i < l.KeyBits; i++ {
@@ -365,7 +367,7 @@ func TestCriticalNodeSurvivesOnSARLock(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := orig.Output(1)
-	if _, ok := CriticalNodeSurvives(l, orig, spec, 8, 1, -1); !ok {
+	if _, ok := CriticalNodeSurvives(context.Background(), l, orig, spec, 8, 1, -1); !ok {
 		t.Fatal("unprotected output cone should survive untouched")
 	}
 }

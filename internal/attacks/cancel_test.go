@@ -1,0 +1,158 @@
+package attacks
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"obfuslock/internal/exec"
+	"obfuslock/internal/lockbase"
+	"obfuslock/internal/locking"
+)
+
+// waitForGoroutines polls until the goroutine count drops back to at most
+// base (plus the runtime's own slack) or the deadline passes, and returns
+// the final count. Direct equality is too brittle — the runtime keeps a
+// few service goroutines alive — so callers compare against a tolerance.
+func waitForGoroutines(base int, deadline time.Duration) int {
+	var n int
+	for start := time.Now(); time.Since(start) < deadline; {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return runtime.NumGoroutine()
+}
+
+// Cancelling the context mid-attack must stop the SAT attack promptly
+// with a timeout-style result and leak no goroutines. SARLock at 14 bits
+// needs ~2^14 DIP iterations, far longer than the cancellation delay.
+func TestSATAttackPromptCancellation(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res := SATAttack(ctx, l, locking.NewOracle(orig), DefaultIOOptions())
+	elapsed := time.Since(start)
+	if !res.TimedOut {
+		t.Fatalf("cancelled attack did not report TimedOut: %+v", res)
+	}
+	if res.Exact {
+		t.Fatalf("cancelled attack claims an exact key: %+v", res)
+	}
+	// The solver polls cancellation every 64 conflict-loop ticks plus each
+	// DIP round boundary; well under a second on this instance.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	if n := waitForGoroutines(base, 2*time.Second); n > base+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", base, n)
+	}
+}
+
+// A context cancelled before the attack starts must return immediately.
+func TestSATAttackPreCancelled(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res := SATAttack(ctx, l, locking.NewOracle(orig), DefaultIOOptions())
+	if !res.TimedOut || res.Exact {
+		t.Fatalf("pre-cancelled attack ran anyway: %+v", res)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("pre-cancelled attack took %v", time.Since(start))
+	}
+}
+
+// Cancellation must reach the Sensitization per-bit solves too.
+func TestSensitizationCancellation(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.RLL(orig, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Sensitization(ctx, l, locking.NewOracle(orig), exec.WithConflicts(100000))
+	if !res.TimedOut {
+		t.Fatalf("pre-cancelled sensitization did not report TimedOut: %+v", res)
+	}
+	if res.NumIsolatable != 0 {
+		t.Fatalf("pre-cancelled sensitization isolated %d bits", res.NumIsolatable)
+	}
+}
+
+// Portfolio races SAT and AppSAT on a crackable lock: some variant must
+// win with a verified key, losers are cancelled, and every goroutine is
+// joined before Portfolio returns.
+func TestPortfolioWinsAndJoins(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.RLL(orig, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	opt := DefaultIOOptions()
+	variants := []PortfolioVariant{
+		{Name: "sat", Attack: "sat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: opt},
+		{Name: "appsat", Attack: "appsat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: opt},
+	}
+	res := Portfolio(context.Background(), variants, nil)
+	if res.Winner == "" || res.Key == nil {
+		t.Fatalf("no winner on RLL: %+v", res)
+	}
+	ok, err := l.VerifyKey(orig, res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("portfolio winner %q returned a wrong key", res.Winner)
+	}
+	if len(res.Outcomes) != len(variants) {
+		t.Fatalf("outcomes: got %d, want %d", len(res.Outcomes), len(variants))
+	}
+	if n := waitForGoroutines(base, 2*time.Second); n > base+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", base, n)
+	}
+}
+
+// A cancelled portfolio has no winner and still joins every variant.
+func TestPortfolioCancelled(t *testing.T) {
+	orig := smallCircuit()
+	l, err := lockbase.SARLock(orig, 14, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res := Portfolio(ctx, []PortfolioVariant{
+		{Name: "sat", Attack: "sat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: DefaultIOOptions()},
+		{Name: "appsat", Attack: "appsat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: DefaultIOOptions()},
+	}, nil)
+	if res.Winner != "" || res.Key != nil {
+		t.Fatalf("cancelled portfolio produced a winner: %+v", res)
+	}
+	if n := waitForGoroutines(base, 2*time.Second); n > base+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", base, n)
+	}
+}

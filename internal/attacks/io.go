@@ -7,9 +7,11 @@
 package attacks
 
 import (
+	"context"
 	"time"
 
 	"obfuslock/internal/cnf"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
@@ -17,7 +19,9 @@ import (
 
 // IOOptions bounds an oracle-guided attack.
 type IOOptions struct {
-	// Timeout on the whole attack (0: none).
+	// Timeout on the whole attack (0: none). Folded into the attack's
+	// context via exec.Budget.Bind; an external cancellation of the
+	// caller's context has the same effect as an expired timeout.
 	Timeout time.Duration
 	// MaxIterations caps DIP iterations (0: unlimited).
 	MaxIterations int
@@ -51,7 +55,8 @@ type IOResult struct {
 	// Exact is true when the attack proved no DIP remains (SAT attack
 	// termination); the key is then provably correct.
 	Exact bool
-	// TimedOut is true when the budget expired first.
+	// TimedOut is true when the budget expired — or the context was
+	// cancelled — before the attack could terminate.
 	TimedOut bool
 	// Iterations counts DIPs processed.
 	Iterations int
@@ -75,7 +80,7 @@ type attackState struct {
 	stopped func() bool
 }
 
-func newAttackState(l *locking.Locked, oracle *locking.Oracle, deadline time.Time, sp *obs.Span, progressEvery int64) *attackState {
+func newAttackState(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, sp *obs.Span, progressEvery int64) *attackState {
 	s := sat.New()
 	e1 := cnf.NewEncoder(l.Enc, s)
 	e2 := cnf.NewEncoder(l.Enc, s)
@@ -103,13 +108,9 @@ func newAttackState(l *locking.Locked, oracle *locking.Oracle, deadline time.Tim
 	st := &attackState{
 		l: l, oracle: oracle, s: s,
 		xLits: xLits, k1Lits: k1, k2Lits: k2, actDiff: act,
+		stopped: func() bool { return ctx.Err() != nil },
 	}
-	if !deadline.IsZero() {
-		st.stopped = func() bool { return time.Now().After(deadline) }
-		s.SetStop(st.stopped)
-	} else {
-		st.stopped = func() bool { return false }
-	}
+	s.SetContext(ctx)
 	if sp.Enabled() {
 		if progressEvery == 0 {
 			progressEvery = 10000
@@ -166,17 +167,16 @@ func (st *attackState) extractKey() []bool {
 // SATAttack runs the oracle-guided SAT attack (Subramanyan et al.): find a
 // distinguishing input pattern, query the oracle, constrain both key
 // copies, repeat until no DIP remains; then any consistent key is correct.
-func SATAttack(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
+// Cancelling ctx stops the attack promptly with a TimedOut result.
+func SATAttack(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
 	start := time.Now()
-	var deadline time.Time
-	if opt.Timeout > 0 {
-		deadline = start.Add(opt.Timeout)
-	}
+	ctx, cancel := exec.WithTimeout(opt.Timeout).Bind(ctx)
+	defer cancel()
 	sp := opt.Trace.Span("attack.sat",
 		obs.Int("inputs", int64(l.NumInputs)),
 		obs.Int("key_bits", int64(l.KeyBits)),
 		obs.Int("enc_nodes", int64(l.Enc.NumNodes())))
-	st := newAttackState(l, oracle, deadline, sp, opt.ProgressConflicts)
+	st := newAttackState(ctx, l, oracle, sp, opt.ProgressConflicts)
 	res := IOResult{}
 	for {
 		if opt.MaxIterations > 0 && res.Iterations >= opt.MaxIterations {
@@ -235,13 +235,12 @@ func SATAttack(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResul
 
 // AppSAT runs the approximate SAT attack (Shamsi et al.): the DIP loop is
 // augmented with random-query reinforcement and cut off after a fixed
-// iteration budget, returning a key not yet proved incorrect.
-func AppSAT(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
+// iteration budget, returning a key not yet proved incorrect. Cancelling
+// ctx stops the attack promptly with a TimedOut result.
+func AppSAT(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
 	start := time.Now()
-	var deadline time.Time
-	if opt.Timeout > 0 {
-		deadline = start.Add(opt.Timeout)
-	}
+	ctx, cancel := exec.WithTimeout(opt.Timeout).Bind(ctx)
+	defer cancel()
 	if opt.MaxIterations <= 0 {
 		opt.MaxIterations = 2048
 	}
@@ -255,7 +254,7 @@ func AppSAT(l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
 		obs.Int("inputs", int64(l.NumInputs)),
 		obs.Int("key_bits", int64(l.KeyBits)),
 		obs.Int("max_iterations", int64(opt.MaxIterations)))
-	st := newAttackState(l, oracle, deadline, sp, opt.ProgressConflicts)
+	st := newAttackState(ctx, l, oracle, sp, opt.ProgressConflicts)
 	rng := newSplitMix(opt.Seed)
 	res := IOResult{}
 	for res.Iterations < opt.MaxIterations {
@@ -345,6 +344,9 @@ type SensitizationResult struct {
 	Recovered []bool
 	// NumIsolatable counts true entries of Isolatable.
 	NumIsolatable int
+	// TimedOut is true when the context was cancelled before every key
+	// bit was analyzed (the reported bits are still valid).
+	TimedOut bool
 	// Runtime of the analysis.
 	Runtime time.Duration
 }
@@ -353,19 +355,24 @@ type SensitizationResult struct {
 // each key bit it searches for an input pattern propagating that bit to an
 // output while the other key bits are muted, then infers the bit with one
 // oracle query. ObfusLock's input-permutation keys resist this because all
-// key bits interfere on every path.
-func Sensitization(l *locking.Locked, oracle *locking.Oracle, perBitBudget int64) SensitizationResult {
+// key bits interfere on every path. budget bounds each per-bit solve.
+func Sensitization(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, budget exec.Budget) SensitizationResult {
 	start := time.Now()
+	ctx, cancel := budget.Bind(ctx)
+	defer cancel()
 	res := SensitizationResult{
 		Isolatable: make([]bool, l.KeyBits),
 		Recovered:  make([]bool, l.KeyBits),
 	}
 	for i := 0; i < l.KeyBits; i++ {
+		if ctx.Err() != nil {
+			res.TimedOut = true
+			break
+		}
 		// Two copies sharing x and all key bits except bit i (0 vs 1).
 		s := sat.New()
-		if perBitBudget >= 0 {
-			s.SetBudget(perBitBudget)
-		}
+		s.SetBudget(budget.ConflictCap())
+		s.SetContext(ctx)
 		e1 := cnf.NewEncoder(l.Enc, s)
 		e2 := cnf.NewEncoder(l.Enc, s)
 		xLits := make([]sat.Lit, l.NumInputs)

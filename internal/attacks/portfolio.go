@@ -1,0 +1,114 @@
+package attacks
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/obs"
+)
+
+// PortfolioVariant is one concurrent racer of a portfolio attack: an
+// attack strategy plus the (possibly restricted) locked circuit and
+// oracle it targets. Each variant must own its Oracle — oracles count
+// queries and are not safe to share across goroutines.
+type PortfolioVariant struct {
+	// Name labels the variant in results and traces (e.g. "sat-whole").
+	Name string
+	// Attack selects the strategy: "sat" (default) or "appsat".
+	Attack string
+	// Locked is the circuit under attack.
+	Locked *locking.Locked
+	// Oracle answers this variant's queries (not shared with others).
+	Oracle *locking.Oracle
+	// Orig is the reference circuit used to verify a recovered key; when
+	// nil, only Exact results count as wins.
+	Orig *aig.AIG
+	// Opt bounds the variant's attack.
+	Opt IOOptions
+}
+
+// PortfolioOutcome is one variant's result after the race settles.
+type PortfolioOutcome struct {
+	Name string
+	// Result is the variant's attack result. Losing variants usually
+	// report TimedOut: they were cancelled when the winner finished.
+	Result IOResult
+	// Correct is true when the variant's key was verified against Orig
+	// (or proved exact with no reference circuit).
+	Correct bool
+}
+
+// PortfolioResult reports a portfolio race.
+type PortfolioResult struct {
+	// Winner names the first variant that recovered a correct key (""
+	// when none did).
+	Winner string
+	// Key is the winner's key (nil when there is no winner).
+	Key []bool
+	// Outcomes lists every variant's result in input order.
+	Outcomes []PortfolioOutcome
+	// Runtime of the whole race.
+	Runtime time.Duration
+}
+
+// Portfolio races the variants concurrently and cancels the losers as
+// soon as one recovers a verified-correct key, the idea behind
+// algorithm-portfolio SAT solving applied to the attack suite: SAT-sub,
+// SAT-whole and AppSAT have wildly different runtimes per circuit, and
+// the attacker only needs the fastest one.
+//
+// Every variant goroutine is joined before Portfolio returns — no
+// goroutines outlive the call. Which variant wins can depend on
+// scheduling; use the deterministic sweep paths when byte-stable output
+// matters.
+func Portfolio(ctx context.Context, variants []PortfolioVariant, tr *obs.Tracer) PortfolioResult {
+	start := time.Now()
+	sp := tr.Span("attack.portfolio", obs.Int("variants", int64(len(variants))))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	res := PortfolioResult{Outcomes: make([]PortfolioOutcome, len(variants))}
+	wins := make(chan int, len(variants))
+	var wg sync.WaitGroup
+	for i := range variants {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := variants[i]
+			var r IOResult
+			switch v.Attack {
+			case "appsat":
+				r = AppSAT(ctx, v.Locked, v.Oracle, v.Opt)
+			default:
+				r = SATAttack(ctx, v.Locked, v.Oracle, v.Opt)
+			}
+			correct := false
+			if r.Key != nil {
+				if v.Orig != nil {
+					correct, _ = v.Locked.VerifyKey(v.Orig, r.Key)
+				} else {
+					correct = r.Exact
+				}
+			}
+			res.Outcomes[i] = PortfolioOutcome{Name: v.Name, Result: r, Correct: correct}
+			if correct {
+				wins <- i
+				cancel() // the race is over; stop the losers
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	if w, ok := <-wins; ok {
+		res.Winner = variants[w].Name
+		res.Key = res.Outcomes[w].Result.Key
+	}
+	res.Runtime = time.Since(start)
+	sp.End(obs.Str("winner", res.Winner),
+		obs.Bool("key_found", res.Key != nil),
+		obs.Dur("runtime", res.Runtime))
+	return res
+}

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cec"
 	"obfuslock/internal/cnf"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/sat"
 	"obfuslock/internal/sim"
@@ -130,11 +132,14 @@ type RemovalResult struct {
 // replace each with a constant (both polarities), bind an arbitrary key,
 // and check equivalence with the original. Single-flip defences fall to
 // this; ObfusLock leaves no removable node.
-func Removal(l *locking.Locked, orig *aig.AIG, candidates []uint32, opt cec.Options) RemovalResult {
+func Removal(ctx context.Context, l *locking.Locked, orig *aig.AIG, candidates []uint32, opt cec.Options) RemovalResult {
 	start := time.Now()
 	res := RemovalResult{}
 	anyKey := make([]bool, l.KeyBits) // all-zero wrong key
 	for _, cand := range candidates {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
 		for _, val := range []bool{false, true} {
 			res.Tried++
 			mod := replaceNode(l.Enc, cand, val)
@@ -142,7 +147,7 @@ func Removal(l *locking.Locked, orig *aig.AIG, candidates []uint32, opt cec.Opti
 				Scheme: l.Scheme, Enc: mod,
 				NumInputs: l.NumInputs, KeyBits: l.KeyBits, Key: anyKey,
 			}).ApplyKey(anyKey)
-			r, err := cec.Check(orig, bound, opt)
+			r, err := cec.Check(ctx, orig, bound, opt)
 			if err == nil && r.Decided && r.Equivalent {
 				res.Success = true
 				res.Node = cand
@@ -174,15 +179,14 @@ type BypassResult struct {
 // oracle, and wrap them with bypass logic. It fails when the differing set
 // exceeds the pattern budget — ObfusLock protects all patterns by
 // permutation, so the set is exponential.
-func Bypass(l *locking.Locked, orig *aig.AIG, wrongKey []bool, maxPatterns int, budget int64) BypassResult {
+func Bypass(ctx context.Context, l *locking.Locked, orig *aig.AIG, wrongKey []bool, maxPatterns int, budget exec.Budget) BypassResult {
 	start := time.Now()
 	bound := l.ApplyKey(wrongKey)
 	s := sat.New()
 	inputs, diff := cnf.Miter(s, orig, bound)
 	s.AddClause(diff)
-	if budget >= 0 {
-		s.SetBudget(budget)
-	}
+	s.SetBudget(budget.ConflictCap())
+	s.SetContext(ctx)
 	res := BypassResult{}
 	for res.Patterns <= maxPatterns {
 		switch s.Solve() {
@@ -238,7 +242,7 @@ type ValkyrieResult struct {
 // Valkyrie runs a Valkyrie-style vulnerability assessment (Limaye et al.):
 // shortlist skewed nodes, then search for a node pair whose simultaneous
 // constant replacement makes the locked circuit equivalent to the oracle.
-func Valkyrie(l *locking.Locked, orig *aig.AIG, shortlist int, simWords int, seed int64, opt cec.Options) ValkyrieResult {
+func Valkyrie(ctx context.Context, l *locking.Locked, orig *aig.AIG, shortlist int, simWords int, seed int64, opt cec.Options) ValkyrieResult {
 	start := time.Now()
 	res := ValkyrieResult{}
 	sps := SPS(l, simWords, seed, shortlist)
@@ -248,7 +252,7 @@ func Valkyrie(l *locking.Locked, orig *aig.AIG, shortlist int, simWords int, see
 			Scheme: l.Scheme, Enc: mod,
 			NumInputs: l.NumInputs, KeyBits: l.KeyBits, Key: anyKey,
 		}).ApplyKey(anyKey)
-		r, err := cec.Check(orig, bound, opt)
+		r, err := cec.Check(ctx, orig, bound, opt)
 		return err == nil && r.Decided && r.Equivalent
 	}
 	// Phase 1: restore-only (single-node) replacements.
@@ -268,7 +272,7 @@ func Valkyrie(l *locking.Locked, orig *aig.AIG, shortlist int, simWords int, see
 	// Phase 2: pairs.
 	for i, p := range sps.Candidates {
 		for j, r := range sps.Candidates {
-			if i == j {
+			if i == j || (ctx != nil && ctx.Err() != nil) {
 				continue
 			}
 			for _, pv := range []bool{false, true} {
@@ -402,8 +406,8 @@ func StructuralClassifier(l *locking.Locked, topK int) ClassifierResult {
 // arbitrary wrong key) is functionally equivalent to the given function of
 // the original inputs — the paper's combinational-equivalence check that
 // all critical nodes were eliminated.
-func CriticalNodeSurvives(l *locking.Locked, specG *aig.AIG, spec aig.Lit, simWords int, seed int64, budget int64) (aig.Lit, bool) {
+func CriticalNodeSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, spec aig.Lit, simWords int, seed int64, budget int64) (aig.Lit, bool) {
 	anyKey := make([]bool, l.KeyBits)
 	bound := l.ApplyKey(anyKey)
-	return cec.FindEquivalentNode(bound, specG, spec, simWords, seed, budget)
+	return cec.FindEquivalentNode(ctx, bound, specG, spec, simWords, seed, budget)
 }

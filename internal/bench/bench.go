@@ -9,6 +9,7 @@ package bench
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -82,6 +83,9 @@ func Read(r io.Reader) (*aig.AIG, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("bench: line %d exceeds the 1 MiB line buffer (split long gate definitions across lines): %v", lineNo+1, err)
+		}
 		return nil, fmt.Errorf("bench: %v", err)
 	}
 

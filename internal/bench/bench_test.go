@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -157,7 +158,7 @@ func TestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
 		}
-		r, err := cec.Check(g, back, cec.DefaultOptions())
+		r, err := cec.Check(context.Background(), g, back, cec.DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,5 +185,25 @@ func TestRoundTripConstOutputs(t *testing.T) {
 	out := back.Eval([]bool{true})
 	if !out[0] || out[1] || out[2] {
 		t.Fatalf("const round trip wrong: %v", out)
+	}
+}
+
+func TestReadOversizedLine(t *testing.T) {
+	// A single gate line larger than the 1 MiB scanner buffer must fail
+	// with the dedicated diagnostic, not bufio's bare "token too long".
+	var sb strings.Builder
+	sb.WriteString("INPUT(a)\nOUTPUT(f)\n")
+	sb.WriteString("f = AND(a")
+	for sb.Len() < 1<<20+4096 {
+		sb.WriteString(", a")
+	}
+	sb.WriteString(")\n")
+	_, err := Read(strings.NewReader(sb.String()))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "1 MiB line buffer") || !strings.Contains(msg, "line 3") {
+		t.Fatalf("want a 'line 3 exceeds the 1 MiB line buffer' diagnostic, got: %v", err)
 	}
 }

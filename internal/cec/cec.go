@@ -4,11 +4,13 @@
 package cec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cnf"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/sat"
 	"obfuslock/internal/sim"
 )
@@ -31,18 +33,19 @@ type Options struct {
 	SimWords int
 	// Seed for the simulation pre-filter.
 	Seed int64
-	// ConflictBudget bounds the SAT effort (<0: unlimited).
-	ConflictBudget int64
+	// Budget bounds the SAT effort (zero value: unlimited).
+	Budget exec.Budget
 }
 
 // DefaultOptions uses a small simulation pre-filter and no SAT budget.
 func DefaultOptions() Options {
-	return Options{SimWords: 4, Seed: 1, ConflictBudget: -1}
+	return Options{SimWords: 4, Seed: 1}
 }
 
 // Check decides whether two circuits with identical interfaces are
-// functionally equivalent.
-func Check(a, b *aig.AIG, opt Options) (Result, error) {
+// functionally equivalent. Cancelling ctx (or exhausting the budget)
+// yields an undecided result.
+func Check(ctx context.Context, a, b *aig.AIG, opt Options) (Result, error) {
 	start := time.Now()
 	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
 		return Result{}, fmt.Errorf("cec: interface mismatch: %d/%d inputs, %d/%d outputs",
@@ -75,9 +78,8 @@ func Check(a, b *aig.AIG, opt Options) (Result, error) {
 		}
 	}
 	s := sat.New()
-	if opt.ConflictBudget >= 0 {
-		s.SetBudget(opt.ConflictBudget)
-	}
+	s.SetBudget(opt.Budget.ConflictCap())
+	s.SetContext(ctx)
 	inputs, diff := cnf.Miter(s, a, b)
 	s.AddClause(diff)
 	switch s.Solve() {
@@ -94,15 +96,16 @@ func Check(a, b *aig.AIG, opt Options) (Result, error) {
 }
 
 // LitsEquivalent decides whether two literals of the same graph compute the
-// same function of the primary inputs (up to the given conflict budget;
-// Unknown maps to decided=false).
-func LitsEquivalent(g *aig.AIG, x, y aig.Lit, budget int64) (equal, decided bool) {
+// same function of the primary inputs (up to the given conflict budget,
+// with <0 meaning unlimited; Unknown maps to decided=false).
+func LitsEquivalent(ctx context.Context, g *aig.AIG, x, y aig.Lit, budget int64) (equal, decided bool) {
 	s := sat.New()
 	e := cnf.NewEncoder(g, s)
 	lits := e.Encode(x, y)
 	if budget >= 0 {
 		s.SetBudget(budget)
 	}
+	s.SetContext(ctx)
 	d := cnf.XorLit(s, lits[0], lits[1])
 	s.AddClause(d)
 	switch s.Solve() {
@@ -122,7 +125,7 @@ func LitsEquivalent(g *aig.AIG, x, y aig.Lit, budget int64) (equal, decided bool
 // This implements the attacker's "does the critical node still exist?"
 // query from the paper's structural-security evaluation: simulation
 // signatures shortlist candidates and SAT confirms them.
-func FindEquivalentNode(g *aig.AIG, specG *aig.AIG, spec aig.Lit, simWords int, seed int64, budget int64) (aig.Lit, bool) {
+func FindEquivalentNode(ctx context.Context, g *aig.AIG, specG *aig.AIG, spec aig.Lit, simWords int, seed int64, budget int64) (aig.Lit, bool) {
 	if g.NumInputs() != specG.NumInputs() {
 		panic("cec: FindEquivalentNode input mismatch")
 	}
@@ -146,12 +149,15 @@ func FindEquivalentNode(g *aig.AIG, specG *aig.AIG, spec aig.Lit, simWords int, 
 		return true
 	}
 	for v := uint32(1); v <= g.MaxVar(); v++ {
+		if ctx != nil && ctx.Err() != nil {
+			return 0, false
+		}
 		for _, ph := range []bool{false, true} {
 			cand := aig.MkLit(v, ph)
 			if !matches(cand) {
 				continue
 			}
-			if eq, dec := LitsEquivalent(comb, cand, specIn, budget); dec && eq {
+			if eq, dec := LitsEquivalent(ctx, comb, cand, specIn, budget); dec && eq {
 				return cand, true
 			}
 		}

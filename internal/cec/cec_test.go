@@ -1,6 +1,7 @@
 package cec
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -53,7 +54,7 @@ func adderAnd(n int) *aig.AIG {
 
 func TestEquivalentAdders(t *testing.T) {
 	for _, n := range []int{1, 4, 8, 16} {
-		r, err := Check(adder(n), adderAnd(n), DefaultOptions())
+		r, err := Check(context.Background(), adder(n), adderAnd(n), DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestInequivalentCounterexample(t *testing.T) {
 	g2 := adder(4)
 	// Corrupt one output of g2.
 	g2.SetOutput(2, g2.Output(2).Not())
-	r, err := Check(g1, g2, DefaultOptions())
+	r, err := Check(context.Background(), g1, g2, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestInequivalentWithoutSimFilter(t *testing.T) {
 	_ = in1
 	opt := DefaultOptions()
 	opt.SimWords = 1
-	r, err := Check(g1, g2, opt)
+	r, err := Check(context.Background(), g1, g2, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestInequivalentWithoutSimFilter(t *testing.T) {
 }
 
 func TestInterfaceMismatch(t *testing.T) {
-	if _, err := Check(adder(2), adder(3), DefaultOptions()); err == nil {
+	if _, err := Check(context.Background(), adder(2), adder(3), DefaultOptions()); err == nil {
 		t.Fatal("expected interface mismatch error")
 	}
 }
@@ -127,8 +128,8 @@ func TestBudgetUndecided(t *testing.T) {
 	// budget of 0 conflicts can at most be decided by pure propagation.
 	opt := DefaultOptions()
 	opt.SimWords = 0
-	opt.ConflictBudget = 0
-	r, err := Check(adder(24), adderAnd(24), opt)
+	opt.Budget.Conflicts = -1 // propagation-only: exhaust immediately
+	r, err := Check(context.Background(), adder(24), adderAnd(24), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,15 +146,15 @@ func TestLitsEquivalent(t *testing.T) {
 	x2 := g.XorAnd(a, b)
 	o := g.Or(a, b)
 	g.AddOutput(x1, "")
-	eq, dec := LitsEquivalent(g, x1, x2, -1)
+	eq, dec := LitsEquivalent(context.Background(), g, x1, x2, -1)
 	if !dec || !eq {
 		t.Fatal("xor forms should be equivalent")
 	}
-	eq, dec = LitsEquivalent(g, x1, o, -1)
+	eq, dec = LitsEquivalent(context.Background(), g, x1, o, -1)
 	if !dec || eq {
 		t.Fatal("xor and or should differ")
 	}
-	eq, dec = LitsEquivalent(g, x1, x2.Not(), -1)
+	eq, dec = LitsEquivalent(context.Background(), g, x1, x2.Not(), -1)
 	if !dec || eq {
 		t.Fatal("literal and its complement cannot be equivalent")
 	}
@@ -181,7 +182,7 @@ func TestFindEquivalentNode(t *testing.T) {
 	g.AddOutput(g.And(target, noise.Not()).Not(), "z")
 	g.AddOutput(noise, "y")
 
-	got, ok := FindEquivalentNode(g, specG, spec, 4, 7, -1)
+	got, ok := FindEquivalentNode(context.Background(), g, specG, spec, 4, 7, -1)
 	if !ok {
 		t.Fatal("equivalent node not found")
 	}
@@ -200,7 +201,7 @@ func TestFindEquivalentNode(t *testing.T) {
 	spec2G := aig.New()
 	p := spec2G.Xor(spec2G.Xor(spec2G.AddInput("a"), spec2G.AddInput("b")), spec2G.AddInput("c"))
 	spec2G.AddOutput(p, "f")
-	if _, ok := FindEquivalentNode(g, spec2G, p, 4, rng.Int63(), -1); ok {
+	if _, ok := FindEquivalentNode(context.Background(), g, spec2G, p, 4, rng.Int63(), -1); ok {
 		t.Fatal("found a node that should not exist")
 	}
 }

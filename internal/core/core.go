@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,7 +30,7 @@ import (
 
 // criticalSurvives checks whether any node of the wrong-key-bound netlist
 // computes the given spec function of the original inputs.
-func criticalSurvives(l *locking.Locked, specG *aig.AIG, spec aig.Lit) bool {
+func criticalSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, spec aig.Lit) bool {
 	wrong := make([]bool, l.KeyBits)
 	same := true
 	for i, b := range l.Key {
@@ -42,7 +43,7 @@ func criticalSurvives(l *locking.Locked, specG *aig.AIG, spec aig.Lit) bool {
 		wrong[0] = !wrong[0]
 	}
 	bound := l.ApplyKey(wrong)
-	_, found := cec.FindEquivalentNode(bound, specG, spec, 8, 1, 100000)
+	_, found := cec.FindEquivalentNode(ctx, bound, specG, spec, 8, 1, 100000)
 	return found
 }
 
@@ -144,15 +145,19 @@ type Result struct {
 	LockingFunction *aig.AIG
 }
 
-// Lock encrypts the circuit with ObfusLock.
-func Lock(c *aig.AIG, opt Options) (*Result, error) {
+// Lock encrypts the circuit with ObfusLock. Cancelling ctx aborts the
+// lock between phases (and inside its SAT-backed checks) with an error.
+func Lock(ctx context.Context, c *aig.AIG, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	sp := opt.Trace.Span("lock",
 		obs.Str("circuit", c.Name),
 		obs.Float("target_skew_bits", opt.TargetSkewBits),
 		obs.Int("seed", opt.Seed),
 		obs.Int("nodes", int64(c.NumNodes())))
-	res, err := lock(c, opt, sp, start)
+	res, err := lock(ctx, c, opt, sp, start)
 	if err != nil {
 		sp.End(obs.Str("error", err.Error()))
 		return nil, err
@@ -166,9 +171,12 @@ func Lock(c *aig.AIG, opt Options) (*Result, error) {
 	return res, nil
 }
 
-func lock(c *aig.AIG, opt Options, sp *obs.Span, start time.Time) (*Result, error) {
+func lock(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span, start time.Time) (*Result, error) {
 	if c.NumOutputs() == 0 {
 		return nil, fmt.Errorf("core: circuit has no outputs")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: lock cancelled: %w", err)
 	}
 	if opt.TargetSkewBits <= 0 {
 		opt.TargetSkewBits = 20
@@ -203,9 +211,9 @@ func lock(c *aig.AIG, opt Options, sp *obs.Span, start time.Time) (*Result, erro
 		err error
 	)
 	if opt.SubCircuit {
-		res, err = lockSubCircuit(c, opt, sp)
+		res, err = lockSubCircuit(ctx, c, opt, sp)
 	} else {
-		res, err = lockDoubleFlip(c, opt, sp)
+		res, err = lockDoubleFlip(ctx, c, opt, sp)
 	}
 	if err != nil {
 		return nil, err
@@ -311,7 +319,7 @@ func pickProtectedOutput(c *aig.AIG) int {
 }
 
 // lockDoubleFlip runs the main ObfusLock pipeline on the whole circuit.
-func lockDoubleFlip(c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
+func lockDoubleFlip(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
 	po := opt.ProtectedOutput
 	if po < 0 {
 		po = pickProtectedOutput(c)
@@ -389,7 +397,7 @@ func lockDoubleFlip(c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
 	clean := func(g *aig.AIG) bool {
 		csp := sp.Span("lock.cec")
 		lk := mk(g)
-		ok := !criticalSurvives(lk, c, specF) && !criticalSurvives(lk, specLG, specL)
+		ok := !criticalSurvives(ctx, lk, c, specF) && !criticalSurvives(ctx, lk, specLG, specL)
 		csp.End(obs.Bool("clean", ok))
 		return ok
 	}
@@ -403,6 +411,9 @@ func lockDoubleFlip(c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
 	reshape, elim := opt.ReshapeApplications, opt.ElimApplications
 	const blendAttempts = 6
 	for attempt := int64(0); attempt < blendAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: lock cancelled: %w", err)
+		}
 		wa := work.Copy()
 		var blended aig.Lit
 		blendSp := sp.Span("lock.blend",

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // lockAndVerify locks c and checks key correctness plus wrong-key breakage.
 func lockAndVerify(t *testing.T, c *aig.AIG, opt Options) *Result {
 	t.Helper()
-	res, err := Lock(c, opt)
+	res, err := Lock(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +89,11 @@ func TestLockDeterministicForSeed(t *testing.T) {
 	opt.TargetSkewBits = 8
 	opt.Seed = 3
 	opt.AllowDirect = false
-	r1, err := Lock(c, opt)
+	r1, err := Lock(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Lock(c, opt)
+	r2, err := Lock(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestLockRejectsTooFewInputs(t *testing.T) {
 	opt := DefaultOptions()
 	opt.TargetSkewBits = 20
 	opt.AllowDirect = false
-	if _, err := Lock(c, opt); err == nil {
+	if _, err := Lock(context.Background(), c, opt); err == nil {
 		t.Fatal("expected failure for 20-bit target on a 6-input circuit")
 	}
 }
@@ -215,7 +216,7 @@ func TestLemma1ErrorMatrix(t *testing.T) {
 	opt := DefaultOptions()
 	opt.TargetSkewBits = 3
 	opt.Seed = 7
-	res, err := Lock(g, opt)
+	res, err := Lock(context.Background(), g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestLemma2CorrectKeyBound(t *testing.T) {
 	opt := DefaultOptions()
 	opt.TargetSkewBits = 3
 	opt.Seed = 8
-	res, err := Lock(g, opt)
+	res, err := Lock(context.Background(), g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

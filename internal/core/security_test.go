@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"obfuslock/internal/aig"
 	"obfuslock/internal/attacks"
 	"obfuslock/internal/cec"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/lockbase"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
@@ -21,7 +23,7 @@ func lockedFixture(t *testing.T, seed int64) (*aig.AIG, *Result) {
 	opt.TargetSkewBits = 10
 	opt.Seed = seed
 	opt.AllowDirect = false
-	res, err := Lock(c, opt)
+	res, err := Lock(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func TestObfusLockResistsSATAttack(t *testing.T) {
 	oracle := locking.NewOracle(c)
 	opt := attacks.DefaultIOOptions()
 	opt.MaxIterations = 60 // ~2^10 needed
-	r := attacks.SATAttack(res.Locked, oracle, opt)
+	r := attacks.SATAttack(context.Background(), res.Locked, oracle, opt)
 	if r.Exact {
 		t.Fatalf("SAT attack finished ObfusLock in %d iterations", r.Iterations)
 	}
@@ -57,7 +59,7 @@ func TestObfusLockDefeatsAppSAT(t *testing.T) {
 	opt := attacks.DefaultIOOptions()
 	opt.MaxIterations = 40
 	opt.Seed = 1
-	r := attacks.AppSAT(res.Locked, oracle, opt)
+	r := attacks.AppSAT(context.Background(), res.Locked, oracle, opt)
 	if r.Key == nil {
 		t.Fatal("AppSAT returned no key at all")
 	}
@@ -78,7 +80,7 @@ func TestObfusLockDefeatsAppSAT(t *testing.T) {
 func TestObfusLockResistsSensitization(t *testing.T) {
 	c, res := lockedFixture(t, 23)
 	oracle := locking.NewOracle(c)
-	r := attacks.Sensitization(res.Locked, oracle, 100000)
+	r := attacks.Sensitization(context.Background(), res.Locked, oracle, exec.WithConflicts(100000))
 	if r.NumIsolatable != 0 {
 		t.Fatalf("%d key bits isolatable; input permutation should mute none", r.NumIsolatable)
 	}
@@ -90,7 +92,7 @@ func TestObfusLockResistsBypass(t *testing.T) {
 	wrong := append([]bool(nil), res.Locked.Key...)
 	wrong[0] = !wrong[0]
 	wrong[1] = !wrong[1]
-	r := attacks.Bypass(res.Locked, c, wrong, 64, 500000)
+	r := attacks.Bypass(context.Background(), res.Locked, c, wrong, 64, exec.WithConflicts(500000))
 	if r.Success {
 		t.Fatalf("bypass succeeded with %d patterns", r.Patterns)
 	}
@@ -103,7 +105,7 @@ func TestObfusLockEliminatesCriticalNodes(t *testing.T) {
 	c, res := lockedFixture(t, 25)
 	po := res.Report.ProtectedOutput
 	spec := c.Output(po)
-	if lit, found := attacks.CriticalNodeSurvives(res.Locked, c, spec, 8, 3, 200000); found {
+	if lit, found := attacks.CriticalNodeSurvives(context.Background(), res.Locked, c, spec, 8, 3, 200000); found {
 		t.Fatalf("original root survives as %v", lit)
 	}
 }
@@ -113,8 +115,8 @@ func TestObfusLockEliminatesCriticalNodes(t *testing.T) {
 func TestObfusLockResistsValkyrie(t *testing.T) {
 	c, res := lockedFixture(t, 26)
 	opt := cec.DefaultOptions()
-	opt.ConflictBudget = 50000
-	r := attacks.Valkyrie(res.Locked, c, 6, 64, 4, opt)
+	opt.Budget = exec.WithConflicts(50000)
+	r := attacks.Valkyrie(context.Background(), res.Locked, c, 6, 64, 4, opt)
 	if r.FoundPair {
 		t.Fatalf("valkyrie broke ObfusLock: %+v", r)
 	}
@@ -138,8 +140,8 @@ func TestObfusLockResistsRemoval(t *testing.T) {
 	c, res := lockedFixture(t, 28)
 	sps := attacks.SPS(res.Locked, 64, 5, 8)
 	opt := cec.DefaultOptions()
-	opt.ConflictBudget = 50000
-	r := attacks.Removal(res.Locked, c, sps.Candidates, opt)
+	opt.Budget = exec.WithConflicts(50000)
+	r := attacks.Removal(context.Background(), res.Locked, c, sps.Candidates, opt)
 	if r.Success {
 		t.Fatalf("removal broke ObfusLock at node %d", r.Node)
 	}
@@ -158,7 +160,7 @@ func TestAttackBudgetSanity(t *testing.T) {
 	opt := attacks.DefaultIOOptions()
 	opt.MaxIterations = 60
 	opt.Timeout = 30 * time.Second
-	r := attacks.SATAttack(l, oracle, opt)
+	r := attacks.SATAttack(context.Background(), l, oracle, opt)
 	if !r.Exact {
 		t.Fatalf("budgeted SAT attack cannot even crack RLL: %+v", r)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -17,7 +18,7 @@ import (
 // is wide enough AND the number of reachable patterns on it is exponential
 // in its width (checked with the approximate model counter). Primary
 // inputs stop the expansion (a PI frontier is trivially fully reachable).
-func selectCut(g *aig.AIG, po int, minCut int, seed int64, tr *obs.Tracer) ([]uint32, float64, error) {
+func selectCut(ctx context.Context, g *aig.AIG, po int, minCut int, seed int64, tr *obs.Tracer) ([]uint32, float64, error) {
 	lv, _ := g.Levels()
 	root := g.Output(po)
 	inFrontier := map[uint32]bool{}
@@ -83,7 +84,7 @@ func selectCut(g *aig.AIG, po int, minCut int, seed int64, tr *obs.Tracer) ([]ui
 		if allPI {
 			return frontier, float64(len(frontier)), nil
 		}
-		r := count.ReachablePatterns(g, cutLits, copt)
+		r := count.ReachablePatterns(ctx, g, cutLits, copt)
 		if r.Decided && !math.IsInf(r.Log2Count, -1) && r.Log2Count >= gamma*float64(len(frontier)) {
 			return frontier, r.Log2Count, nil
 		}
@@ -108,7 +109,7 @@ func selectCut(g *aig.AIG, po int, minCut int, seed int64, tr *obs.Tracer) ([]ui
 // locked over the cut variables, and the result is stitched back into the
 // full netlist. Attackers must reason through the input logic to drive cut
 // patterns, which the reachability condition makes expensive.
-func lockSubCircuit(c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
+func lockSubCircuit(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
 	po := opt.ProtectedOutput
 	if po < 0 {
 		po = pickProtectedOutput(c)
@@ -121,7 +122,7 @@ func lockSubCircuit(c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
 		minCut = int(opt.TargetSkewBits) + 8
 	}
 	csp := sp.Span("lock.select_cut", obs.Int("min_cut", int64(minCut)))
-	cut, reach, err := selectCut(c, po, minCut, opt.Seed, opt.Trace)
+	cut, reach, err := selectCut(ctx, c, po, minCut, opt.Seed, opt.Trace)
 	if err != nil {
 		csp.End(obs.Str("error", err.Error()))
 		return nil, err
@@ -133,7 +134,7 @@ func lockSubCircuit(c *aig.AIG, opt Options, sp *obs.Span) (*Result, error) {
 	subOpt.SubCircuit = false
 	subOpt.AllowDirect = false
 	subOpt.ProtectedOutput = 0
-	subRes, err := lockDoubleFlip(sub, subOpt, sp)
+	subRes, err := lockDoubleFlip(ctx, sub, subOpt, sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: sub-circuit lock: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"obfuslock/internal/attacks"
@@ -17,7 +18,7 @@ func TestSATResistanceSeedSweep(t *testing.T) {
 		opt.TargetSkewBits = 10
 		opt.Seed = seed
 		opt.AllowDirect = false
-		res, err := Lock(c, opt)
+		res, err := Lock(context.Background(), c, opt)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -27,7 +28,7 @@ func TestSATResistanceSeedSweep(t *testing.T) {
 		oracle := locking.NewOracle(c)
 		aopt := attacks.DefaultIOOptions()
 		aopt.MaxIterations = 150
-		r := attacks.SATAttack(res.Locked, oracle, aopt)
+		r := attacks.SATAttack(context.Background(), res.Locked, oracle, aopt)
 		if r.Exact {
 			t.Fatalf("seed %d: cracked in %d iterations", seed, r.Iterations)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"obfuslock/internal/netlistgen"
@@ -18,7 +19,7 @@ func TestLockTraceSpans(t *testing.T) {
 	opt.Seed = 3
 	opt.AllowDirect = false
 	opt.Trace = obs.New(col)
-	res, err := Lock(c, opt)
+	res, err := Lock(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestLockSubCircuitTraceSpans(t *testing.T) {
 	opt.Seed = 1
 	opt.SubCircuit = true
 	opt.Trace = obs.New(col)
-	if _, err := Lock(c, opt); err != nil {
+	if _, err := Lock(context.Background(), c, opt); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := col.SpanNamed("lock.select_cut"); !ok {

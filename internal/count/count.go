@@ -5,12 +5,14 @@
 package count
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
 
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cnf"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
 )
@@ -21,8 +23,9 @@ type Options struct {
 	Pivot int
 	// Trials is the number of independent hashing rounds (median taken).
 	Trials int
-	// Budget is the per-solve conflict budget (<0 unlimited).
-	Budget int64
+	// Budget bounds each individual solve (wall-clock side enforced via
+	// the caller's context; the zero value is unlimited).
+	Budget exec.Budget
 	// Seed drives the random parity constraints.
 	Seed int64
 	// Trace receives a count.approx span with one count.trial event per
@@ -32,7 +35,7 @@ type Options struct {
 
 // DefaultOptions balances accuracy and runtime for cut selection.
 func DefaultOptions() Options {
-	return Options{Pivot: 24, Trials: 5, Budget: 500000, Seed: 1}
+	return Options{Pivot: 24, Trials: 5, Budget: exec.WithConflicts(500000), Seed: 1}
 }
 
 // Result is an approximate count.
@@ -80,22 +83,21 @@ func enumerateUpTo(s *sat.Solver, proj []sat.Lit, limit int) (int, bool) {
 }
 
 // approx runs the ApproxMC loop on one problem.
-func approx(p problem, opt Options) Result {
+func approx(ctx context.Context, p problem, opt Options) Result {
 	sp := opt.Trace.Span("count.approx",
 		obs.Int("pivot", int64(opt.Pivot)), obs.Int("trials", int64(opt.Trials)))
-	r := approxTraced(p, opt, sp)
+	r := approxTraced(ctx, p, opt, sp)
 	sp.End(obs.Float("log2_count", r.Log2Count),
 		obs.Bool("exact", r.Exact), obs.Bool("decided", r.Decided))
 	return r
 }
 
-func approxTraced(p problem, opt Options, sp *obs.Span) Result {
+func approxTraced(ctx context.Context, p problem, opt Options, sp *obs.Span) Result {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	// Fast path: full enumeration below the pivot.
 	s, proj := p.build()
-	if opt.Budget >= 0 {
-		s.SetBudget(opt.Budget)
-	}
+	s.SetBudget(opt.Budget.ConflictCap())
+	s.SetContext(ctx)
 	n, ok := enumerateUpTo(s, proj, opt.Pivot)
 	if !ok {
 		return Result{Decided: false}
@@ -119,9 +121,8 @@ func approxTraced(p problem, opt Options, sp *obs.Span) Result {
 		found := -1
 		cellAt := func(m int) (int, bool) {
 			s, proj := p.build()
-			if opt.Budget >= 0 {
-				s.SetBudget(opt.Budget)
-			}
+			s.SetBudget(opt.Budget.ConflictCap())
+			s.SetContext(ctx)
 			for x := 0; x < m; x++ {
 				var lits []sat.Lit
 				for _, l := range proj {
@@ -182,8 +183,8 @@ func approxTraced(p problem, opt Options, sp *obs.Span) Result {
 }
 
 // Models approximately counts satisfying input assignments of cond in g.
-func Models(g *aig.AIG, cond aig.Lit, opt Options) Result {
-	return approx(problem{build: func() (*sat.Solver, []sat.Lit) {
+func Models(ctx context.Context, g *aig.AIG, cond aig.Lit, opt Options) Result {
+	return approx(ctx, problem{build: func() (*sat.Solver, []sat.Lit) {
 		s := sat.New()
 		e := cnf.NewEncoder(g, s)
 		ins := make([]sat.Lit, g.NumInputs())
@@ -199,8 +200,8 @@ func Models(g *aig.AIG, cond aig.Lit, opt Options) Result {
 // ReachablePatterns approximately counts the number of distinct value
 // combinations the given cut literals can take over all inputs — the
 // projected count used by ObfusLock's sub-circuit selection.
-func ReachablePatterns(g *aig.AIG, cut []aig.Lit, opt Options) Result {
-	return approx(problem{build: func() (*sat.Solver, []sat.Lit) {
+func ReachablePatterns(ctx context.Context, g *aig.AIG, cut []aig.Lit, opt Options) Result {
+	return approx(ctx, problem{build: func() (*sat.Solver, []sat.Lit) {
 		s := sat.New()
 		e := cnf.NewEncoder(g, s)
 		lits := e.Encode(cut...)

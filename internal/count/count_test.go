@@ -1,6 +1,7 @@
 package count
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestExactSmallCounts(t *testing.T) {
 	in := g.AddInputs(8)
 	cond := g.AndN(in[:4]...)
 	g.AddOutput(cond, "c")
-	r := Models(g, cond, DefaultOptions())
+	r := Models(context.Background(), g, cond, DefaultOptions())
 	if !r.Decided || !r.Exact {
 		t.Fatalf("expected exact count, got %+v", r)
 	}
@@ -27,7 +28,7 @@ func TestZeroCount(t *testing.T) {
 	a := g.AddInput("a")
 	cond := g.And(a, a.Not())
 	g.AddOutput(cond, "c")
-	r := Models(g, cond, DefaultOptions())
+	r := Models(context.Background(), g, cond, DefaultOptions())
 	if !r.Decided || !math.IsInf(r.Log2Count, -1) {
 		t.Fatalf("unsat condition: %+v", r)
 	}
@@ -41,7 +42,7 @@ func TestApproximateLargeCount(t *testing.T) {
 	g.AddOutput(cond, "c")
 	opt := DefaultOptions()
 	opt.Trials = 7
-	r := Models(g, cond, opt)
+	r := Models(context.Background(), g, cond, opt)
 	if !r.Decided {
 		t.Fatal("undecided")
 	}
@@ -62,7 +63,7 @@ func TestApproximateMidCount(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Trials = 7
 	opt.Seed = 3
-	r := Models(g, acc, opt)
+	r := Models(context.Background(), g, acc, opt)
 	if !r.Decided {
 		t.Fatal("undecided")
 	}
@@ -76,7 +77,7 @@ func TestReachablePatternsFullCut(t *testing.T) {
 	g := aig.New()
 	in := g.AddInputs(10)
 	g.AddOutput(g.AndN(in...), "f")
-	r := ReachablePatterns(g, in, DefaultOptions())
+	r := ReachablePatterns(context.Background(), g, in, DefaultOptions())
 	if !r.Decided {
 		t.Fatal("undecided")
 	}
@@ -93,7 +94,7 @@ func TestReachablePatternsConstrainedCut(t *testing.T) {
 	x := in[0]
 	cut := []aig.Lit{x, x, x.Not(), x, x.Not(), x}
 	g.AddOutput(g.AndN(in...), "f")
-	r := ReachablePatterns(g, cut, DefaultOptions())
+	r := ReachablePatterns(context.Background(), g, cut, DefaultOptions())
 	if !r.Decided || !r.Exact {
 		t.Fatalf("expected exact: %+v", r)
 	}
@@ -119,7 +120,7 @@ func TestReachablePatternsOneHot(t *testing.T) {
 		cut = append(cut, g.AndN(lits...))
 	}
 	g.AddOutput(g.OrN(cut...), "f")
-	r := ReachablePatterns(g, cut, DefaultOptions())
+	r := ReachablePatterns(context.Background(), g, cut, DefaultOptions())
 	if !r.Decided || !r.Exact || r.Log2Count != 3 {
 		t.Fatalf("one-hot cut: %+v, want exact log2=3", r)
 	}

@@ -13,6 +13,8 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -22,6 +24,7 @@ import (
 	"obfuslock/internal/attacks"
 	"obfuslock/internal/cec"
 	"obfuslock/internal/core"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
 	"obfuslock/internal/obs"
@@ -29,12 +32,22 @@ import (
 	"obfuslock/internal/techmap"
 )
 
-// Budget bounds the attacks in a sweep.
+// Budget bounds the attacks in a sweep and configures its execution.
 type Budget struct {
-	// Timeout per attack run (the paper used 3 h).
+	// Timeout per attack run (the paper used 3 h). Ignored when
+	// Deterministic is set.
 	Timeout time.Duration
 	// MaxIterations caps DIP loops (the paper capped AppSAT at 2048).
 	MaxIterations int
+	// Workers is the sweep parallelism (non-positive: GOMAXPROCS). Cells
+	// run on the exec worker pool with per-cell seeds derived via
+	// splitmix from the master seed, so the output is byte-identical at
+	// any worker count.
+	Workers int
+	// Deterministic renders logical outcomes (iteration counts, "TO",
+	// "wrong") instead of wall-clock seconds and disables Timeout, making
+	// tables and metrics.json byte-identical across runs and machines.
+	Deterministic bool
 	// Trace, when non-nil, receives lock and attack spans for every
 	// sweep cell plus table1.cell wrapper spans.
 	Trace *obs.Tracer
@@ -47,14 +60,21 @@ type TableIRow struct {
 	SkewBits float64
 	KeyBits  int
 	LockTime time.Duration
-	// Attack cells: decrypt time, or "TO" / "wrong" markers as in the
-	// paper.
+	// Deterministic marks a row produced under Budget.Deterministic:
+	// wall-clock cells render as stable markers instead of seconds.
+	Deterministic bool
+	// Attack cells: decrypt time (or "ok/<iterations>" in deterministic
+	// mode), or "TO" / "wrong" markers as in the paper.
 	SATSub, SATWhole, AppSATSub, AppSATWhole string
 }
 
 func (r TableIRow) String() string {
-	return fmt.Sprintf("%-10s %6d  %6.1f  %4d  %8.2fs  %10s %10s %10s %10s",
-		r.Bench, r.Nodes, -r.SkewBits, r.KeyBits, r.LockTime.Seconds(),
+	lockCell := fmt.Sprintf("%8.2fs", r.LockTime.Seconds())
+	if r.Deterministic {
+		lockCell = fmt.Sprintf("%9s", "-")
+	}
+	return fmt.Sprintf("%-10s %6d  %6.1f  %4d  %s  %10s %10s %10s %10s",
+		r.Bench, r.Nodes, -r.SkewBits, r.KeyBits, lockCell,
 		r.SATSub, r.SATWhole, r.AppSATSub, r.AppSATWhole)
 }
 
@@ -93,7 +113,9 @@ func singleOutput(l *locking.Locked, orig *aig.AIG, po int) (*locking.Locked, *a
 // attackCell runs one attack and renders the paper's cell convention:
 // decrypt seconds when the returned key is verified correct, "TO" on
 // timeout without a correct key, "wrong" when a key came back incorrect.
-func attackCell(run func() attacks.IOResult, l *locking.Locked, orig *aig.AIG) string {
+// In deterministic mode a correct key renders as "ok/<iterations>" —
+// wall-clock time is the one quantity that cannot be byte-stable.
+func attackCell(run func() attacks.IOResult, l *locking.Locked, orig *aig.AIG, deterministic bool) string {
 	r := run()
 	correct := false
 	if r.Key != nil {
@@ -101,6 +123,9 @@ func attackCell(run func() attacks.IOResult, l *locking.Locked, orig *aig.AIG) s
 	}
 	switch {
 	case correct:
+		if deterministic {
+			return fmt.Sprintf("ok/%d", r.Iterations)
+		}
 		return fmt.Sprintf("%.1f", r.Runtime.Seconds())
 	case r.Exact:
 		// Terminated claiming exactness but key invalid — should not
@@ -121,50 +146,57 @@ func attackCell(run func() attacks.IOResult, l *locking.Locked, orig *aig.AIG) s
 
 // TableIEntry locks one benchmark at one skewness level and runs the four
 // attack cells.
-func TableIEntry(b netlistgen.Benchmark, skewBits float64, seed int64, budget Budget, w io.Writer) (TableIRow, error) {
+func TableIEntry(ctx context.Context, b netlistgen.Benchmark, skewBits float64, seed int64, budget Budget, w io.Writer) (TableIRow, error) {
 	c := b.Build()
 	opt := core.DefaultOptions()
 	opt.TargetSkewBits = skewBits
 	opt.Seed = seed
 	opt.AllowDirect = false
 	opt.Trace = budget.Trace
-	res, err := core.Lock(c, opt)
+	res, err := core.Lock(ctx, c, opt)
 	if err != nil {
 		return TableIRow{}, fmt.Errorf("%s @ %g bits: %w", b.Name, skewBits, err)
 	}
 	l := res.Locked
 	row := TableIRow{
-		Bench:    b.Name,
-		Nodes:    c.NumNodes(),
-		SkewBits: res.Report.SkewBits,
-		KeyBits:  res.Report.KeyBits,
-		LockTime: res.Report.Runtime,
+		Bench:         b.Name,
+		Nodes:         c.NumNodes(),
+		SkewBits:      res.Report.SkewBits,
+		KeyBits:       res.Report.KeyBits,
+		LockTime:      res.Report.Runtime,
+		Deterministic: budget.Deterministic,
 	}
 	aopt := attacks.DefaultIOOptions()
 	aopt.Timeout = budget.Timeout
 	aopt.MaxIterations = budget.MaxIterations
+	aopt.Seed = seed
 	aopt.Trace = budget.Trace
+	if budget.Deterministic {
+		// Deterministic cells are bounded by iteration count only; a
+		// wall-clock cutoff would decide cells differently between runs.
+		aopt.Timeout = 0
+	}
 
 	cell := func(name string, run func() attacks.IOResult, cl *locking.Locked, orig *aig.AIG) string {
 		csp := budget.Trace.Span("table1.cell",
 			obs.Str("bench", b.Name), obs.Float("skew", skewBits), obs.Str("attack", name))
-		out := attackCell(run, cl, orig)
+		out := attackCell(run, cl, orig, budget.Deterministic)
 		csp.End(obs.Str("result", out))
 		return out
 	}
 
 	subL, subOrig := singleOutput(l, c, res.Report.ProtectedOutput)
 	row.SATSub = cell("sat-sub", func() attacks.IOResult {
-		return attacks.SATAttack(subL, locking.NewOracle(subOrig), aopt)
+		return attacks.SATAttack(ctx, subL, locking.NewOracle(subOrig), aopt)
 	}, subL, subOrig)
 	row.SATWhole = cell("sat-whole", func() attacks.IOResult {
-		return attacks.SATAttack(l, locking.NewOracle(c), aopt)
+		return attacks.SATAttack(ctx, l, locking.NewOracle(c), aopt)
 	}, l, c)
 	row.AppSATSub = cell("appsat-sub", func() attacks.IOResult {
-		return attacks.AppSAT(subL, locking.NewOracle(subOrig), aopt)
+		return attacks.AppSAT(ctx, subL, locking.NewOracle(subOrig), aopt)
 	}, subL, subOrig)
 	row.AppSATWhole = cell("appsat-whole", func() attacks.IOResult {
-		return attacks.AppSAT(l, locking.NewOracle(c), aopt)
+		return attacks.AppSAT(ctx, l, locking.NewOracle(c), aopt)
 	}, l, c)
 
 	if w != nil {
@@ -173,25 +205,47 @@ func TableIEntry(b netlistgen.Benchmark, skewBits float64, seed int64, budget Bu
 	return row, nil
 }
 
-// TableI sweeps benchmarks × skew levels.
-func TableI(suite []netlistgen.Benchmark, skews []float64, seed int64, budget Budget, w io.Writer) ([]TableIRow, error) {
+// TableI sweeps benchmarks × skew levels on the worker pool. Each cell
+// receives a seed derived via splitmix from the master seed and its cell
+// index, so the emitted table is byte-identical at any Budget.Workers
+// (modulo wall-clock cells; set Budget.Deterministic for full byte
+// stability). Cancelling ctx stops the sweep after the current cells and
+// returns the rows finished so far together with the context error.
+func TableI(ctx context.Context, suite []netlistgen.Benchmark, skews []float64, seed int64, budget Budget, w io.Writer) ([]TableIRow, error) {
 	if w != nil {
 		fmt.Fprintln(w, TableIHeader)
 	}
-	var rows []TableIRow
+	type cellIn struct {
+		b    netlistgen.Benchmark
+		skew float64
+	}
+	type cellOut struct {
+		row TableIRow
+		err error
+	}
+	var cells []cellIn
 	for _, b := range suite {
 		for _, s := range skews {
-			row, err := TableIEntry(b, s, seed, budget, w)
-			if err != nil {
-				if w != nil {
-					fmt.Fprintf(w, "%-10s %g bits: %v\n", b.Name, s, err)
-				}
-				continue
-			}
-			rows = append(rows, row)
+			cells = append(cells, cellIn{b, s})
 		}
 	}
-	return rows, nil
+	var rows []TableIRow
+	exec.Collect(ctx, budget.Workers, len(cells), func(ctx context.Context, i int) cellOut {
+		row, err := TableIEntry(ctx, cells[i].b, cells[i].skew, exec.DeriveSeed(seed, i), budget, nil)
+		return cellOut{row, err}
+	}, func(i int, r cellOut) {
+		if r.err != nil {
+			if w != nil {
+				fmt.Fprintf(w, "%-10s %g bits: %v\n", cells[i].b.Name, cells[i].skew, r.err)
+			}
+			return
+		}
+		rows = append(rows, r.row)
+		if w != nil {
+			fmt.Fprintln(w, r.row)
+		}
+	})
+	return rows, ctx.Err()
 }
 
 // Fig4Stats summarizes one distribution panel of Fig. 4.
@@ -211,34 +265,46 @@ type Fig4Stats struct {
 
 // Fig4 locks the circuit twice — without and with structural
 // transformation — and returns the node-statistics panels (a,b) and (c,d).
-func Fig4(c *aig.AIG, skewBits float64, seed int64) (before, after Fig4Stats, err error) {
-	mk := func(disable bool) (*core.Result, error) {
+// The two locks are independent and run on the worker pool (each on its
+// own copy of c), so workers >= 2 overlaps them.
+func Fig4(ctx context.Context, c *aig.AIG, skewBits float64, seed int64, workers int) (before, after Fig4Stats, err error) {
+	type out struct {
+		st  Fig4Stats
+		err error
+	}
+	var outs [2]out
+	exec.Collect(ctx, workers, 2, func(ctx context.Context, i int) out {
+		g := c.Copy()
 		opt := core.DefaultOptions()
 		opt.TargetSkewBits = skewBits
 		opt.Seed = seed
 		opt.AllowDirect = false
-		opt.DisableObfuscation = disable
-		return core.Lock(c, opt)
-	}
-	rb, err := mk(true)
-	if err != nil {
+		opt.DisableObfuscation = i == 0
+		res, err := core.Lock(ctx, g, opt)
+		if err != nil {
+			return out{err: err}
+		}
+		return out{st: fig4Stats(ctx, res, g)}
+	}, func(i int, r out) { outs[i] = r })
+	if err := ctx.Err(); err != nil {
 		return before, after, err
 	}
-	ra, err := mk(false)
-	if err != nil {
-		return before, after, err
+	for _, o := range outs {
+		if o.err != nil {
+			return before, after, o.err
+		}
 	}
-	return fig4Stats(rb, c), fig4Stats(ra, c), nil
+	return outs[0].st, outs[1].st, nil
 }
 
-func fig4Stats(res *core.Result, c *aig.AIG) Fig4Stats {
+func fig4Stats(ctx context.Context, res *core.Result, c *aig.AIG) Fig4Stats {
 	l := res.Locked
 	st := fig4Hist(l)
 	// The red outlier: does a node computing a critical function survive?
-	_, sc := attacks.CriticalNodeSurvives(l, c, c.Output(res.Report.ProtectedOutput), 8, 1, 100000)
+	_, sc := attacks.CriticalNodeSurvives(ctx, l, c, c.Output(res.Report.ProtectedOutput), 8, 1, 100000)
 	sl := false
 	if res.LockingFunction != nil {
-		_, sl = attacks.CriticalNodeSurvives(l, res.LockingFunction,
+		_, sl = attacks.CriticalNodeSurvives(ctx, l, res.LockingFunction,
 			res.LockingFunction.Output(0), 8, 1, 100000)
 	}
 	st.CriticalVisible = sc || sl
@@ -352,45 +418,61 @@ type Fig5Row struct {
 }
 
 // Fig5 locks every benchmark at every skewness level and measures the
-// area/power/delay overheads on the mapped netlists.
-func Fig5(suite []netlistgen.Benchmark, skews []float64, seed int64, w io.Writer) ([]Fig5Row, error) {
+// area/power/delay overheads on the mapped netlists. Benchmarks run on
+// the worker pool, one task per benchmark with a splitmix-derived seed,
+// and each task renders its rows into a private buffer so the emitted
+// report is byte-identical at any worker count.
+func Fig5(ctx context.Context, suite []netlistgen.Benchmark, skews []float64, seed int64, workers int, w io.Writer) ([]Fig5Row, error) {
 	if w != nil {
 		fmt.Fprintln(w, "bench       skew   area%   power%   delay%")
+	}
+	type out struct {
+		rows []Fig5Row
+		text []byte
 	}
 	var rows []Fig5Row
 	sums := map[float64]*techmap.Overhead{}
 	counts := map[float64]int{}
-	for _, b := range suite {
+	exec.Collect(ctx, workers, len(suite), func(ctx context.Context, i int) out {
+		b := suite[i]
+		bseed := exec.DeriveSeed(seed, i)
+		var buf bytes.Buffer
+		var o out
 		c := b.Build()
-		orig := techmap.Analyze(c, 8, seed)
+		orig := techmap.Analyze(c, 8, bseed)
 		for _, s := range skews {
 			opt := core.DefaultOptions()
 			opt.TargetSkewBits = s
-			opt.Seed = seed
+			opt.Seed = bseed
 			opt.AllowDirect = false
-			res, err := core.Lock(c, opt)
+			res, err := core.Lock(ctx, c, opt)
 			if err != nil {
-				if w != nil {
-					fmt.Fprintf(w, "%-10s %g bits: %v\n", b.Name, s, err)
-				}
+				fmt.Fprintf(&buf, "%-10s %g bits: %v\n", b.Name, s, err)
 				continue
 			}
-			locked := techmap.Analyze(res.Locked.Enc, 8, seed)
+			locked := techmap.Analyze(res.Locked.Enc, 8, bseed)
 			ov := techmap.Compare(orig, locked)
-			rows = append(rows, Fig5Row{b.Name, s, ov})
-			if sums[s] == nil {
-				sums[s] = &techmap.Overhead{}
-			}
-			sums[s].AreaPct += ov.AreaPct
-			sums[s].PowerPct += ov.PowerPct
-			sums[s].DelayPct += ov.DelayPct
-			counts[s]++
-			if w != nil {
-				fmt.Fprintf(w, "%-10s %5.0f  %6.1f  %7.1f  %7.1f\n",
-					b.Name, s, ov.AreaPct, ov.PowerPct, ov.DelayPct)
-			}
+			o.rows = append(o.rows, Fig5Row{b.Name, s, ov})
+			fmt.Fprintf(&buf, "%-10s %5.0f  %6.1f  %7.1f  %7.1f\n",
+				b.Name, s, ov.AreaPct, ov.PowerPct, ov.DelayPct)
 		}
-	}
+		o.text = buf.Bytes()
+		return o
+	}, func(i int, o out) {
+		for _, r := range o.rows {
+			rows = append(rows, r)
+			if sums[r.SkewBits] == nil {
+				sums[r.SkewBits] = &techmap.Overhead{}
+			}
+			sums[r.SkewBits].AreaPct += r.Area.AreaPct
+			sums[r.SkewBits].PowerPct += r.Area.PowerPct
+			sums[r.SkewBits].DelayPct += r.Area.DelayPct
+			counts[r.SkewBits]++
+		}
+		if w != nil {
+			w.Write(o.text)
+		}
+	})
 	if w != nil {
 		for _, s := range skews {
 			if counts[s] > 0 {
@@ -400,7 +482,7 @@ func Fig5(suite []netlistgen.Benchmark, skews []float64, seed int64, w io.Writer
 			}
 		}
 	}
-	return rows, nil
+	return rows, ctx.Err()
 }
 
 // StructuralRow summarizes the structural-attack evaluation of one lock.
@@ -413,43 +495,56 @@ type StructuralRow struct {
 }
 
 // Structural locks each benchmark and runs the structural attack battery.
-func Structural(suite []netlistgen.Benchmark, skewBits float64, seed int64, w io.Writer) ([]StructuralRow, error) {
+// Benchmarks run on the worker pool with splitmix-derived per-benchmark
+// seeds; output is emitted in suite order regardless of worker count.
+func Structural(ctx context.Context, suite []netlistgen.Benchmark, skewBits float64, seed int64, workers int, w io.Writer) ([]StructuralRow, error) {
 	if w != nil {
 		fmt.Fprintln(w, "bench       critical-eliminated  valkyrie-resisted  spi-wrong  removal-resisted")
 	}
+	type out struct {
+		row  StructuralRow
+		ok   bool
+		text []byte
+	}
 	var rows []StructuralRow
-	for _, b := range suite {
+	exec.Collect(ctx, workers, len(suite), func(ctx context.Context, i int) out {
+		b := suite[i]
+		bseed := exec.DeriveSeed(seed, i)
+		var buf bytes.Buffer
 		c := b.Build()
 		opt := core.DefaultOptions()
 		opt.TargetSkewBits = skewBits
-		opt.Seed = seed
+		opt.Seed = bseed
 		opt.AllowDirect = false
-		res, err := core.Lock(c, opt)
+		res, err := core.Lock(ctx, c, opt)
 		if err != nil {
-			if w != nil {
-				fmt.Fprintf(w, "%-10s: %v\n", b.Name, err)
-			}
-			continue
+			fmt.Fprintf(&buf, "%-10s: %v\n", b.Name, err)
+			return out{text: buf.Bytes()}
 		}
 		l := res.Locked
 		row := StructuralRow{Bench: b.Name}
-		_, survives := attacks.CriticalNodeSurvives(l, c, c.Output(res.Report.ProtectedOutput), 8, seed, 100000)
+		_, survives := attacks.CriticalNodeSurvives(ctx, l, c, c.Output(res.Report.ProtectedOutput), 8, bseed, 100000)
 		row.CriticalEliminated = !survives
 		copt := cec.DefaultOptions()
-		copt.ConflictBudget = 50000
-		vr := attacks.Valkyrie(l, c, 6, 64, seed, copt)
+		copt.Budget = exec.WithConflicts(50000)
+		vr := attacks.Valkyrie(ctx, l, c, 6, 64, bseed, copt)
 		row.ValkyrieBroke = vr.FoundPair
 		spi := attacks.SPI(l, 6)
 		ok, _ := l.VerifyKey(c, spi.Key)
 		row.SPIWrong = !ok
-		sps := attacks.SPS(l, 64, seed, 8)
-		rm := attacks.Removal(l, c, sps.Candidates, copt)
+		sps := attacks.SPS(l, 64, bseed, 8)
+		rm := attacks.Removal(ctx, l, c, sps.Candidates, copt)
 		row.RemovalFailed = !rm.Success
-		rows = append(rows, row)
-		if w != nil {
-			fmt.Fprintf(w, "%-10s %19v  %17v  %9v  %16v\n",
-				b.Name, row.CriticalEliminated, !row.ValkyrieBroke, row.SPIWrong, row.RemovalFailed)
+		fmt.Fprintf(&buf, "%-10s %19v  %17v  %9v  %16v\n",
+			b.Name, row.CriticalEliminated, !row.ValkyrieBroke, row.SPIWrong, row.RemovalFailed)
+		return out{row: row, ok: true, text: buf.Bytes()}
+	}, func(i int, o out) {
+		if o.ok {
+			rows = append(rows, o.row)
 		}
-	}
-	return rows, nil
+		if w != nil {
+			w.Write(o.text)
+		}
+	})
+	return rows, ctx.Err()
 }

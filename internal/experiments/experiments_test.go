@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ func quickBudget() Budget {
 func TestTableIEntryShape(t *testing.T) {
 	b := netlistgen.SmallSuite()[1] // adder/comparator
 	var out bytes.Buffer
-	row, err := TableIEntry(b, 8, 1, quickBudget(), &out)
+	row, err := TableIEntry(context.Background(), b, 8, 1, quickBudget(), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestTableISweepSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is slow")
 	}
-	rows, err := TableI(netlistgen.SmallSuite()[:2], []float64{8}, 1, quickBudget(), nil)
+	rows, err := TableI(context.Background(), netlistgen.SmallSuite()[:2], []float64{8}, 1, quickBudget(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestTableISweepSmall(t *testing.T) {
 
 func TestFig4BeforeAfter(t *testing.T) {
 	c := netlistgen.SmallSuite()[1].Build()
-	before, after, err := Fig4(c, 8, 1)
+	before, after, err := Fig4(context.Background(), c, 8, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestFig4BeforeAfter(t *testing.T) {
 
 func TestFig5Overheads(t *testing.T) {
 	var out bytes.Buffer
-	rows, err := Fig5(netlistgen.SmallSuite()[1:3], []float64{8}, 1, &out)
+	rows, err := Fig5(context.Background(), netlistgen.SmallSuite()[1:3], []float64{8}, 1, 0, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFig5Overheads(t *testing.T) {
 }
 
 func TestStructuralBattery(t *testing.T) {
-	rows, err := Structural(netlistgen.SmallSuite()[1:2], 8, 1, nil)
+	rows, err := Structural(context.Background(), netlistgen.SmallSuite()[1:2], 8, 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,12 +48,18 @@ type MetricsFile struct {
 func NewMetricsFile(rows []TableIRow, tr *obs.Tracer) MetricsFile {
 	mf := MetricsFile{Schema: MetricsSchema, Rows: make([]MetricsRow, 0, len(rows))}
 	for _, r := range rows {
+		lockSeconds := r.LockTime.Seconds()
+		if r.Deterministic {
+			// Wall-clock time is the one column that cannot be byte-stable
+			// across runs; deterministic sweeps zero it.
+			lockSeconds = 0
+		}
 		mf.Rows = append(mf.Rows, MetricsRow{
 			Bench:       r.Bench,
 			Nodes:       r.Nodes,
 			SkewBits:    r.SkewBits,
 			KeyBits:     r.KeyBits,
-			LockSeconds: r.LockTime.Seconds(),
+			LockSeconds: lockSeconds,
 			Attacks: map[string]string{
 				"sat_sub":      r.SATSub,
 				"sat_whole":    r.SATWhole,

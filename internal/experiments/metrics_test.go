@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 	"time"
@@ -87,7 +88,7 @@ func TestTableIEntryTraced(t *testing.T) {
 	budget := quickBudget()
 	budget.Trace = obs.New(col)
 	b := netlistgen.SmallSuite()[1]
-	if _, err := TableIEntry(b, 8, 1, budget, nil); err != nil {
+	if _, err := TableIEntry(context.Background(), b, 8, 1, budget, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := col.SpanNamed("lock"); !ok {

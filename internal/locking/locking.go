@@ -8,6 +8,7 @@
 package locking
 
 import (
+	"context"
 	"fmt"
 
 	"obfuslock/internal/aig"
@@ -96,9 +97,16 @@ func BindInputs(enc *aig.AIG, m int, x []bool) *aig.AIG {
 	return ng
 }
 
-// VerifyKey checks by SAT whether key restores orig exactly.
+// VerifyKey checks by SAT whether key restores orig exactly. The proof
+// runs unbounded; use VerifyKeyContext to make it cancellable.
 func (l *Locked) VerifyKey(orig *aig.AIG, key []bool) (bool, error) {
-	r, err := cec.Check(orig, l.ApplyKey(key), cec.DefaultOptions())
+	return l.VerifyKeyContext(context.Background(), orig, key)
+}
+
+// VerifyKeyContext is VerifyKey under a cancellation context; a cancelled
+// proof reports an "equivalence undecided" error.
+func (l *Locked) VerifyKeyContext(ctx context.Context, orig *aig.AIG, key []bool) (bool, error) {
+	r, err := cec.Check(ctx, orig, l.ApplyKey(key), cec.DefaultOptions())
 	if err != nil {
 		return false, err
 	}

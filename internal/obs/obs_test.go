@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -177,5 +178,50 @@ func TestProgressSinkPaints(t *testing.T) {
 	}
 	if !strings.Contains(out, "done in") {
 		t.Fatalf("progress output missing completion note: %q", out)
+	}
+}
+
+// TestConcurrentSpansFanIn drives one tracer from many goroutines, the
+// shape a parallel sweep produces, and checks the sinks survive the
+// interleaving: the Progress sink must drop exactly the ended span even
+// when several same-named spans are open (removal is by span ID), and the
+// collector must see every span and event.
+func TestConcurrentSpansFanIn(t *testing.T) {
+	col := NewCollector()
+	prog := NewProgress(&bytes.Buffer{})
+	tr := New(Multi(col, prog))
+	const workers = 8
+	const spansPer = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				sp := tr.Span("cell", Int("worker", int64(w)))
+				sp.Event("tick", Int("i", int64(i)))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Close()
+	ended := 0
+	for _, sd := range col.Spans() {
+		if sd.Name == "cell" {
+			ended++
+		}
+	}
+	if ended != workers*spansPer {
+		t.Fatalf("collector saw %d ended cell spans, want %d", ended, workers*spansPer)
+	}
+	if got := len(col.EventsNamed("tick")); got != workers*spansPer {
+		t.Fatalf("collector saw %d tick events, want %d", got, workers*spansPer)
+	}
+	prog.mu.Lock()
+	open := len(prog.open)
+	prog.mu.Unlock()
+	if open != 0 {
+		t.Fatalf("progress sink still tracks %d open spans after all ended", open)
 	}
 }

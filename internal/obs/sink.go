@@ -320,8 +320,16 @@ type Progress struct {
 	w        io.Writer
 	interval time.Duration
 	last     time.Time
-	open     []string // stack of open span names (single-goroutine streams)
+	open     []openSpan // open spans in start order (concurrent spans interleave)
 	lastLen  int
+}
+
+// openSpan tracks one live span by ID: with parallel sweeps several spans
+// of the same name are open at once, so removal must match the ID, not
+// the name.
+type openSpan struct {
+	id   uint64
+	name string
 }
 
 // NewProgress returns a live progress sink repainting at most every
@@ -337,11 +345,11 @@ func (p *Progress) paint(tail string, force bool) {
 	}
 	p.last = now
 	line := ""
-	for i, n := range p.open {
+	for i, o := range p.open {
 		if i > 0 {
 			line += ">"
 		}
-		line += n
+		line += o.name
 	}
 	if tail != "" {
 		if line != "" {
@@ -360,7 +368,7 @@ func (p *Progress) paint(tail string, force bool) {
 // SpanStart implements Sink.
 func (p *Progress) SpanStart(sd SpanData) {
 	p.mu.Lock()
-	p.open = append(p.open, sd.Name)
+	p.open = append(p.open, openSpan{id: sd.ID, name: sd.Name})
 	p.paint("", true)
 	p.mu.Unlock()
 }
@@ -369,7 +377,7 @@ func (p *Progress) SpanStart(sd SpanData) {
 func (p *Progress) SpanEnd(sd SpanData) {
 	p.mu.Lock()
 	for i := len(p.open) - 1; i >= 0; i-- {
-		if p.open[i] == sd.Name {
+		if p.open[i].id == sd.ID {
 			p.open = append(p.open[:i], p.open[i+1:]...)
 			break
 		}

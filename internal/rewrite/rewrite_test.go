@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,7 @@ func randomGraph(rng *rand.Rand, nin, nnodes int) *aig.AIG {
 
 func mustEquivalent(t *testing.T, a, b *aig.AIG, label string) {
 	t.Helper()
-	r, err := cec.Check(a, b, cec.DefaultOptions())
+	r, err := cec.Check(context.Background(), a, b, cec.DefaultOptions())
 	if err != nil {
 		t.Fatalf("%s: %v", label, err)
 	}
@@ -73,7 +74,7 @@ func TestCutEnumerationSound(t *testing.T) {
 				leafLits[i] = aig.MkLit(lf, false)
 			}
 			rebuilt := BuildFromTruth(probe, tt, leafLits)
-			eq, dec := cec.LitsEquivalent(probe, aig.MkLit(v, false), rebuilt, -1)
+			eq, dec := cec.LitsEquivalent(context.Background(), probe, aig.MkLit(v, false), rebuilt, -1)
 			if !dec || !eq {
 				t.Fatalf("cut truth of node %d over %v mismatches", v, cut.Leaves)
 			}

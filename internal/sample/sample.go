@@ -15,10 +15,12 @@
 package sample
 
 import (
+	"context"
 	"math/rand"
 
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cnf"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
 )
@@ -32,7 +34,7 @@ type Sampler interface {
 
 // prepare builds a solver asserting cond over the inputs of g and returns
 // the solver together with the input literals.
-func prepare(g *aig.AIG, cond aig.Lit, budget int64) (*sat.Solver, []sat.Lit) {
+func prepare(ctx context.Context, g *aig.AIG, cond aig.Lit, budget exec.Budget) (*sat.Solver, []sat.Lit) {
 	s := sat.New()
 	e := cnf.NewEncoder(g, s)
 	ins := make([]sat.Lit, g.NumInputs())
@@ -41,9 +43,8 @@ func prepare(g *aig.AIG, cond aig.Lit, budget int64) (*sat.Solver, []sat.Lit) {
 	}
 	root := e.Encode(cond)
 	s.AddClause(root[0])
-	if budget >= 0 {
-		s.SetBudget(budget)
-	}
+	s.SetBudget(budget.ConflictCap())
+	s.SetContext(ctx)
 	return s, ins
 }
 
@@ -56,8 +57,11 @@ type CubeSampler struct {
 	PinFraction float64
 	// Attempts bounds SAT calls per requested sample.
 	Attempts int
-	// Budget is the per-call solver conflict budget (<0 unlimited).
-	Budget int64
+	// Budget bounds each solver call (zero value: unlimited).
+	Budget exec.Budget
+	// Ctx, when non-nil, cancels in-flight solves; Sample then returns
+	// the witnesses drawn so far.
+	Ctx context.Context
 	// Trace receives one sample.cube event per Sample call. Nil disables.
 	Trace *obs.Tracer
 }
@@ -70,7 +74,7 @@ func NewCubeSampler(g *aig.AIG, cond aig.Lit, seed int64) *CubeSampler {
 		rng:         rand.New(rand.NewSource(seed)),
 		PinFraction: 0.5,
 		Attempts:    8,
-		Budget:      200000,
+		Budget:      exec.WithConflicts(200000),
 	}
 }
 
@@ -85,7 +89,7 @@ func (cs *CubeSampler) Sample(n int) [][]bool {
 }
 
 func (cs *CubeSampler) sample(n int) [][]bool {
-	s, ins := prepare(cs.g, cs.cond, cs.Budget)
+	s, ins := prepare(cs.Ctx, cs.g, cs.cond, cs.Budget)
 	s.SetRandomPolarity(cs.rng.Int63())
 	nin := len(ins)
 	var out [][]bool
@@ -148,8 +152,11 @@ type XorSampler struct {
 	rng  *rand.Rand
 	// CellTarget is the desired number of witnesses per random cell.
 	CellTarget int
-	// Budget is the per-solver conflict budget (<0 unlimited).
-	Budget int64
+	// Budget bounds each solver (zero value: unlimited).
+	Budget exec.Budget
+	// Ctx, when non-nil, cancels in-flight solves; Sample then returns
+	// the witnesses drawn so far.
+	Ctx context.Context
 	// Trace receives one sample.cell event per enumerated XOR cell. Nil
 	// disables.
 	Trace *obs.Tracer
@@ -162,14 +169,14 @@ func NewXorSampler(g *aig.AIG, cond aig.Lit, seed int64) *XorSampler {
 		cond:       cond,
 		rng:        rand.New(rand.NewSource(seed)),
 		CellTarget: 8,
-		Budget:     500000,
+		Budget:     exec.WithConflicts(500000),
 	}
 }
 
 // enumerateCell lists up to limit witnesses of cond subject to nXor random
 // parity constraints over the inputs.
 func (xs *XorSampler) enumerateCell(nXor, limit int) [][]bool {
-	s, ins := prepare(xs.g, xs.cond, xs.Budget)
+	s, ins := prepare(xs.Ctx, xs.g, xs.cond, xs.Budget)
 	s.SetRandomPolarity(xs.rng.Int63())
 	for x := 0; x < nXor; x++ {
 		var lits []sat.Lit

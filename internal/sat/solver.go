@@ -5,12 +5,15 @@
 // learnt-clause database reduction.
 //
 // The solver is incremental: clauses can be added between calls to Solve,
-// and Solve accepts assumption literals. Conflict budgets and a stop
-// callback support the time-limited attack loops used elsewhere in the
-// repository.
+// and Solve accepts assumption literals. Conflict budgets, a stop
+// callback and context cancellation (SetContext) support the bounded
+// attack loops used elsewhere in the repository.
 package sat
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Lit is a literal: variable v as 2*v (positive) or 2*v+1 (negated).
 type Lit int32
@@ -151,6 +154,7 @@ type Solver struct {
 	exhausted bool
 	stopFn    func() bool
 	stopTick  int
+	ctxDone   <-chan struct{}
 
 	progressFn    func(Progress)
 	progressEvery int64
@@ -193,6 +197,30 @@ func (s *Solver) SetBudget(conflicts int64) {
 // SetStop installs a callback polled periodically during search; when it
 // returns true, Solve returns Unknown.
 func (s *Solver) SetStop(f func() bool) { s.stopFn = f }
+
+// SetContext installs a cancellation context. Its Done channel is polled
+// at the same cadence as the SetStop callback; once the context is
+// cancelled, Solve returns Unknown. A nil context removes the hook.
+func (s *Solver) SetContext(ctx context.Context) {
+	if ctx == nil {
+		s.ctxDone = nil
+		return
+	}
+	s.ctxDone = ctx.Done()
+}
+
+// cancelled is the non-blocking context poll.
+func (s *Solver) cancelled() bool {
+	if s.ctxDone == nil {
+		return false
+	}
+	select {
+	case <-s.ctxDone:
+		return true
+	default:
+		return false
+	}
+}
 
 // SetProgress installs a callback invoked every `every` conflicts
 // (cumulative across Solve calls) with a snapshot of the solver
@@ -544,14 +572,17 @@ func luby(i int64) int64 {
 }
 
 func (s *Solver) stopped() bool {
-	if s.stopFn == nil {
+	if s.stopFn == nil && s.ctxDone == nil {
 		return false
 	}
 	s.stopTick++
 	if s.stopTick&63 != 0 {
 		return false
 	}
-	return s.stopFn()
+	if s.cancelled() {
+		return true
+	}
+	return s.stopFn != nil && s.stopFn()
 }
 
 // search runs CDCL until a model is found, a conflict at root level proves
@@ -687,11 +718,15 @@ func quickMedian(v []float32) float32 {
 }
 
 // Solve runs the solver under the given assumptions. It returns Sat, Unsat,
-// or Unknown when a budget/stop limit fires. After Sat, the model is
-// available via ModelValue.
+// or Unknown when a budget/stop/context limit fires. After Sat, the model
+// is available via ModelValue.
 func (s *Solver) Solve(assumps ...Lit) Status {
 	if !s.ok {
 		return Unsat
+	}
+	if s.cancelled() {
+		s.exhausted = true
+		return Unknown
 	}
 	s.cancelUntil(0)
 	if s.propagate() != clauseNone {

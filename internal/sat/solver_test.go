@@ -1,9 +1,11 @@
 package sat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestTrivial(t *testing.T) {
@@ -163,6 +165,36 @@ func TestStopCallback(t *testing.T) {
 	s.SetStop(func() bool { calls++; return calls > 2 })
 	if st := s.Solve(); st != Unknown {
 		t.Fatalf("stopped solve: got %v", st)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	// An already-cancelled context aborts before any search.
+	s := New()
+	pigeonhole(s, 10, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(ctx)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("cancelled solve: got %v, want UNKNOWN", st)
+	}
+	// Removing the context restores normal solving.
+	s.SetContext(nil)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("solve after clearing context: got %v, want UNSAT", st)
+	}
+	// Cancellation mid-search is observed by the stopped() poll.
+	s2 := New()
+	pigeonhole(s2, 12, 11) // far beyond the deadline below
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	s2.SetContext(ctx2)
+	start := time.Now()
+	if st := s2.Solve(); st != Unknown {
+		t.Fatalf("deadline solve: got %v, want UNKNOWN", st)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation honored only after %v", elapsed)
 	}
 }
 

@@ -1,6 +1,7 @@
 package techmap
 
 import (
+	"context"
 	"testing"
 
 	"obfuslock/internal/aig"
@@ -92,7 +93,7 @@ func TestObfusLockOverheadModest(t *testing.T) {
 	opt.TargetSkewBits = 10
 	opt.Seed = 31
 	opt.AllowDirect = false
-	res, err := core.Lock(c, opt)
+	res, err := core.Lock(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

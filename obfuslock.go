@@ -25,6 +25,7 @@
 package obfuslock
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"obfuslock/internal/bench"
 	"obfuslock/internal/cec"
 	"obfuslock/internal/core"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/lockbase"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
@@ -74,7 +76,15 @@ type Report = core.Report
 type Result = core.Result
 
 // Lock encrypts the circuit with ObfusLock.
-func Lock(c *Circuit, opt Options) (*Result, error) { return core.Lock(c, opt) }
+func Lock(c *Circuit, opt Options) (*Result, error) {
+	return core.Lock(context.Background(), c, opt)
+}
+
+// LockContext is Lock under a cancellation context: cancelling ctx aborts
+// the construction (including its SAT solves) promptly.
+func LockContext(ctx context.Context, c *Circuit, opt Options) (*Result, error) {
+	return core.Lock(ctx, c, opt)
+}
 
 // Oracle is the attacker's working chip: query access to the original
 // function.
@@ -85,7 +95,7 @@ func NewOracle(c *Circuit) *Oracle { return locking.NewOracle(c) }
 
 // Equivalent proves or refutes functional equivalence of two circuits.
 func Equivalent(a, b *Circuit) (bool, error) {
-	r, err := cec.Check(a, b, cec.DefaultOptions())
+	r, err := cec.Check(context.Background(), a, b, cec.DefaultOptions())
 	if err != nil {
 		return false, err
 	}
@@ -101,14 +111,41 @@ func DefaultAttackOptions() AttackOptions { return attacks.DefaultIOOptions() }
 // AttackResult reports an oracle-guided attack outcome.
 type AttackResult = attacks.IOResult
 
-// RunSATAttack launches the oracle-guided SAT attack of Subramanyan et al.
-func RunSATAttack(l *Locked, o *Oracle, opt AttackOptions) AttackResult {
-	return attacks.SATAttack(l, o, opt)
+// RunSATAttack launches the oracle-guided SAT attack of Subramanyan et
+// al. Cancelling ctx stops the attack within one solver progress interval
+// and yields a timeout-style result; a nil ctx runs unbounded.
+func RunSATAttack(ctx context.Context, l *Locked, o *Oracle, opt AttackOptions) AttackResult {
+	return attacks.SATAttack(ctx, l, o, opt)
 }
 
-// RunAppSAT launches the approximate SAT attack of Shamsi et al.
-func RunAppSAT(l *Locked, o *Oracle, opt AttackOptions) AttackResult {
-	return attacks.AppSAT(l, o, opt)
+// RunAppSAT launches the approximate SAT attack of Shamsi et al. under
+// the same cancellation contract as RunSATAttack.
+func RunAppSAT(ctx context.Context, l *Locked, o *Oracle, opt AttackOptions) AttackResult {
+	return attacks.AppSAT(ctx, l, o, opt)
+}
+
+// Budget bounds SAT effort: a wall-clock timeout plus a conflict cap
+// (0 = unlimited). See internal/exec for the full semantics.
+type Budget = exec.Budget
+
+// WithConflicts returns a Budget capped at n solver conflicts.
+func WithConflicts(n int64) Budget { return exec.WithConflicts(n) }
+
+// DeriveSeed derives a statistically independent child seed from a master
+// seed and an index (splitmix64); the experiment sweeps use it to give
+// every cell its own stream regardless of worker count.
+func DeriveSeed(master int64, index int) int64 { return exec.DeriveSeed(master, index) }
+
+// PortfolioVariant is one racer of a portfolio attack.
+type PortfolioVariant = attacks.PortfolioVariant
+
+// PortfolioResult reports a portfolio race.
+type PortfolioResult = attacks.PortfolioResult
+
+// RunPortfolio races several attack variants concurrently and cancels the
+// losers once one recovers a verified-correct key.
+func RunPortfolio(ctx context.Context, variants []PortfolioVariant) PortfolioResult {
+	return attacks.Portfolio(ctx, variants, nil)
 }
 
 // PPAReport estimates area, power and delay of a mapped netlist.

@@ -2,6 +2,7 @@ package obfuslock
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -49,7 +50,7 @@ func TestFacadeAttackAndPPA(t *testing.T) {
 	}
 	aopt := DefaultAttackOptions()
 	aopt.MaxIterations = 30
-	r := RunSATAttack(res.Locked, NewOracle(c), aopt)
+	r := RunSATAttack(context.Background(), res.Locked, NewOracle(c), aopt)
 	if r.Exact {
 		t.Fatalf("8-bit lock fell in %d iterations", r.Iterations)
 	}
