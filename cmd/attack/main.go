@@ -28,6 +28,10 @@
 //	-v                 print cumulative SAT-solver statistics
 //	-metrics path      metrics.json written by -table1 (default metrics.json)
 //
+// The equivalence checks inside the removal and Valkyrie attacks run
+// SAT-swept by default (-sweep, -sweep-words; see DESIGN.md "Equivalence
+// checking & SAT sweeping"); -sweep=false forces the monolithic miter.
+//
 // Exit status is non-zero when a key-recovery attack returns no key, so
 // scripted resilience sweeps can branch on the result.
 package main
@@ -73,6 +77,8 @@ func main() {
 	skews := flag.String("skews", "10,20,30", "comma-separated skewness levels for experiment modes")
 	workers := flag.Int("workers", 0, "experiment parallelism (0: GOMAXPROCS)")
 	det := flag.Bool("det", false, "deterministic sweep: no wall-clock cells or timeouts; output is byte-reproducible")
+	sweepCEC := flag.Bool("sweep", true, "use SAT sweeping (fraig) for the equivalence checks of removal/valkyrie")
+	sweepWords := flag.Int("sweep-words", 8, "64-pattern signature words seeding the sweep's equivalence classes")
 
 	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
 	progress := flag.Bool("progress", false, "live one-line progress on stderr")
@@ -218,7 +224,7 @@ func main() {
 		}
 	case "removal":
 		sps := attacks.SPS(l, 256, *seed, 10)
-		r := attacks.Removal(ctx, l, orig, sps.Candidates, cec.DefaultOptions())
+		r := attacks.Removal(ctx, l, orig, sps.Candidates, cecOptions(*sweepCEC, *sweepWords, *seed, tracer))
 		fmt.Printf("removal: success=%v tried=%d runtime=%v\n", r.Success, r.Tried, r.Runtime)
 	case "bypass":
 		wrong := make([]bool, l.KeyBits)
@@ -226,7 +232,7 @@ func main() {
 		fmt.Printf("bypass: success=%v patterns=%d exhausted=%v runtime=%v\n",
 			r.Success, r.Patterns, r.Exhausted, r.Runtime)
 	case "valkyrie":
-		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cec.DefaultOptions())
+		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cecOptions(*sweepCEC, *sweepWords, *seed, tracer))
 		fmt.Printf("valkyrie: found-pair=%v restore-only=%v pairs-tried=%d runtime=%v\n",
 			r.FoundPair, r.RestoreOnly, r.PairsTried, r.Runtime)
 	case "spi":
@@ -238,6 +244,19 @@ func main() {
 		finish()
 		os.Exit(1)
 	}
+}
+
+// cecOptions builds the equivalence-check configuration for the attacks
+// that prove candidate modifications equivalent to the oracle.
+func cecOptions(sweep bool, sweepWords int, seed int64, tracer *obs.Tracer) cec.Options {
+	opt := cec.DefaultOptions()
+	if sweep {
+		opt = cec.SweepOptions()
+		opt.SweepWords = sweepWords
+	}
+	opt.Seed = seed
+	opt.Trace = tracer
+	return opt
 }
 
 // validateFlags rejects inconsistent mode combinations before any work

@@ -8,6 +8,10 @@
 // The locked netlist's key inputs are named k0, k1, ...; the correct key
 // is written to -key as a 0/1 string (k0 first).
 //
+// The -verify proof runs SAT-swept by default (-sweep, -sweep-words; see
+// DESIGN.md "Equivalence checking & SAT sweeping"); -sweep=false forces
+// the monolithic miter.
+//
 // Observability: -trace out.jsonl records every lock phase as a JSON-Lines
 // span/event stream, -progress paints a live status line on stderr, and
 // -pprof addr serves net/http/pprof with spans labeling the profiles.
@@ -39,6 +43,8 @@ func main() {
 	output := flag.Int("po", -1, "protected output index (-1: deepest cone)")
 	noRewrite := flag.Bool("norewrite", false, "skip the final functional-rewriting pass")
 	verify := flag.Bool("verify", true, "prove key correctness by SAT equivalence checking")
+	sweep := flag.Bool("sweep", true, "use SAT sweeping (fraig) for the -verify equivalence proof")
+	sweepWords := flag.Int("sweep-words", 8, "64-pattern signature words seeding the sweep's equivalence classes")
 	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
 	progress := flag.Bool("progress", false, "live one-line progress on stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -107,8 +113,15 @@ func main() {
 	fmt.Printf("nodes %d -> %d, runtime %v\n", rep.OrigNodes, rep.EncNodes, rep.Runtime)
 
 	if *verify {
-		vsp := tracer.Span("verify")
-		err := res.Locked.Verify(c)
+		vsp := tracer.Span("verify", obfuslock.TraceBool("sweep", *sweep))
+		copt := obfuslock.DefaultCECOptions()
+		if *sweep {
+			copt = obfuslock.SweepCECOptions()
+			copt.SweepWords = *sweepWords
+		}
+		copt.Seed = *seed
+		copt.Trace = tracer
+		err := res.Locked.VerifyWith(ctx, c, copt)
 		if err != nil {
 			vsp.End(obfuslock.TraceStr("error", err.Error()))
 			fatal(fmt.Errorf("verification failed: %w", err))

@@ -82,7 +82,7 @@ func main() {
 	fmt.Printf("  sensitization: %d/%d key bits isolatable\n", sens.NumIsolatable, l.KeyBits)
 
 	fmt.Println("red team: structural attacks")
-	_, survives := attacks.CriticalNodeSurvives(context.Background(), l, c, c.Output(res.Report.ProtectedOutput), 8, 1, 100000)
+	_, survives := attacks.CriticalNodeSurvives(context.Background(), l, c, c.Output(res.Report.ProtectedOutput), cec.DefaultFindOptions())
 	fmt.Printf("  critical node survives CEC search: %v\n", survives)
 
 	copt := cec.DefaultOptions()

@@ -367,7 +367,7 @@ func TestCriticalNodeSurvivesOnSARLock(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := orig.Output(1)
-	if _, ok := CriticalNodeSurvives(context.Background(), l, orig, spec, 8, 1, -1); !ok {
+	if _, ok := CriticalNodeSurvives(context.Background(), l, orig, spec, cec.FindOptions{SimWords: 8, Seed: 1}); !ok {
 		t.Fatal("unprotected output cone should survive untouched")
 	}
 }

@@ -405,9 +405,10 @@ func StructuralClassifier(l *locking.Locked, topK int) ClassifierResult {
 // CriticalNodeSurvives checks whether any node of enc (keys bound to an
 // arbitrary wrong key) is functionally equivalent to the given function of
 // the original inputs — the paper's combinational-equivalence check that
-// all critical nodes were eliminated.
-func CriticalNodeSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, spec aig.Lit, simWords int, seed int64, budget int64) (aig.Lit, bool) {
+// all critical nodes were eliminated. The search runs on one shared
+// incremental solver (see cec.FindEquivalentNode).
+func CriticalNodeSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, spec aig.Lit, opt cec.FindOptions) (aig.Lit, bool) {
 	anyKey := make([]bool, l.KeyBits)
 	bound := l.ApplyKey(anyKey)
-	return cec.FindEquivalentNode(ctx, bound, specG, spec, simWords, seed, budget)
+	return cec.FindEquivalentNode(ctx, bound, specG, spec, opt)
 }

@@ -1,6 +1,9 @@
 // Package cec implements SAT-based combinational equivalence checking with
 // a random-simulation pre-filter, plus node-level equivalence queries used
-// by the structural attacks and the critical-node elimination check.
+// by the structural attacks and the critical-node elimination check. The
+// sweeping mode (Options.Sweep) fraigs the combined miter graph — merging
+// the internally equivalent logic the two sides share — before the final,
+// much smaller, miter solve.
 package cec
 
 import (
@@ -11,6 +14,8 @@ import (
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cnf"
 	"obfuslock/internal/exec"
+	"obfuslock/internal/fraig"
+	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
 	"obfuslock/internal/sim"
 )
@@ -31,15 +36,35 @@ type Result struct {
 type Options struct {
 	// SimWords of 64 random patterns tried before SAT (0 disables).
 	SimWords int
-	// Seed for the simulation pre-filter.
+	// Seed for the simulation pre-filter and the sweeping signatures.
 	Seed int64
-	// Budget bounds the SAT effort (zero value: unlimited).
+	// Budget bounds the SAT effort (zero value: unlimited). In sweeping
+	// mode the conflict cap applies per sweep query and to the final
+	// miter solve.
 	Budget exec.Budget
+	// Sweep enables SAT sweeping: the two circuits are combined over
+	// shared inputs, fraiged (internal/fraig), and only output pairs the
+	// sweep could not merge go to the final miter solve.
+	Sweep bool
+	// SweepWords of 64 random patterns seed the sweep's equivalence
+	// classes (0: 8). Only used when Sweep is set.
+	SweepWords int
+	// Trace receives cec.check / cec.find_node spans and the sweep's
+	// instrumentation (nil: disabled).
+	Trace *obs.Tracer
 }
 
 // DefaultOptions uses a small simulation pre-filter and no SAT budget.
 func DefaultOptions() Options {
 	return Options{SimWords: 4, Seed: 1}
+}
+
+// SweepOptions is DefaultOptions with SAT sweeping enabled.
+func SweepOptions() Options {
+	opt := DefaultOptions()
+	opt.Sweep = true
+	opt.SweepWords = 8
+	return opt
 }
 
 // Check decides whether two circuits with identical interfaces are
@@ -51,6 +76,19 @@ func Check(ctx context.Context, a, b *aig.AIG, opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("cec: interface mismatch: %d/%d inputs, %d/%d outputs",
 			a.NumInputs(), b.NumInputs(), a.NumOutputs(), b.NumOutputs())
 	}
+	sp := opt.Trace.Span("cec.check",
+		obs.Int("nodes_a", int64(a.NumNodes())),
+		obs.Int("nodes_b", int64(b.NumNodes())),
+		obs.Bool("sweep", opt.Sweep))
+	r, err := check(ctx, a, b, opt, sp)
+	r.Runtime = time.Since(start)
+	sp.End(
+		obs.Bool("equivalent", r.Equivalent),
+		obs.Bool("decided", r.Decided))
+	return r, err
+}
+
+func check(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (Result, error) {
 	// Simulation pre-filter: a single differing pattern refutes quickly.
 	if opt.SimWords > 0 && a.NumInputs() > 0 {
 		in := sim.RandomInputs(a.NumInputs(), opt.SimWords, opt.Seed)
@@ -67,15 +105,18 @@ func Check(ctx context.Context, a, b *aig.AIG, opt Options) (Result, error) {
 							break
 						}
 					}
+					sp.Event("cec.sim_refuted", obs.Int("output", int64(o)))
 					return Result{
 						Equivalent:     false,
 						Counterexample: sim.Pattern(in, idx),
 						Decided:        true,
-						Runtime:        time.Since(start),
 					}, nil
 				}
 			}
 		}
+	}
+	if opt.Sweep {
+		return checkSwept(ctx, a, b, opt, sp)
 	}
 	s := sat.New()
 	s.SetBudget(opt.Budget.ConflictCap())
@@ -84,15 +125,84 @@ func Check(ctx context.Context, a, b *aig.AIG, opt Options) (Result, error) {
 	s.AddClause(diff)
 	switch s.Solve() {
 	case sat.Unsat:
-		return Result{Equivalent: true, Decided: true, Runtime: time.Since(start)}, nil
+		return Result{Equivalent: true, Decided: true}, nil
 	case sat.Sat:
 		cex := make([]bool, len(inputs))
 		for i, l := range inputs {
 			cex[i] = s.ModelValue(l)
 		}
-		return Result{Equivalent: false, Counterexample: cex, Decided: true, Runtime: time.Since(start)}, nil
+		return Result{Equivalent: false, Counterexample: cex, Decided: true}, nil
 	}
-	return Result{Decided: false, Runtime: time.Since(start)}, nil
+	return Result{}, nil
+}
+
+// checkSwept fraigs the combined graph of a and b over shared inputs; if
+// the sweep merges every output pair the circuits are proven equivalent
+// without a miter at all, otherwise only the surviving pairs feed a final
+// (reduced) miter solve.
+func checkSwept(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (Result, error) {
+	comb := aig.New()
+	piMap := make([]aig.Lit, a.NumInputs())
+	for i := range piMap {
+		piMap[i] = comb.AddInput(a.InputName(i))
+	}
+	oa := comb.Import(a, piMap)
+	ob := comb.Import(b, piMap)
+	for i, o := range oa {
+		comb.AddOutput(o, "a:"+a.OutputName(i))
+	}
+	for i, o := range ob {
+		comb.AddOutput(o, "b:"+b.OutputName(i))
+	}
+	fr := fraig.Sweep(ctx, comb, fraig.Options{
+		Words:  opt.SweepWords,
+		Seed:   opt.Seed,
+		Budget: opt.Budget,
+		Trace:  opt.Trace,
+	})
+	red := fr.Reduced
+	n := a.NumOutputs()
+	var pending [][2]aig.Lit
+	for i := 0; i < n; i++ {
+		la, lb := red.Output(i), red.Output(n+i)
+		if la != lb {
+			pending = append(pending, [2]aig.Lit{la, lb})
+		}
+	}
+	sp.Event("cec.swept",
+		obs.Int("nodes", int64(red.NumNodes())),
+		obs.Int("merges", int64(fr.Stats.Merges)),
+		obs.Int("pending_outputs", int64(len(pending))))
+	if len(pending) == 0 {
+		// Every output pair merged: equivalence is proven, regardless of
+		// whether unrelated internal candidates ran out of budget.
+		return Result{Equivalent: true, Decided: true}, nil
+	}
+	s := sat.New()
+	s.SetBudget(opt.Budget.ConflictCap())
+	s.SetContext(ctx)
+	e := cnf.NewEncoder(red, s)
+	inputs := make([]sat.Lit, red.NumInputs())
+	for i := range inputs {
+		inputs[i] = e.InputLit(i)
+	}
+	diffs := make([]sat.Lit, len(pending))
+	for i, p := range pending {
+		lits := e.Encode(p[0], p[1])
+		diffs[i] = cnf.XorLit(s, lits[0], lits[1])
+	}
+	s.AddClause(cnf.OrLit(s, diffs...))
+	switch s.Solve() {
+	case sat.Unsat:
+		return Result{Equivalent: true, Decided: true}, nil
+	case sat.Sat:
+		cex := make([]bool, len(inputs))
+		for i, l := range inputs {
+			cex[i] = s.ModelValue(l)
+		}
+		return Result{Equivalent: false, Counterexample: cex, Decided: true}, nil
+	}
+	return Result{}, nil
 }
 
 // LitsEquivalent decides whether two literals of the same graph compute the
@@ -117,6 +227,25 @@ func LitsEquivalent(ctx context.Context, g *aig.AIG, x, y aig.Lit, budget int64)
 	return false, false
 }
 
+// FindOptions configures FindEquivalentNode.
+type FindOptions struct {
+	// SimWords of 64 random patterns build the signature shortlist (0: 8).
+	SimWords int
+	// Seed for the shortlist patterns.
+	Seed int64
+	// Budget bounds each candidate's SAT query (the conflict cap applies
+	// per query; an exhausted query skips that candidate).
+	Budget exec.Budget
+	// Trace receives the cec.find_node span (nil: disabled).
+	Trace *obs.Tracer
+}
+
+// DefaultFindOptions matches the paper's elimination check: 512 patterns
+// and a 100k-conflict cap per candidate.
+func DefaultFindOptions() FindOptions {
+	return FindOptions{SimWords: 8, Seed: 1, Budget: exec.WithConflicts(100000)}
+}
+
 // FindEquivalentNode searches g for a node (in either phase) functionally
 // equivalent to the function computed by literal spec in graph specG, where
 // both graphs share the same primary-input ordering. It returns the
@@ -124,43 +253,102 @@ func LitsEquivalent(ctx context.Context, g *aig.AIG, x, y aig.Lit, budget int64)
 //
 // This implements the attacker's "does the critical node still exist?"
 // query from the paper's structural-security evaluation: simulation
-// signatures shortlist candidates and SAT confirms them.
-func FindEquivalentNode(ctx context.Context, g *aig.AIG, specG *aig.AIG, spec aig.Lit, simWords int, seed int64, budget int64) (aig.Lit, bool) {
+// signatures shortlist candidates, every solver counterexample further
+// prunes the shortlist, and all SAT queries run on one shared incremental
+// solver (no per-candidate solver construction).
+func FindEquivalentNode(ctx context.Context, g *aig.AIG, specG *aig.AIG, spec aig.Lit, opt FindOptions) (aig.Lit, bool) {
 	if g.NumInputs() != specG.NumInputs() {
 		panic("cec: FindEquivalentNode input mismatch")
 	}
-	in := sim.RandomInputs(g.NumInputs(), simWords, seed)
-	vg := sim.Run(g, in)
-	vs := sim.Run(specG, in)
-	specWords := vs.Lit(spec)
+	if opt.SimWords <= 0 {
+		opt.SimWords = 8
+	}
+	sp := opt.Trace.Span("cec.find_node",
+		obs.Int("nodes", int64(g.NumNodes())))
 
 	// Combined graph for SAT confirmation: import specG into a copy of g.
+	// Structural hashing may land the spec cone directly on a node of g.
 	comb := g.Copy()
-	mapped := comb.ImportCone(specG, comb.Inputs(), []aig.Lit{spec})
-	specIn := mapped[0]
-
-	matches := func(cand aig.Lit) bool {
-		cw := vg.Lit(cand)
-		for w := range cw {
-			if cw[w] != specWords[w] {
-				return false
-			}
-		}
-		return true
+	specIn := comb.ImportCone(specG, comb.Inputs(), []aig.Lit{spec})[0]
+	if v := specIn.Var(); v >= 1 && v <= g.MaxVar() {
+		sp.End(obs.Bool("found", true), obs.Int("sat_queries", 0))
+		return specIn, true
 	}
+
+	// Signature-bucketed shortlist: candidates whose simulated words match
+	// the spec's, in ascending variable order.
+	vec := sim.RunRandom(comb, opt.SimWords, exec.DeriveSeed(opt.Seed, 0))
+	specWords := vec.Lit(specIn)
+	var queue []aig.Lit
 	for v := uint32(1); v <= g.MaxVar(); v++ {
-		if ctx != nil && ctx.Err() != nil {
-			return 0, false
-		}
 		for _, ph := range []bool{false, true} {
 			cand := aig.MkLit(v, ph)
-			if !matches(cand) {
-				continue
+			cw := vec.Node(v)
+			match := true
+			for w := range cw {
+				x := cw[w]
+				if ph {
+					x = ^x
+				}
+				if x != specWords[w] {
+					match = false
+					break
+				}
 			}
-			if eq, dec := LitsEquivalent(ctx, comb, cand, specIn, budget); dec && eq {
-				return cand, true
+			if match {
+				queue = append(queue, cand)
 			}
 		}
 	}
+	sp.Event("cec.shortlist", obs.Int("candidates", int64(len(queue))))
+
+	// One incremental solver for every candidate query; learnt clauses
+	// carry over, and each Sat answer prunes the remaining queue.
+	s := sat.New()
+	s.SetContext(ctx)
+	e := cnf.NewEncoder(comb, s)
+	for i := 0; i < comb.NumInputs(); i++ {
+		e.InputLit(i) // pre-create solver variables for cex extraction
+	}
+	lspec := e.Encode(specIn)[0]
+	queries := 0
+	for len(queue) > 0 {
+		if ctx != nil && ctx.Err() != nil {
+			sp.End(obs.Bool("found", false), obs.Int("sat_queries", int64(queries)))
+			return 0, false
+		}
+		cand := queue[0]
+		queue = queue[1:]
+		lc := e.Encode(cand)[0]
+		d := cnf.XorLit(s, lc, lspec)
+		s.SetBudget(opt.Budget.ConflictCap())
+		queries++
+		switch s.Solve(d) {
+		case sat.Unsat:
+			sp.End(obs.Bool("found", true), obs.Int("sat_queries", int64(queries)))
+			return cand, true
+		case sat.Sat:
+			// Replay the counterexample on the remaining shortlist.
+			pattern := make([]bool, comb.NumInputs())
+			for i := range pattern {
+				pattern[i] = s.ModelValue(e.InputLit(i))
+			}
+			lits := make([]aig.Lit, 0, len(queue)+1)
+			lits = append(lits, queue...)
+			lits = append(lits, specIn)
+			vals := comb.EvalLits(pattern, lits...)
+			specV := vals[len(vals)-1]
+			kept := queue[:0]
+			for i, q := range queue {
+				if vals[i] == specV {
+					kept = append(kept, q)
+				}
+			}
+			queue = kept
+		default:
+			// Budget exhausted: skip this candidate, keep scanning.
+		}
+	}
+	sp.End(obs.Bool("found", false), obs.Int("sat_queries", int64(queries)))
 	return 0, false
 }

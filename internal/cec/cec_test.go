@@ -182,7 +182,7 @@ func TestFindEquivalentNode(t *testing.T) {
 	g.AddOutput(g.And(target, noise.Not()).Not(), "z")
 	g.AddOutput(noise, "y")
 
-	got, ok := FindEquivalentNode(context.Background(), g, specG, spec, 4, 7, -1)
+	got, ok := FindEquivalentNode(context.Background(), g, specG, spec, FindOptions{SimWords: 4, Seed: 7})
 	if !ok {
 		t.Fatal("equivalent node not found")
 	}
@@ -201,7 +201,7 @@ func TestFindEquivalentNode(t *testing.T) {
 	spec2G := aig.New()
 	p := spec2G.Xor(spec2G.Xor(spec2G.AddInput("a"), spec2G.AddInput("b")), spec2G.AddInput("c"))
 	spec2G.AddOutput(p, "f")
-	if _, ok := FindEquivalentNode(context.Background(), g, spec2G, p, 4, rng.Int63(), -1); ok {
+	if _, ok := FindEquivalentNode(context.Background(), g, spec2G, p, FindOptions{SimWords: 4, Seed: rng.Int63()}); ok {
 		t.Fatal("found a node that should not exist")
 	}
 }

@@ -11,7 +11,10 @@ import (
 // Encoder maps the nodes of one AIG instance into solver variables.
 // Several encoders may share one solver (e.g. two copies of a locked
 // circuit inside a SAT-attack miter): inputs can be tied to existing
-// solver literals before Encode is called.
+// solver literals before Encode is called. The graph may keep growing
+// after the encoder is created — the SAT-sweeping engine interleaves node
+// construction with incremental cone encoding — and Encode only ever adds
+// clauses for cones not yet encoded.
 type Encoder struct {
 	G      *aig.AIG
 	S      *sat.Solver
@@ -30,6 +33,19 @@ func NewEncoder(g *aig.AIG, s *sat.Solver) *Encoder {
 	return e
 }
 
+// grow extends the per-variable tables to cover nodes added to the graph
+// after the encoder was created.
+func (e *Encoder) grow() {
+	if n := int(e.G.MaxVar()) + 1; n > len(e.varOf) {
+		varOf := make([]sat.Lit, n)
+		copy(varOf, e.varOf)
+		e.varOf = varOf
+		mapped := make([]bool, n)
+		copy(mapped, e.mapped)
+		e.mapped = mapped
+	}
+}
+
 // constVar lazily creates a solver variable pinned to false to stand for
 // the AIG constant node.
 func (e *Encoder) constLit() sat.Lit {
@@ -46,6 +62,7 @@ func (e *Encoder) constLit() sat.Lit {
 // TieInput binds the i-th primary input of the AIG to an existing solver
 // literal. Must be called before Encode.
 func (e *Encoder) TieInput(i int, l sat.Lit) {
+	e.grow()
 	v := e.G.InputVar(i)
 	e.varOf[v] = l
 	e.mapped[v] = true
@@ -54,6 +71,7 @@ func (e *Encoder) TieInput(i int, l sat.Lit) {
 // InputLit returns the solver literal of the i-th primary input, creating a
 // fresh variable if the input was not tied.
 func (e *Encoder) InputLit(i int) sat.Lit {
+	e.grow()
 	v := e.G.InputVar(i)
 	if !e.mapped[v] {
 		e.varOf[v] = sat.MkLit(e.S.NewVar(), false)
@@ -87,6 +105,7 @@ func (e *Encoder) Lit(l aig.Lit) sat.Lit {
 // Returns the solver literals of the roots.
 func (e *Encoder) Encode(roots ...aig.Lit) []sat.Lit {
 	g := e.G
+	e.grow()
 	if len(roots) == 0 {
 		roots = g.Outputs()
 	}

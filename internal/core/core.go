@@ -30,7 +30,7 @@ import (
 
 // criticalSurvives checks whether any node of the wrong-key-bound netlist
 // computes the given spec function of the original inputs.
-func criticalSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, spec aig.Lit) bool {
+func criticalSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, spec aig.Lit, tr *obs.Tracer) bool {
 	wrong := make([]bool, l.KeyBits)
 	same := true
 	for i, b := range l.Key {
@@ -43,7 +43,9 @@ func criticalSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, sp
 		wrong[0] = !wrong[0]
 	}
 	bound := l.ApplyKey(wrong)
-	_, found := cec.FindEquivalentNode(ctx, bound, specG, spec, 8, 1, 100000)
+	fopt := cec.DefaultFindOptions()
+	fopt.Trace = tr
+	_, found := cec.FindEquivalentNode(ctx, bound, specG, spec, fopt)
 	return found
 }
 
@@ -397,7 +399,7 @@ func lockDoubleFlip(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span) 
 	clean := func(g *aig.AIG) bool {
 		csp := sp.Span("lock.cec")
 		lk := mk(g)
-		ok := !criticalSurvives(ctx, lk, c, specF) && !criticalSurvives(ctx, lk, specLG, specL)
+		ok := !criticalSurvives(ctx, lk, c, specF, opt.Trace) && !criticalSurvives(ctx, lk, specLG, specL, opt.Trace)
 		csp.End(obs.Bool("clean", ok))
 		return ok
 	}

@@ -105,7 +105,8 @@ func TestObfusLockEliminatesCriticalNodes(t *testing.T) {
 	c, res := lockedFixture(t, 25)
 	po := res.Report.ProtectedOutput
 	spec := c.Output(po)
-	if lit, found := attacks.CriticalNodeSurvives(context.Background(), res.Locked, c, spec, 8, 3, 200000); found {
+	fopt := cec.FindOptions{SimWords: 8, Seed: 3, Budget: exec.WithConflicts(200000)}
+	if lit, found := attacks.CriticalNodeSurvives(context.Background(), res.Locked, c, spec, fopt); found {
 		t.Fatalf("original root survives as %v", lit)
 	}
 }

@@ -301,11 +301,12 @@ func fig4Stats(ctx context.Context, res *core.Result, c *aig.AIG) Fig4Stats {
 	l := res.Locked
 	st := fig4Hist(l)
 	// The red outlier: does a node computing a critical function survive?
-	_, sc := attacks.CriticalNodeSurvives(ctx, l, c, c.Output(res.Report.ProtectedOutput), 8, 1, 100000)
+	fopt := cec.DefaultFindOptions()
+	_, sc := attacks.CriticalNodeSurvives(ctx, l, c, c.Output(res.Report.ProtectedOutput), fopt)
 	sl := false
 	if res.LockingFunction != nil {
 		_, sl = attacks.CriticalNodeSurvives(ctx, l, res.LockingFunction,
-			res.LockingFunction.Output(0), 8, 1, 100000)
+			res.LockingFunction.Output(0), fopt)
 	}
 	st.CriticalVisible = sc || sl
 	return st
@@ -523,9 +524,11 @@ func Structural(ctx context.Context, suite []netlistgen.Benchmark, skewBits floa
 		}
 		l := res.Locked
 		row := StructuralRow{Bench: b.Name}
-		_, survives := attacks.CriticalNodeSurvives(ctx, l, c, c.Output(res.Report.ProtectedOutput), 8, bseed, 100000)
+		fopt := cec.DefaultFindOptions()
+		fopt.Seed = bseed
+		_, survives := attacks.CriticalNodeSurvives(ctx, l, c, c.Output(res.Report.ProtectedOutput), fopt)
 		row.CriticalEliminated = !survives
-		copt := cec.DefaultOptions()
+		copt := cec.SweepOptions()
 		copt.Budget = exec.WithConflicts(50000)
 		vr := attacks.Valkyrie(ctx, l, c, 6, 64, bseed, copt)
 		row.ValkyrieBroke = vr.FoundPair

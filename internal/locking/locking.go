@@ -106,7 +106,13 @@ func (l *Locked) VerifyKey(orig *aig.AIG, key []bool) (bool, error) {
 // VerifyKeyContext is VerifyKey under a cancellation context; a cancelled
 // proof reports an "equivalence undecided" error.
 func (l *Locked) VerifyKeyContext(ctx context.Context, orig *aig.AIG, key []bool) (bool, error) {
-	r, err := cec.Check(ctx, orig, l.ApplyKey(key), cec.DefaultOptions())
+	return l.VerifyKeyWith(ctx, orig, key, cec.DefaultOptions())
+}
+
+// VerifyKeyWith is VerifyKeyContext under explicit equivalence-check
+// options — e.g. SAT sweeping (cec.SweepOptions), budgets or tracing.
+func (l *Locked) VerifyKeyWith(ctx context.Context, orig *aig.AIG, key []bool, opt cec.Options) (bool, error) {
+	r, err := cec.Check(ctx, orig, l.ApplyKey(key), opt)
 	if err != nil {
 		return false, err
 	}
@@ -123,6 +129,22 @@ func (l *Locked) Verify(orig *aig.AIG) error {
 		return err
 	}
 	ok, err := l.VerifyKey(orig, l.Key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("locking: stored key does not restore the circuit")
+	}
+	return nil
+}
+
+// VerifyWith is Verify under a cancellation context and explicit
+// equivalence-check options (e.g. the swept checker).
+func (l *Locked) VerifyWith(ctx context.Context, orig *aig.AIG, opt cec.Options) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	ok, err := l.VerifyKeyWith(ctx, orig, l.Key, opt)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,20 @@
+package rewrite
+
+import (
+	"context"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/fraig"
+)
+
+// FunctionalRewriteSweep applies FunctionalRewrite and then fraigs the
+// result (internal/fraig), merging any functionally equivalent nodes the
+// DAG-aware cut rewriting left behind. It returns the swept graph and the
+// sweep result (reduction statistics, decidedness). The output is
+// functionally identical to the input; cancelling ctx stops the sweep's
+// proving early and yields a partially reduced (still correct) graph.
+func FunctionalRewriteSweep(ctx context.Context, g *aig.AIG, opt Options, swp fraig.Options) (*aig.AIG, *fraig.Result) {
+	rw := FunctionalRewrite(g, opt)
+	res := fraig.Sweep(ctx, rw, swp)
+	return res.Reduced, res
+}

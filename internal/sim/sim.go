@@ -202,3 +202,31 @@ func CountOnes(words []uint64) int {
 	}
 	return n
 }
+
+// EvalAll evaluates the graph on a single input pattern and returns the
+// value of every variable, indexed by variable number (variable 0 is the
+// constant false). The SAT-sweeping engine uses it to replay solver
+// counterexamples against every candidate equivalence class at once.
+func EvalAll(g *aig.AIG, pattern []bool) []bool {
+	if len(pattern) != g.NumInputs() {
+		panic("sim: EvalAll pattern length mismatch")
+	}
+	val := make([]bool, g.MaxVar()+1)
+	for i := 0; i < g.NumInputs(); i++ {
+		val[g.InputVar(i)] = pattern[i]
+	}
+	lv := func(l aig.Lit) bool { return val[l.Var()] != l.IsCompl() }
+	for n := uint32(1); n <= g.MaxVar(); n++ {
+		fan := g.Fanins(n)
+		switch g.Op(n) {
+		case aig.OpAnd:
+			val[n] = lv(fan[0]) && lv(fan[1])
+		case aig.OpXor:
+			val[n] = lv(fan[0]) != lv(fan[1])
+		case aig.OpMaj:
+			a, b, c := lv(fan[0]), lv(fan[1]), lv(fan[2])
+			val[n] = (a && b) || (a && c) || (b && c)
+		}
+	}
+	return val
+}

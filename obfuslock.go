@@ -102,6 +102,27 @@ func Equivalent(a, b *Circuit) (bool, error) {
 	return r.Equivalent, nil
 }
 
+// CECOptions configures an equivalence check (simulation pre-filter, SAT
+// budget, SAT sweeping, tracing). See internal/cec.Options.
+type CECOptions = cec.Options
+
+// CECResult reports an equivalence check.
+type CECResult = cec.Result
+
+// DefaultCECOptions returns the plain (monolithic-miter) configuration.
+func DefaultCECOptions() CECOptions { return cec.DefaultOptions() }
+
+// SweepCECOptions returns a configuration with SAT sweeping enabled: the
+// combined graph is fraiged (internal/fraig) so the shared logic of the
+// two sides collapses before the final, much smaller, miter solve.
+func SweepCECOptions() CECOptions { return cec.SweepOptions() }
+
+// CheckEquivalent proves or refutes functional equivalence under explicit
+// options and a cancellation context.
+func CheckEquivalent(ctx context.Context, a, b *Circuit, opt CECOptions) (CECResult, error) {
+	return cec.Check(ctx, a, b, opt)
+}
+
 // AttackOptions bounds the oracle-guided attacks.
 type AttackOptions = attacks.IOOptions
 
