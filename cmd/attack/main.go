@@ -59,6 +59,7 @@ import (
 	"obfuslock/internal/netlistgen"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
+	"obfuslock/internal/simp"
 )
 
 func main() {
@@ -79,6 +80,7 @@ func main() {
 	det := flag.Bool("det", false, "deterministic sweep: no wall-clock cells or timeouts; output is byte-reproducible")
 	sweepCEC := flag.Bool("sweep", true, "use SAT sweeping (fraig) for the equivalence checks of removal/valkyrie")
 	sweepWords := flag.Int("sweep-words", 8, "64-pattern signature words seeding the sweep's equivalence classes")
+	useSimp := flag.Bool("simp", true, "SatELite-style CNF preprocessing/inprocessing in every SAT solver")
 
 	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
 	progress := flag.Bool("progress", false, "live one-line progress on stderr")
@@ -106,11 +108,16 @@ func main() {
 		suite = netlistgen.SmallSuite()
 	}
 	levels := parseSkews(*skews)
+	sopt := simp.Default()
+	if !*useSimp {
+		sopt = simp.Off()
+	}
 	budget := experiments.Budget{
 		Timeout:       *timeout,
 		MaxIterations: *maxIter,
 		Workers:       *workers,
 		Deterministic: *det,
+		Simp:          sopt,
 		Trace:         tracer,
 	}
 
@@ -172,6 +179,7 @@ func main() {
 	aopt.MaxIterations = *maxIter
 	aopt.Seed = *seed
 	aopt.Trace = tracer
+	aopt.Simp = sopt
 
 	// report prints the outcome and returns false when no key came back —
 	// the caller exits non-zero so sweep scripts can branch on it.
@@ -213,7 +221,7 @@ func main() {
 		}, tracer)
 		gotKey = report(r.Key, fmt.Sprintf(" (winner=%s runtime=%v)", r.Winner, r.Runtime))
 	case "sensitization":
-		r := attacks.Sensitization(ctx, l, oracle, exec.WithConflicts(500000))
+		r := attacks.Sensitization(ctx, l, oracle, exec.WithConflicts(500000), sopt)
 		fmt.Printf("sensitization: %d/%d key bits isolatable (runtime %v)\n",
 			r.NumIsolatable, l.KeyBits, r.Runtime)
 	case "sps":
@@ -224,15 +232,15 @@ func main() {
 		}
 	case "removal":
 		sps := attacks.SPS(l, 256, *seed, 10)
-		r := attacks.Removal(ctx, l, orig, sps.Candidates, cecOptions(*sweepCEC, *sweepWords, *seed, tracer))
+		r := attacks.Removal(ctx, l, orig, sps.Candidates, cecOptions(*sweepCEC, *sweepWords, *seed, tracer, sopt))
 		fmt.Printf("removal: success=%v tried=%d runtime=%v\n", r.Success, r.Tried, r.Runtime)
 	case "bypass":
 		wrong := make([]bool, l.KeyBits)
-		r := attacks.Bypass(ctx, l, orig, wrong, 1024, exec.WithConflicts(1000000))
+		r := attacks.Bypass(ctx, l, orig, wrong, 1024, exec.WithConflicts(1000000), sopt)
 		fmt.Printf("bypass: success=%v patterns=%d exhausted=%v runtime=%v\n",
 			r.Success, r.Patterns, r.Exhausted, r.Runtime)
 	case "valkyrie":
-		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cecOptions(*sweepCEC, *sweepWords, *seed, tracer))
+		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cecOptions(*sweepCEC, *sweepWords, *seed, tracer, sopt))
 		fmt.Printf("valkyrie: found-pair=%v restore-only=%v pairs-tried=%d runtime=%v\n",
 			r.FoundPair, r.RestoreOnly, r.PairsTried, r.Runtime)
 	case "spi":
@@ -248,7 +256,7 @@ func main() {
 
 // cecOptions builds the equivalence-check configuration for the attacks
 // that prove candidate modifications equivalent to the oracle.
-func cecOptions(sweep bool, sweepWords int, seed int64, tracer *obs.Tracer) cec.Options {
+func cecOptions(sweep bool, sweepWords int, seed int64, tracer *obs.Tracer, sopt simp.Options) cec.Options {
 	opt := cec.DefaultOptions()
 	if sweep {
 		opt = cec.SweepOptions()
@@ -256,6 +264,7 @@ func cecOptions(sweep bool, sweepWords int, seed int64, tracer *obs.Tracer) cec.
 	}
 	opt.Seed = seed
 	opt.Trace = tracer
+	opt.Simp = sopt
 	return opt
 }
 

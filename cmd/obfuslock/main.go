@@ -45,6 +45,7 @@ func main() {
 	verify := flag.Bool("verify", true, "prove key correctness by SAT equivalence checking")
 	sweep := flag.Bool("sweep", true, "use SAT sweeping (fraig) for the -verify equivalence proof")
 	sweepWords := flag.Int("sweep-words", 8, "64-pattern signature words seeding the sweep's equivalence classes")
+	useSimp := flag.Bool("simp", true, "SatELite-style CNF preprocessing/inprocessing in every SAT solver")
 	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
 	progress := flag.Bool("progress", false, "live one-line progress on stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -94,6 +95,11 @@ func main() {
 		fatal(fmt.Errorf("one of -in or -bench is required"))
 	}
 
+	sopt := obfuslock.DefaultSimp()
+	if !*useSimp {
+		sopt = obfuslock.SimpOff()
+	}
+
 	opt := obfuslock.DefaultOptions()
 	opt.TargetSkewBits = *skewBits
 	opt.Seed = *seed
@@ -102,6 +108,7 @@ func main() {
 	opt.ProtectedOutput = *output
 	opt.FinalRewrite = !*noRewrite
 	opt.Trace = tracer
+	opt.Simp = sopt
 
 	res, err := obfuslock.LockContext(ctx, c, opt)
 	if err != nil {
@@ -121,6 +128,7 @@ func main() {
 		}
 		copt.Seed = *seed
 		copt.Trace = tracer
+		copt.Simp = sopt
 		err := res.Locked.VerifyWith(ctx, c, copt)
 		if err != nil {
 			vsp.End(obfuslock.TraceStr("error", err.Error()))

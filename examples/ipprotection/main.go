@@ -20,6 +20,7 @@ import (
 	"obfuslock/internal/experiments"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/simp"
 )
 
 func main() {
@@ -78,7 +79,7 @@ func main() {
 	app := attacks.AppSAT(context.Background(), l, oracle, aopt)
 	fmt.Printf("  AppSAT:       %s\n", verdict(l, c, app))
 
-	sens := attacks.Sensitization(context.Background(), l, oracle, exec.WithConflicts(200000))
+	sens := attacks.Sensitization(context.Background(), l, oracle, exec.WithConflicts(200000), simp.Default())
 	fmt.Printf("  sensitization: %d/%d key bits isolatable\n", sens.NumIsolatable, l.KeyBits)
 
 	fmt.Println("red team: structural attacks")
@@ -100,7 +101,7 @@ func main() {
 	fmt.Printf("  SPI:          returned correct key=%v\n", ok)
 
 	wrong := make([]bool, l.KeyBits)
-	bp := attacks.Bypass(context.Background(), l, c, wrong, 128, exec.WithConflicts(500000))
+	bp := attacks.Bypass(context.Background(), l, c, wrong, 128, exec.WithConflicts(500000), simp.Default())
 	fmt.Printf("  bypass:       feasible=%v (corrupted patterns enumerated: %d, budget exhausted: %v)\n",
 		bp.Success, bp.Patterns, bp.Exhausted)
 }

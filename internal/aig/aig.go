@@ -521,6 +521,21 @@ func (g *AIG) TFO(vars ...uint32) map[uint32]bool {
 	return in
 }
 
+// Reset restores g to the empty state produced by New while keeping the
+// allocated node, name and hash-table capacity, so a scratch graph can be
+// rebuilt many times without re-allocating (e.g. one key-only cone per
+// DIP iteration in the oracle-guided attacks).
+func (g *AIG) Reset() {
+	g.nodes = g.nodes[:1]
+	g.nodes[0] = node{op: OpConst}
+	g.pis = g.pis[:0]
+	g.pos = g.pos[:0]
+	g.piNames = g.piNames[:0]
+	g.poNames = g.poNames[:0]
+	clear(g.strash)
+	clear(g.piIndex)
+}
+
 // Copy returns a deep copy of the graph.
 func (g *AIG) Copy() *AIG {
 	ng := &AIG{

@@ -11,6 +11,7 @@ import (
 	"obfuslock/internal/lockbase"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/simp"
 )
 
 func smallCircuit() *aig.AIG { return netlistgen.Multiplier(4) }
@@ -200,7 +201,7 @@ func TestBypassBreaksSARLock(t *testing.T) {
 	}
 	wrong := append([]bool(nil), l.Key...)
 	wrong[0] = !wrong[0]
-	res := Bypass(context.Background(), l, orig, wrong, 16, exec.Budget{})
+	res := Bypass(context.Background(), l, orig, wrong, 16, exec.Budget{}, simp.Default())
 	if !res.Success {
 		t.Fatalf("bypass failed on SARLock: %+v", res)
 	}
@@ -229,7 +230,7 @@ func TestBypassFailsOnMassCorruption(t *testing.T) {
 	if !broke {
 		t.Skip("picked a don't-care wrong key")
 	}
-	res := Bypass(context.Background(), l, orig, wrong, 32, exec.Budget{})
+	res := Bypass(context.Background(), l, orig, wrong, 32, exec.Budget{}, simp.Default())
 	if res.Success {
 		t.Fatalf("bypass should be infeasible: %+v", res)
 	}
@@ -292,7 +293,7 @@ func TestSensitizationOnRLL(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := locking.NewOracle(orig)
-	res := Sensitization(context.Background(), l, oracle, exec.WithConflicts(200000))
+	res := Sensitization(context.Background(), l, oracle, exec.WithConflicts(200000), simp.Default())
 	// RLL on a multiplier: typically some bits are isolatable; recovered
 	// bits must be correct.
 	for i := 0; i < l.KeyBits; i++ {

@@ -9,6 +9,7 @@ import (
 	"obfuslock/internal/exec"
 	"obfuslock/internal/lockbase"
 	"obfuslock/internal/locking"
+	"obfuslock/internal/simp"
 )
 
 // waitForGoroutines polls until the goroutine count drops back to at most
@@ -89,7 +90,7 @@ func TestSensitizationCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res := Sensitization(ctx, l, locking.NewOracle(orig), exec.WithConflicts(100000))
+	res := Sensitization(ctx, l, locking.NewOracle(orig), exec.WithConflicts(100000), simp.Default())
 	if !res.TimedOut {
 		t.Fatalf("pre-cancelled sensitization did not report TimedOut: %+v", res)
 	}

@@ -10,11 +10,13 @@ import (
 	"context"
 	"time"
 
+	"obfuslock/internal/aig"
 	"obfuslock/internal/cnf"
 	"obfuslock/internal/exec"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
+	"obfuslock/internal/simp"
 )
 
 // IOOptions bounds an oracle-guided attack.
@@ -32,6 +34,11 @@ type IOOptions struct {
 	ReinforceEvery int
 	// RandomQueries per reinforcement round (AppSAT only).
 	RandomQueries int
+	// Simp controls CNF preprocessing of the miter before the first DIP
+	// solve and inprocessing between iterations (zero value: enabled
+	// with inprocessing every 16 DIPs; simp.Off() disables; set
+	// InprocessEvery < 0 to preprocess once and never inprocess).
+	Simp simp.Options
 	// Trace receives an attack.sat / attack.appsat span with one dip
 	// event per DIP iteration (elapsed time, oracle queries, solver
 	// conflict/learnt deltas), AppSAT reinforce events, and periodic
@@ -47,6 +54,10 @@ type IOOptions struct {
 func DefaultIOOptions() IOOptions {
 	return IOOptions{ReinforceEvery: 5, RandomQueries: 8}
 }
+
+// inprocessDefault is the DIP-iteration cadence for inprocessing passes
+// when IOOptions.Simp.InprocessEvery is 0.
+const inprocessDefault = 16
 
 // IOResult reports an I/O attack outcome.
 type IOResult struct {
@@ -78,6 +89,10 @@ type attackState struct {
 	k2Lits  []sat.Lit
 	actDiff sat.Lit // activation literal for the difference miter
 	stopped func() bool
+	// Per-DIP scratch, pooled so addIOConstraint's allocations do not
+	// scale with the circuit size on every iteration.
+	spec    *aig.AIG
+	specEnc *cnf.Encoder
 }
 
 func newAttackState(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, sp *obs.Span, progressEvery int64) *attackState {
@@ -103,12 +118,16 @@ func newAttackState(ctx context.Context, l *locking.Locked, oracle *locking.Orac
 	}
 	diff := cnf.OrLit(s, diffs...)
 	act := sat.MkLit(s.NewVar(), false)
-	// act -> diff: the miter is active only under assumption act.
+	// act -> diff: the miter is active only under assumption act. The
+	// activation literal is assumed both ways later, so it must survive
+	// preprocessing.
+	s.FreezeLit(act)
 	s.AddClause(diff, act.Not())
 	st := &attackState{
 		l: l, oracle: oracle, s: s,
 		xLits: xLits, k1Lits: k1, k2Lits: k2, actDiff: act,
 		stopped: func() bool { return ctx.Err() != nil },
+		spec:    aig.New(),
 	}
 	s.SetContext(ctx)
 	if sp.Enabled() {
@@ -132,11 +151,20 @@ func newAttackState(ctx context.Context, l *locking.Locked, oracle *locking.Orac
 }
 
 // addIOConstraint asserts enc(x, k) == y for both key copies by
-// constant-folding the inputs into a key-only cone.
+// constant-folding the inputs into a key-only cone. The cone graph and
+// its encoder are pooled on the state: each call rebuilds them in place
+// instead of allocating circuit-sized tables per DIP. These clauses only
+// mention frozen key literals and fresh solver variables, so they remain
+// sound after any earlier variable elimination.
 func (st *attackState) addIOConstraint(x, y []bool) {
-	spec := locking.BindInputs(st.l.Enc, st.l.NumInputs, x)
+	spec := locking.BindInputsInto(st.spec, st.l.Enc, st.l.NumInputs, x)
 	for _, kLits := range [][]sat.Lit{st.k1Lits, st.k2Lits} {
-		e := cnf.NewEncoder(spec, st.s)
+		if st.specEnc == nil {
+			st.specEnc = cnf.NewEncoder(spec, st.s)
+		} else {
+			st.specEnc.Reset(spec, st.s)
+		}
+		e := st.specEnc
 		for i := 0; i < st.l.KeyBits; i++ {
 			e.TieInput(i, kLits[i])
 		}
@@ -177,6 +205,10 @@ func SATAttack(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, o
 		obs.Int("key_bits", int64(l.KeyBits)),
 		obs.Int("enc_nodes", int64(l.Enc.NumNodes())))
 	st := newAttackState(ctx, l, oracle, sp, opt.ProgressConflicts)
+	// Preprocess the miter once up front. All interface literals (inputs,
+	// both key copies, the activation literal) are frozen, so full
+	// variable elimination is sound here and for every later constraint.
+	simp.Apply(st.s, opt.Simp, opt.Trace)
 	res := IOResult{}
 	for {
 		if opt.MaxIterations > 0 && res.Iterations >= opt.MaxIterations {
@@ -211,6 +243,9 @@ func SATAttack(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, o
 				obs.Int("conflicts_delta", d.Conflicts),
 				obs.Int("learnt_delta", d.Learnt),
 				obs.Int("decisions_delta", d.Decisions))
+		}
+		if opt.Simp.InprocessDue(res.Iterations, inprocessDefault) {
+			simp.Apply(st.s, opt.Simp, opt.Trace)
 		}
 		if st.stopped() {
 			res.TimedOut = true
@@ -255,6 +290,7 @@ func AppSAT(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt 
 		obs.Int("key_bits", int64(l.KeyBits)),
 		obs.Int("max_iterations", int64(opt.MaxIterations)))
 	st := newAttackState(ctx, l, oracle, sp, opt.ProgressConflicts)
+	simp.Apply(st.s, opt.Simp, opt.Trace)
 	rng := newSplitMix(opt.Seed)
 	res := IOResult{}
 	for res.Iterations < opt.MaxIterations {
@@ -299,6 +335,9 @@ func AppSAT(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt 
 					obs.Int("random_queries", int64(opt.RandomQueries)),
 					obs.Int("queries", int64(oracle.Queries)))
 			}
+		}
+		if opt.Simp.InprocessDue(res.Iterations, inprocessDefault) {
+			simp.Apply(st.s, opt.Simp, opt.Trace)
 		}
 		if st.stopped() {
 			res.TimedOut = true
@@ -355,8 +394,11 @@ type SensitizationResult struct {
 // each key bit it searches for an input pattern propagating that bit to an
 // output while the other key bits are muted, then infers the bit with one
 // oracle query. ObfusLock's input-permutation keys resist this because all
-// key bits interfere on every path. budget bounds each per-bit solve.
-func Sensitization(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, budget exec.Budget) SensitizationResult {
+// key bits interfere on every path. budget bounds each per-bit solve; so
+// controls CNF preprocessing of each per-bit solver (every literal the
+// attack reads back is a frozen encoder input, so full elimination is
+// sound).
+func Sensitization(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, budget exec.Budget, so simp.Options) SensitizationResult {
 	start := time.Now()
 	ctx, cancel := budget.Bind(ctx)
 	defer cancel()
@@ -399,7 +441,7 @@ func Sensitization(ctx context.Context, l *locking.Locked, oracle *locking.Oracl
 			diffs[j] = cnf.XorLit(s, o1[j], o2[j])
 		}
 		s.AddClause(cnf.OrLit(s, diffs...))
-		if s.Solve() != sat.Sat {
+		if !simp.Apply(s, so, nil) || s.Solve() != sat.Sat {
 			continue // bit cannot be sensitized at all
 		}
 		x := make([]bool, l.NumInputs)

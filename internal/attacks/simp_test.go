@@ -1,0 +1,66 @@
+package attacks
+
+import (
+	"context"
+	"testing"
+
+	"obfuslock/internal/lockbase"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/simp"
+)
+
+// The SAT attack's exactness claim must survive any preprocessing
+// configuration: whenever the DIP loop reaches UNSAT, the extracted key
+// has to restore the original function exactly — with full elimination,
+// with inprocessing forced on every iteration, and with simp off. The
+// keys themselves may differ between configurations (several keys can be
+// correct), so the check is functional, not positional.
+func TestSATAttackSimpOnOffBothExact(t *testing.T) {
+	type instance struct {
+		name string
+		mk   func(seed int64) (*locking.Locked, error)
+	}
+	instances := []instance{
+		{"rll", func(seed int64) (*locking.Locked, error) {
+			return lockbase.RLL(netlistgen.Multiplier(4), 10, seed)
+		}},
+		{"sarlock", func(seed int64) (*locking.Locked, error) {
+			return lockbase.SARLock(netlistgen.AdderCmp(4), 6, seed)
+		}},
+		{"antisat", func(seed int64) (*locking.Locked, error) {
+			return lockbase.AntiSAT(netlistgen.Multiplier(4), 6, seed)
+		}},
+	}
+	configs := map[string]simp.Options{
+		"on":      {},
+		"off":     simp.Off(),
+		"inproc1": {InprocessEvery: 1},
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		for _, ins := range instances {
+			l, err := ins.mk(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := l.Unlocked()
+			for name, so := range configs {
+				opt := DefaultIOOptions()
+				opt.Seed = seed
+				opt.Simp = so
+				r := SATAttack(context.Background(), l, locking.NewOracle(orig), opt)
+				if !r.Exact {
+					t.Fatalf("%s seed %d simp=%s: attack did not terminate exact", ins.name, seed, name)
+				}
+				ok, err := l.VerifyKey(orig, r.Key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Errorf("%s seed %d simp=%s: exact claim with a wrong key (iters=%d)",
+						ins.name, seed, name, r.Iterations)
+				}
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"obfuslock/internal/locking"
 	"obfuslock/internal/sat"
 	"obfuslock/internal/sim"
+	"obfuslock/internal/simp"
 )
 
 // SPSResult reports the signal-probability-skewness analysis.
@@ -178,8 +179,10 @@ type BypassResult struct {
 // every input pattern on which the wrongly-keyed circuit differs from the
 // oracle, and wrap them with bypass logic. It fails when the differing set
 // exceeds the pattern budget — ObfusLock protects all patterns by
-// permutation, so the set is exponential.
-func Bypass(ctx context.Context, l *locking.Locked, orig *aig.AIG, wrongKey []bool, maxPatterns int, budget exec.Budget) BypassResult {
+// permutation, so the set is exponential. so controls CNF preprocessing
+// of the difference miter (the enumeration blocks and reads only the
+// frozen input literals, so full elimination is sound).
+func Bypass(ctx context.Context, l *locking.Locked, orig *aig.AIG, wrongKey []bool, maxPatterns int, budget exec.Budget, so simp.Options) BypassResult {
 	start := time.Now()
 	bound := l.ApplyKey(wrongKey)
 	s := sat.New()
@@ -188,6 +191,12 @@ func Bypass(ctx context.Context, l *locking.Locked, orig *aig.AIG, wrongKey []bo
 	s.SetBudget(budget.ConflictCap())
 	s.SetContext(ctx)
 	res := BypassResult{}
+	if !simp.Apply(s, so, nil) {
+		// No differing pattern at all: the wrong key is correct.
+		res.Success = true
+		res.Runtime = time.Since(start)
+		return res
+	}
 	for res.Patterns <= maxPatterns {
 		switch s.Solve() {
 		case sat.Sat:

@@ -18,6 +18,7 @@ import (
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
 	"obfuslock/internal/sim"
+	"obfuslock/internal/simp"
 )
 
 // Result reports the outcome of an equivalence check.
@@ -30,6 +31,9 @@ type Result struct {
 	Decided bool
 	// Runtime of the check.
 	Runtime time.Duration
+	// SolverStats accumulates the SAT work of the check (in sweeping
+	// mode: the sweep's prover plus the final miter solver).
+	SolverStats sat.Stats
 }
 
 // Options configures a check.
@@ -49,6 +53,9 @@ type Options struct {
 	// SweepWords of 64 random patterns seed the sweep's equivalence
 	// classes (0: 8). Only used when Sweep is set.
 	SweepWords int
+	// Simp controls CNF preprocessing before the miter solve (zero
+	// value: enabled; simp.Off() disables).
+	Simp simp.Options
 	// Trace receives cec.check / cec.find_node spans and the sweep's
 	// instrumentation (nil: disabled).
 	Trace *obs.Tracer
@@ -123,17 +130,22 @@ func check(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (Resul
 	s.SetContext(ctx)
 	inputs, diff := cnf.Miter(s, a, b)
 	s.AddClause(diff)
+	// Preprocess the whole miter CNF: the shared-input interface is
+	// frozen by the encoder, everything internal may be eliminated.
+	if !simp.Apply(s, opt.Simp, opt.Trace) {
+		return Result{Equivalent: true, Decided: true, SolverStats: s.Stats()}, nil
+	}
 	switch s.Solve() {
 	case sat.Unsat:
-		return Result{Equivalent: true, Decided: true}, nil
+		return Result{Equivalent: true, Decided: true, SolverStats: s.Stats()}, nil
 	case sat.Sat:
 		cex := make([]bool, len(inputs))
 		for i, l := range inputs {
 			cex[i] = s.ModelValue(l)
 		}
-		return Result{Equivalent: false, Counterexample: cex, Decided: true}, nil
+		return Result{Equivalent: false, Counterexample: cex, Decided: true, SolverStats: s.Stats()}, nil
 	}
-	return Result{}, nil
+	return Result{SolverStats: s.Stats()}, nil
 }
 
 // checkSwept fraigs the combined graph of a and b over shared inputs; if
@@ -158,6 +170,7 @@ func checkSwept(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (
 		Words:  opt.SweepWords,
 		Seed:   opt.Seed,
 		Budget: opt.Budget,
+		Simp:   opt.Simp,
 		Trace:  opt.Trace,
 	})
 	red := fr.Reduced
@@ -176,7 +189,7 @@ func checkSwept(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (
 	if len(pending) == 0 {
 		// Every output pair merged: equivalence is proven, regardless of
 		// whether unrelated internal candidates ran out of budget.
-		return Result{Equivalent: true, Decided: true}, nil
+		return Result{Equivalent: true, Decided: true, SolverStats: fr.SolverStats}, nil
 	}
 	s := sat.New()
 	s.SetBudget(opt.Budget.ConflictCap())
@@ -192,17 +205,23 @@ func checkSwept(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (
 		diffs[i] = cnf.XorLit(s, lits[0], lits[1])
 	}
 	s.AddClause(cnf.OrLit(s, diffs...))
+	stats := func() sat.Stats { return s.Stats().Add(fr.SolverStats) }
+	// The reduced miter is a one-shot solve: full preprocessing
+	// (elimination included) is sound here.
+	if !simp.Apply(s, opt.Simp, opt.Trace) {
+		return Result{Equivalent: true, Decided: true, SolverStats: stats()}, nil
+	}
 	switch s.Solve() {
 	case sat.Unsat:
-		return Result{Equivalent: true, Decided: true}, nil
+		return Result{Equivalent: true, Decided: true, SolverStats: stats()}, nil
 	case sat.Sat:
 		cex := make([]bool, len(inputs))
 		for i, l := range inputs {
 			cex[i] = s.ModelValue(l)
 		}
-		return Result{Equivalent: false, Counterexample: cex, Decided: true}, nil
+		return Result{Equivalent: false, Counterexample: cex, Decided: true, SolverStats: stats()}, nil
 	}
-	return Result{}, nil
+	return Result{SolverStats: stats()}, nil
 }
 
 // LitsEquivalent decides whether two literals of the same graph compute the
@@ -236,6 +255,10 @@ type FindOptions struct {
 	// Budget bounds each candidate's SAT query (the conflict cap applies
 	// per query; an exhausted query skips that candidate).
 	Budget exec.Budget
+	// Simp controls CNF preprocessing of the shared candidate solver.
+	// Variable elimination is forced off regardless: the scan keeps
+	// encoding new cones against already-encoded internal variables.
+	Simp simp.Options
 	// Trace receives the cec.find_node span (nil: disabled).
 	Trace *obs.Tracer
 }
@@ -311,6 +334,9 @@ func FindEquivalentNode(ctx context.Context, g *aig.AIG, specG *aig.AIG, spec ai
 		e.InputLit(i) // pre-create solver variables for cex extraction
 	}
 	lspec := e.Encode(specIn)[0]
+	fopt := opt.Simp
+	fopt.NoVarElim = true
+	simp.Apply(s, fopt, opt.Trace)
 	queries := 0
 	for len(queue) > 0 {
 		if ctx != nil && ctx.Err() != nil {

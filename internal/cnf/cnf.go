@@ -15,11 +15,18 @@ import (
 // after the encoder is created — the SAT-sweeping engine interleaves node
 // construction with incremental cone encoding — and Encode only ever adds
 // clauses for cones not yet encoded.
+//
+// The encoder marks the interface of every encoded cone as frozen for
+// the solver's simplifier: primary inputs (fresh or tied) and the root
+// literals returned by Encode. Callers that read or constrain other
+// internal literals after a Simplify call must freeze those themselves
+// (or restrict simplification to equivalence-preserving techniques).
 type Encoder struct {
 	G      *aig.AIG
 	S      *sat.Solver
 	varOf  []sat.Lit // per AIG variable: solver literal of positive phase
 	mapped []bool
+	stack  []uint32 // Encode DFS scratch
 }
 
 // NewEncoder prepares an encoder of g into s. No clauses are added yet.
@@ -31,6 +38,24 @@ func NewEncoder(g *aig.AIG, s *sat.Solver) *Encoder {
 		mapped: make([]bool, g.MaxVar()+1),
 	}
 	return e
+}
+
+// Reset rebinds the encoder to a graph and solver, reusing its internal
+// tables (the SAT-attack inner loop pools encoders to keep per-DIP
+// allocations flat). All input ties and encoded cones are forgotten.
+func (e *Encoder) Reset(g *aig.AIG, s *sat.Solver) {
+	e.G, e.S = g, s
+	n := int(g.MaxVar()) + 1
+	if cap(e.varOf) < n {
+		e.varOf = make([]sat.Lit, n)
+		e.mapped = make([]bool, n)
+		return
+	}
+	e.varOf = e.varOf[:n]
+	e.mapped = e.mapped[:n]
+	for i := range e.mapped {
+		e.mapped[i] = false
+	}
 }
 
 // grow extends the per-variable tables to cover nodes added to the graph
@@ -60,22 +85,25 @@ func (e *Encoder) constLit() sat.Lit {
 }
 
 // TieInput binds the i-th primary input of the AIG to an existing solver
-// literal. Must be called before Encode.
+// literal. Must be called before Encode. The literal's variable becomes
+// part of the encoding interface and is frozen against elimination.
 func (e *Encoder) TieInput(i int, l sat.Lit) {
 	e.grow()
 	v := e.G.InputVar(i)
 	e.varOf[v] = l
 	e.mapped[v] = true
+	e.S.FreezeLit(l)
 }
 
 // InputLit returns the solver literal of the i-th primary input, creating a
-// fresh variable if the input was not tied.
+// fresh (frozen) variable if the input was not tied.
 func (e *Encoder) InputLit(i int) sat.Lit {
 	e.grow()
 	v := e.G.InputVar(i)
 	if !e.mapped[v] {
 		e.varOf[v] = sat.MkLit(e.S.NewVar(), false)
 		e.mapped[v] = true
+		e.S.FreezeLit(e.varOf[v])
 	}
 	return e.varOf[v]
 }
@@ -102,24 +130,53 @@ func (e *Encoder) Lit(l aig.Lit) sat.Lit {
 
 // Encode adds Tseitin clauses for the cones of the given roots (or the
 // whole graph when roots is empty). Untied inputs get fresh variables.
-// Returns the solver literals of the roots.
+// Returns the solver literals of the roots; root and input variables
+// are frozen against simplifier elimination (they are the interface the
+// caller reads and constrains).
+//
+// The traversal is an iterative post-order DFS from the roots, so the
+// cost is proportional to the unencoded cone, not to the whole graph —
+// the SAT-attack inner loop encodes two small key-binding cones per DIP
+// against circuits three orders of magnitude larger.
 func (e *Encoder) Encode(roots ...aig.Lit) []sat.Lit {
 	g := e.G
 	e.grow()
 	if len(roots) == 0 {
 		roots = g.Outputs()
 	}
-	need := g.TFI(roots...)
-	for v := uint32(1); v <= g.MaxVar(); v++ {
-		if !need[v] || e.mapped[v] {
+	stack := e.stack[:0]
+	for _, r := range roots {
+		if !r.IsConst() && !e.mapped[r.Var()] {
+			stack = append(stack, r.Var())
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		if e.mapped[v] {
+			stack = stack[:len(stack)-1]
 			continue
 		}
 		if g.Op(v) == aig.OpInput {
-			e.varOf[v] = sat.MkLit(e.S.NewVar(), false)
+			l := sat.MkLit(e.S.NewVar(), false)
+			e.varOf[v] = l
 			e.mapped[v] = true
+			e.S.FreezeLit(l)
+			stack = stack[:len(stack)-1]
 			continue
 		}
 		fan := g.Fanins(v)
+		ready := true
+		// Push in reverse so fan[0]'s cone encodes first (keeps the
+		// variable order aligned with fanin order for determinism).
+		for i := len(fan) - 1; i >= 0; i-- {
+			if f := fan[i]; !f.IsConst() && !e.mapped[f.Var()] {
+				stack = append(stack, f.Var())
+				ready = false
+			}
+		}
+		if !ready {
+			continue
+		}
 		out := sat.MkLit(e.S.NewVar(), false)
 		a := e.Lit(fan[0])
 		b := e.Lit(fan[1])
@@ -147,10 +204,13 @@ func (e *Encoder) Encode(roots ...aig.Lit) []sat.Lit {
 		}
 		e.varOf[v] = out
 		e.mapped[v] = true
+		stack = stack[:len(stack)-1]
 	}
+	e.stack = stack[:0]
 	lits := make([]sat.Lit, len(roots))
 	for i, r := range roots {
 		lits[i] = e.Lit(r)
+		e.S.FreezeLit(lits[i])
 	}
 	return lits
 }

@@ -25,12 +25,13 @@ import (
 	"obfuslock/internal/locking"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/rewrite"
+	"obfuslock/internal/simp"
 	"obfuslock/internal/skew"
 )
 
 // criticalSurvives checks whether any node of the wrong-key-bound netlist
 // computes the given spec function of the original inputs.
-func criticalSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, spec aig.Lit, tr *obs.Tracer) bool {
+func criticalSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, spec aig.Lit, tr *obs.Tracer, so simp.Options) bool {
 	wrong := make([]bool, l.KeyBits)
 	same := true
 	for i, b := range l.Key {
@@ -45,6 +46,7 @@ func criticalSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, sp
 	bound := l.ApplyKey(wrong)
 	fopt := cec.DefaultFindOptions()
 	fopt.Trace = tr
+	fopt.Simp = so
 	_, found := cec.FindEquivalentNode(ctx, bound, specG, spec, fopt)
 	return found
 }
@@ -88,6 +90,11 @@ type Options struct {
 	// Tracing never influences randomized choices: equal seeds produce
 	// equal locks with or without it.
 	Trace *obs.Tracer
+	// Simp controls CNF preprocessing in every SAT-backed step of the
+	// lock (witness samplers, model counting, CEC checks). The zero
+	// value enables it; simp.Off() disables (the CLIs' -simp=false).
+	// Like tracing, it never influences randomized choices.
+	Simp simp.Options
 }
 
 // DefaultOptions targets 20 bits of skewness. Rule budgets keep the
@@ -244,6 +251,7 @@ func assessCircuitSkewness(c *aig.AIG, opt Options) (float64, bool) {
 			}
 			so := skew.DefaultSplittingOptions()
 			so.Seed = opt.Seed
+			so.Simp = opt.Simp
 			b = skew.SplittingBits(c, po, so)
 			if b < opt.TargetSkewBits {
 				return b, true
@@ -343,6 +351,7 @@ func lockDoubleFlip(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span) 
 	for attempt := int64(0); attempt < 3; attempt++ {
 		work = c.Copy()
 		bopt := defaultBuildOptions(opt.TargetSkewBits, opt.Seed+7919*attempt)
+		bopt.Simp = opt.Simp
 		bopt.MaxSupport = opt.MaxSupport
 		if bopt.MaxSupport == 0 {
 			bopt.MaxSupport = int(2.5*opt.TargetSkewBits) + 8
@@ -399,7 +408,7 @@ func lockDoubleFlip(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span) 
 	clean := func(g *aig.AIG) bool {
 		csp := sp.Span("lock.cec")
 		lk := mk(g)
-		ok := !criticalSurvives(ctx, lk, c, specF, opt.Trace) && !criticalSurvives(ctx, lk, specLG, specL, opt.Trace)
+		ok := !criticalSurvives(ctx, lk, c, specF, opt.Trace, opt.Simp) && !criticalSurvives(ctx, lk, specLG, specL, opt.Trace, opt.Simp)
 		csp.End(obs.Bool("clean", ok))
 		return ok
 	}

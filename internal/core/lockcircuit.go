@@ -9,6 +9,7 @@ import (
 	"obfuslock/internal/aig"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sample"
+	"obfuslock/internal/simp"
 	"obfuslock/internal/skew"
 )
 
@@ -50,6 +51,9 @@ type buildOptions struct {
 	// on-set but only 2^(support-skew) keys survive afterwards, so both
 	// exponents must clear the attacker's budget.
 	SupportMargin float64
+	// Simp controls CNF preprocessing inside the witness samplers (zero
+	// value: enabled).
+	Simp simp.Options
 }
 
 func defaultBuildOptions(target float64, seed int64) buildOptions {
@@ -68,8 +72,9 @@ func defaultBuildOptions(target float64, seed int64) buildOptions {
 }
 
 // condProb estimates P(target=1 | cond) with n witnesses of cond.
-func condProb(g *aig.AIG, target, cond aig.Lit, n int, seed int64) (float64, bool) {
+func condProb(g *aig.AIG, target, cond aig.Lit, n int, seed int64, so simp.Options) (float64, bool) {
 	s := sample.NewCubeSampler(g, cond, seed)
+	s.Simp = so
 	p, got := sample.ConditionalProbability(g, target, cond, s, n)
 	return p, got > 0
 }
@@ -185,6 +190,7 @@ func buildLockingCircuit(work *aig.AIG, opt buildOptions) (*lockingCircuit, erro
 			return false
 		}
 		cs := sample.NewCubeSampler(work, lc.Root, opt.Seed^0x9e3779b9)
+		cs.Simp = opt.Simp
 		wit := cs.Sample(6)
 		if len(wit) < 3 {
 			return true // cannot test; construction estimates vouch for satisfiability
@@ -278,7 +284,7 @@ func buildLockingCircuit(work *aig.AIG, opt buildOptions) (*lockingCircuit, erro
 			if tentative == lc.Root || tentative.IsConst() {
 				continue
 			}
-			newProb, ok := chainProb(work, tentative, lc.Root, curProb, opt.QuickSamples, opt.Seed+int64(lc.Attachments)*31+int64(try))
+			newProb, ok := chainProb(work, tentative, lc.Root, curProb, opt.QuickSamples, opt.Seed+int64(lc.Attachments)*31+int64(try), opt.Simp)
 			if !ok || newProb <= 0 {
 				continue
 			}
@@ -295,7 +301,7 @@ func buildLockingCircuit(work *aig.AIG, opt buildOptions) (*lockingCircuit, erro
 			}
 			if g >= need {
 				// Accept; refine the estimate with a larger budget.
-				refined, ok2 := chainProb(work, tentative, lc.Root, curProb, opt.RefineSamples, opt.Seed^0x5bd1e995+int64(lc.Attachments))
+				refined, ok2 := chainProb(work, tentative, lc.Root, curProb, opt.RefineSamples, opt.Seed^0x5bd1e995+int64(lc.Attachments), opt.Simp)
 				if ok2 && refined > 0 {
 					newProb = refined
 				}
@@ -344,8 +350,8 @@ func buildLockingCircuit(work *aig.AIG, opt buildOptions) (*lockingCircuit, erro
 
 // chainProb estimates P(next=1) from P(cur=1) and sampled conditionals —
 // one splitting step along the chain.
-func chainProb(g *aig.AIG, next, cur aig.Lit, curProb float64, samples int, seed int64) (float64, bool) {
-	pGiven, ok := condProb(g, next, cur, samples, seed)
+func chainProb(g *aig.AIG, next, cur aig.Lit, curProb float64, samples int, seed int64, so simp.Options) (float64, bool) {
+	pGiven, ok := condProb(g, next, cur, samples, seed, so)
 	if !ok {
 		return 0, false
 	}
@@ -354,7 +360,7 @@ func chainProb(g *aig.AIG, next, cur aig.Lit, curProb float64, samples int, seed
 	// to the SAT sampler only when rejection fails.
 	pGivenNot, ok2 := condProbRejection(g, next, cur.Not(), samples, seed+1)
 	if !ok2 {
-		pGivenNot, _ = condProb(g, next, cur.Not(), samples/2, seed+2)
+		pGivenNot, _ = condProb(g, next, cur.Not(), samples/2, seed+2, so)
 	}
 	return pGiven*curProb + pGivenNot*(1-curProb), true
 }
@@ -393,5 +399,6 @@ func splitOpts(opt buildOptions, round int64) skew.SplittingOptions {
 	so := skew.DefaultSplittingOptions()
 	so.Seed = opt.Seed + round
 	so.SamplesPerStage = opt.RefineSamples
+	so.Simp = opt.Simp
 	return so
 }

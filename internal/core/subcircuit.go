@@ -7,10 +7,14 @@ import (
 	"sort"
 
 	"obfuslock/internal/aig"
+	"obfuslock/internal/cnf"
 	"obfuslock/internal/count"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/locking"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/rewrite"
+	"obfuslock/internal/sat"
+	"obfuslock/internal/simp"
 )
 
 // selectCut walks backwards from the protected output's root, repeatedly
@@ -18,7 +22,7 @@ import (
 // is wide enough AND the number of reachable patterns on it is exponential
 // in its width (checked with the approximate model counter). Primary
 // inputs stop the expansion (a PI frontier is trivially fully reachable).
-func selectCut(ctx context.Context, g *aig.AIG, po int, minCut int, seed int64, tr *obs.Tracer) ([]uint32, float64, error) {
+func selectCut(ctx context.Context, g *aig.AIG, po int, minCut int, seed int64, tr *obs.Tracer, so simp.Options) ([]uint32, float64, error) {
 	lv, _ := g.Levels()
 	root := g.Output(po)
 	inFrontier := map[uint32]bool{}
@@ -62,6 +66,7 @@ func selectCut(ctx context.Context, g *aig.AIG, po int, minCut int, seed int64, 
 	copt.Seed = seed
 	copt.Trials = 3
 	copt.Trace = tr
+	copt.Simp = so
 	for round := 0; ; round++ {
 		for len(frontier) < minCut {
 			if !expand() {
@@ -122,7 +127,7 @@ func lockSubCircuit(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span) 
 		minCut = int(opt.TargetSkewBits) + 8
 	}
 	csp := sp.Span("lock.select_cut", obs.Int("min_cut", int64(minCut)))
-	cut, reach, err := selectCut(ctx, c, po, minCut, opt.Seed, opt.Trace)
+	cut, reach, err := selectCut(ctx, c, po, minCut, opt.Seed, opt.Trace, opt.Simp)
 	if err != nil {
 		csp.End(obs.Str("error", err.Error()))
 		return nil, err
@@ -130,13 +135,50 @@ func lockSubCircuit(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span) 
 	csp.End(obs.Int("cut_width", int64(len(cut))), obs.Float("log2_reach", reach))
 	sub, bnd := c.ExtractBounded([]aig.Lit{c.Output(po)}, cut)
 
+	// The chain is built over the free cut space, but the flips only ever
+	// fire on cut patterns the input logic can actually produce. A chain
+	// whose (tiny) on-set misses the reachable set — or is shift-invariant
+	// over it — has dead key bits: the correct key verifies, yet flipping
+	// those bits corrupts nothing. Count the provably dead bits of each
+	// candidate chain (bit j is dead when no input x gives
+	// L(cut(x)) ≠ L(cut(x) ⊕ e_j)) and retry the construction under fresh
+	// seeds until a fully effective chain appears, keeping the best one.
 	subOpt := opt
 	subOpt.SubCircuit = false
 	subOpt.AllowDirect = false
 	subOpt.ProtectedOutput = 0
-	subRes, err := lockDoubleFlip(ctx, sub, subOpt, sp)
-	if err != nil {
-		return nil, fmt.Errorf("core: sub-circuit lock: %w", err)
+	var (
+		subRes   *Result
+		lockFn   *aig.AIG
+		bestDead = -1
+	)
+	const chainAttempts = 4
+	for attempt := int64(0); attempt < chainAttempts; attempt++ {
+		if attempt > 0 {
+			subOpt.Seed = opt.Seed + 104729*attempt
+		}
+		r, rerr := lockDoubleFlip(ctx, sub, subOpt, sp)
+		if rerr != nil {
+			// A stalled seed is only fatal when no attempt built anything.
+			if attempt == chainAttempts-1 && subRes == nil {
+				return nil, fmt.Errorf("core: sub-circuit lock: %w", rerr)
+			}
+			sp.Event("lock.sub_retry",
+				obs.Int("attempt", attempt+1), obs.Str("error", rerr.Error()))
+			continue
+		}
+		dead := 0
+		if r.LockingFunction != nil {
+			dead = deadKeyBits(ctx, c, bnd, r.LockingFunction, opt.Simp)
+		}
+		if bestDead < 0 || dead < bestDead {
+			subRes, lockFn, bestDead = r, composeSubLockingFn(c, bnd, r.LockingFunction), dead
+		}
+		if dead == 0 {
+			break
+		}
+		sp.Event("lock.sub_retry",
+			obs.Int("attempt", attempt+1), obs.Int("dead_key_bits", int64(dead)))
 	}
 	subL := subRes.Locked
 
@@ -175,23 +217,72 @@ func lockSubCircuit(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span) 
 	rep.OrigNodes = c.NumNodes()
 	rep.EncNodes = encC.NumNodes()
 
-	// Compose the locking-function reference over the full inputs:
-	// L(cut(x)).
-	var lockFn *aig.AIG
-	if subRes.LockingFunction != nil {
-		lockFn = aig.New()
-		xs2 := make([]aig.Lit, c.NumInputs())
-		for i := range xs2 {
-			xs2[i] = lockFn.AddInput(c.InputName(i))
-		}
-		bndRoots := make([]aig.Lit, len(bnd))
-		for i, v := range bnd {
-			bndRoots[i] = aig.MkLit(v, false)
-		}
-		mappedBnd := lockFn.ImportCone(c, xs2, bndRoots)
-		lOut := lockFn.ImportCone(subRes.LockingFunction, mappedBnd,
-			[]aig.Lit{subRes.LockingFunction.Output(0)})
-		lockFn.AddOutput(lOut[0], "L")
-	}
 	return &Result{Locked: l, Report: rep, LockingFunction: lockFn}, nil
+}
+
+// composeSubLockingFn builds the locking-function reference over the full
+// inputs, L(cut(x)), from the sub-circuit's locking function (over the cut
+// variables bnd of c). Returns nil when subLF is nil.
+func composeSubLockingFn(c *aig.AIG, bnd []uint32, subLF *aig.AIG) *aig.AIG {
+	if subLF == nil {
+		return nil
+	}
+	lockFn := aig.New()
+	xs := make([]aig.Lit, c.NumInputs())
+	for i := range xs {
+		xs[i] = lockFn.AddInput(c.InputName(i))
+	}
+	bndRoots := make([]aig.Lit, len(bnd))
+	for i, v := range bnd {
+		bndRoots[i] = aig.MkLit(v, false)
+	}
+	mappedBnd := lockFn.ImportCone(c, xs, bndRoots)
+	lOut := lockFn.ImportCone(subLF, mappedBnd, []aig.Lit{subLF.Output(0)})
+	lockFn.AddOutput(lOut[0], "L")
+	return lockFn
+}
+
+// deadKeyBits counts the key bits of the sub lock that are ineffective
+// through the cut: for support position j of subLF (the locking function
+// over the cut variables bnd of c), some input x must satisfy
+// L(cut(x)) ≠ L(cut(x) ⊕ e_j) — otherwise flipping that key bit never
+// corrupts the shipped netlist. Only a proven UNSAT counts as dead; an
+// exhausted budget or a cancelled context gives the bit the benefit of
+// the doubt (a retry could not be validated any better).
+func deadKeyBits(ctx context.Context, c *aig.AIG, bnd []uint32, subLF *aig.AIG, so simp.Options) int {
+	g := aig.New()
+	xs := make([]aig.Lit, c.NumInputs())
+	for i := range xs {
+		xs[i] = g.AddInput(c.InputName(i))
+	}
+	bndRoots := make([]aig.Lit, len(bnd))
+	for i, v := range bnd {
+		bndRoots[i] = aig.MkLit(v, false)
+	}
+	mapped := g.ImportCone(c, xs, bndRoots)
+	root := []aig.Lit{subLF.Output(0)}
+	base := g.ImportCone(subLF, mapped, root)[0]
+	var miters []aig.Lit
+	for _, p := range subLF.Support(root[0]) {
+		shifted := append([]aig.Lit(nil), mapped...)
+		shifted[p] = mapped[p].Not()
+		alt := g.ImportCone(subLF, shifted, root)[0]
+		miters = append(miters, g.Xor(base, alt))
+	}
+	s := sat.New()
+	e := cnf.NewEncoder(g, s)
+	lits := e.Encode(miters...)
+	s.SetBudget(exec.WithConflicts(2_000_000).ConflictCap())
+	s.SetContext(ctx)
+	for _, l := range lits {
+		s.FreezeLit(l)
+	}
+	simp.Apply(s, so, nil)
+	dead := 0
+	for _, l := range lits {
+		if s.Solve(l) == sat.Unsat {
+			dead++
+		}
+	}
+	return dead
 }

@@ -15,6 +15,7 @@ import (
 	"obfuslock/internal/exec"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
+	"obfuslock/internal/simp"
 )
 
 // Options configures the counter.
@@ -28,6 +29,10 @@ type Options struct {
 	Budget exec.Budget
 	// Seed drives the random parity constraints.
 	Seed int64
+	// Simp controls CNF preprocessing of each trial's solver (zero
+	// value: enabled; simp.Off() disables). The projection literals are
+	// frozen, so full elimination is sound.
+	Simp simp.Options
 	// Trace receives a count.approx span with one count.trial event per
 	// XOR hashing round. Nil disables tracing.
 	Trace *obs.Tracer
@@ -98,6 +103,7 @@ func approxTraced(ctx context.Context, p problem, opt Options, sp *obs.Span) Res
 	s, proj := p.build()
 	s.SetBudget(opt.Budget.ConflictCap())
 	s.SetContext(ctx)
+	freezeAndSimp(s, proj, opt)
 	n, ok := enumerateUpTo(s, proj, opt.Pivot)
 	if !ok {
 		return Result{Decided: false}
@@ -132,6 +138,9 @@ func approxTraced(ctx context.Context, p problem, opt Options, sp *obs.Span) Res
 				}
 				cnf.AddXorConstraint(s, lits, rng.Intn(2) == 0)
 			}
+			// Simplify after the parity constraints so the XOR chain
+			// variables are eliminable too.
+			freezeAndSimp(s, proj, opt)
 			return enumerateUpTo(s, proj, opt.Pivot)
 		}
 		probes := 0
@@ -180,6 +189,21 @@ func approxTraced(ctx context.Context, p problem, opt Options, sp *obs.Span) Res
 	}
 	sort.Float64s(estimates)
 	return Result{Log2Count: estimates[len(estimates)/2], Decided: true}
+}
+
+// freezeAndSimp pins the projection literals (the counter assumes,
+// blocks and reads them after preprocessing — for ReachablePatterns
+// they are internal cut nodes, not just inputs) and runs one
+// simplification pass. An UNSAT outcome needs no special handling: the
+// following enumeration just sees Unsat.
+func freezeAndSimp(s *sat.Solver, proj []sat.Lit, opt Options) {
+	if !opt.Simp.Enabled() {
+		return
+	}
+	for _, l := range proj {
+		s.FreezeLit(l)
+	}
+	simp.Apply(s, opt.Simp, opt.Trace)
 }
 
 // Models approximately counts satisfying input assignments of cond in g.

@@ -28,6 +28,8 @@ import (
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
 	"obfuslock/internal/obs"
+	"obfuslock/internal/sat"
+	"obfuslock/internal/simp"
 	"obfuslock/internal/skew"
 	"obfuslock/internal/techmap"
 )
@@ -48,6 +50,10 @@ type Budget struct {
 	// "wrong") instead of wall-clock seconds and disables Timeout, making
 	// tables and metrics.json byte-identical across runs and machines.
 	Deterministic bool
+	// Simp controls CNF preprocessing/inprocessing in the lock pipeline
+	// and attacks of every sweep cell (zero value: enabled; simp.Off()
+	// for the CLIs' -simp=false).
+	Simp simp.Options
 	// Trace, when non-nil, receives lock and attack spans for every
 	// sweep cell plus table1.cell wrapper spans.
 	Trace *obs.Tracer
@@ -66,6 +72,9 @@ type TableIRow struct {
 	// Attack cells: decrypt time (or "ok/<iterations>" in deterministic
 	// mode), or "TO" / "wrong" markers as in the paper.
 	SATSub, SATWhole, AppSATSub, AppSATWhole string
+	// SolverStats accumulates the four attack cells' SAT-solver work
+	// counters (not printed; surfaced by bench_test.go's BENCH_sat.json).
+	SolverStats sat.Stats
 }
 
 func (r TableIRow) String() string {
@@ -153,6 +162,7 @@ func TableIEntry(ctx context.Context, b netlistgen.Benchmark, skewBits float64, 
 	opt.Seed = seed
 	opt.AllowDirect = false
 	opt.Trace = budget.Trace
+	opt.Simp = budget.Simp
 	res, err := core.Lock(ctx, c, opt)
 	if err != nil {
 		return TableIRow{}, fmt.Errorf("%s @ %g bits: %w", b.Name, skewBits, err)
@@ -171,6 +181,7 @@ func TableIEntry(ctx context.Context, b netlistgen.Benchmark, skewBits float64, 
 	aopt.MaxIterations = budget.MaxIterations
 	aopt.Seed = seed
 	aopt.Trace = budget.Trace
+	aopt.Simp = budget.Simp
 	if budget.Deterministic {
 		// Deterministic cells are bounded by iteration count only; a
 		// wall-clock cutoff would decide cells differently between runs.
@@ -180,7 +191,11 @@ func TableIEntry(ctx context.Context, b netlistgen.Benchmark, skewBits float64, 
 	cell := func(name string, run func() attacks.IOResult, cl *locking.Locked, orig *aig.AIG) string {
 		csp := budget.Trace.Span("table1.cell",
 			obs.Str("bench", b.Name), obs.Float("skew", skewBits), obs.Str("attack", name))
-		out := attackCell(run, cl, orig, budget.Deterministic)
+		out := attackCell(func() attacks.IOResult {
+			r := run()
+			row.SolverStats = row.SolverStats.Add(r.SolverStats)
+			return r
+		}, cl, orig, budget.Deterministic)
 		csp.End(obs.Str("result", out))
 		return out
 	}

@@ -31,6 +31,7 @@ import (
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
 	"obfuslock/internal/sim"
+	"obfuslock/internal/simp"
 )
 
 // Options configures a sweep.
@@ -44,6 +45,11 @@ type Options struct {
 	// wall-clock side is enforced through ctx). An exhausted query leaves
 	// its node unmerged and marks the result undecided.
 	Budget exec.Budget
+	// Simp controls inprocessing of the shared incremental solver (zero
+	// value: enabled; simp.Off() disables). Variable elimination is
+	// forced off regardless: the sweep keeps encoding new cones against
+	// already-encoded internal variables, which elimination would break.
+	Simp simp.Options
 	// Trace receives the fraig.sweep span and the fraig.* counters
 	// (nil: disabled, zero cost).
 	Trace *obs.Tracer
@@ -95,6 +101,8 @@ type Result struct {
 	// the context was cancelled: the reduction is still sound (only
 	// proven merges were applied), but possibly incomplete.
 	Decided bool
+	// SolverStats is the SAT work of the sweep's shared prover.
+	SolverStats sat.Stats
 }
 
 // sweeper carries the mutable state of one Sweep call.
@@ -137,6 +145,17 @@ func Sweep(ctx context.Context, g *aig.AIG, opt Options) *Result {
 		enc.InputLit(i) // pre-create the solver variable for cex extraction
 	}
 
+	// Inprocessing: every simpEvery SAT queries, re-simplify the shared
+	// solver (subsumption/strengthening/vivification only — the sweep
+	// keeps adding cones over internal variables, so elimination is off).
+	fopt := opt.Simp
+	fopt.NoVarElim = true
+	simpEvery := fopt.InprocessEvery
+	if simpEvery == 0 {
+		simpEvery = 64
+	}
+	lastSimp := 0
+
 	decided := true
 	proving := true
 	for v := uint32(1); v <= g.MaxVar(); v++ {
@@ -166,6 +185,10 @@ func Sweep(ctx context.Context, g *aig.AIG, opt Options) *Result {
 				proving = false
 			}
 		}
+		if q := sw.st.SatProved + sw.st.SatRefuted + sw.st.Undecided; fopt.Enabled() && simpEvery > 0 && q-lastSimp >= simpEvery {
+			lastSimp = q
+			simp.Apply(s, fopt, tr)
+		}
 	}
 	for i, po := range g.Outputs() {
 		sw.ng.AddOutput(sw.m[po.Var()].NotIf(po.IsCompl()), g.OutputName(i))
@@ -185,7 +208,7 @@ func Sweep(ctx context.Context, g *aig.AIG, opt Options) *Result {
 		obs.Int("rounds", int64(sw.st.Rounds)),
 		obs.Int("nodes_out", int64(reduced.NumNodes())),
 		obs.Bool("decided", decided))
-	return &Result{Reduced: reduced, Stats: sw.st, Decided: decided}
+	return &Result{Reduced: reduced, Stats: sw.st, Decided: decided, SolverStats: s.Stats()}
 }
 
 // buildClasses seeds the candidate classes from phase-normalized

@@ -75,10 +75,18 @@ func (l *Locked) Unlocked() *aig.AIG { return l.ApplyKey(l.Key) }
 // result is the key-only cone used when recording I/O constraints in
 // oracle-guided attacks.
 func BindInputs(enc *aig.AIG, m int, x []bool) *aig.AIG {
+	return BindInputsInto(aig.New(), enc, m, x)
+}
+
+// BindInputsInto is BindInputs building into dst, which is Reset first.
+// Reusing one dst across calls keeps the per-call allocations independent
+// of how often the cone is rebuilt (the attacks bind one pattern per DIP).
+func BindInputsInto(dst, enc *aig.AIG, m int, x []bool) *aig.AIG {
 	if len(x) != m || m > enc.NumInputs() {
 		panic("locking: BindInputs shape mismatch")
 	}
-	ng := aig.New()
+	ng := dst
+	ng.Reset()
 	piMap := make([]aig.Lit, enc.NumInputs())
 	for i := 0; i < m; i++ {
 		if x[i] {

@@ -23,6 +23,7 @@ import (
 	"obfuslock/internal/exec"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
+	"obfuslock/internal/simp"
 )
 
 // Sampler draws input patterns on which cond evaluates true.
@@ -33,8 +34,10 @@ type Sampler interface {
 }
 
 // prepare builds a solver asserting cond over the inputs of g and returns
-// the solver together with the input literals.
-func prepare(ctx context.Context, g *aig.AIG, cond aig.Lit, budget exec.Budget) (*sat.Solver, []sat.Lit) {
+// the solver together with the input literals. The inputs are frozen by
+// the encoder (the samplers assume, block and read them), so the
+// requested preprocessing may eliminate anything internal.
+func prepare(ctx context.Context, g *aig.AIG, cond aig.Lit, budget exec.Budget, so simp.Options, tr *obs.Tracer) (*sat.Solver, []sat.Lit) {
 	s := sat.New()
 	e := cnf.NewEncoder(g, s)
 	ins := make([]sat.Lit, g.NumInputs())
@@ -45,6 +48,7 @@ func prepare(ctx context.Context, g *aig.AIG, cond aig.Lit, budget exec.Budget) 
 	s.AddClause(root[0])
 	s.SetBudget(budget.ConflictCap())
 	s.SetContext(ctx)
+	simp.Apply(s, so, tr)
 	return s, ins
 }
 
@@ -62,6 +66,9 @@ type CubeSampler struct {
 	// Ctx, when non-nil, cancels in-flight solves; Sample then returns
 	// the witnesses drawn so far.
 	Ctx context.Context
+	// Simp controls CNF preprocessing of each Sample call's solver
+	// (zero value: enabled; simp.Off() disables).
+	Simp simp.Options
 	// Trace receives one sample.cube event per Sample call. Nil disables.
 	Trace *obs.Tracer
 }
@@ -89,7 +96,7 @@ func (cs *CubeSampler) Sample(n int) [][]bool {
 }
 
 func (cs *CubeSampler) sample(n int) [][]bool {
-	s, ins := prepare(cs.Ctx, cs.g, cs.cond, cs.Budget)
+	s, ins := prepare(cs.Ctx, cs.g, cs.cond, cs.Budget, cs.Simp, cs.Trace)
 	s.SetRandomPolarity(cs.rng.Int63())
 	nin := len(ins)
 	var out [][]bool
@@ -157,6 +164,9 @@ type XorSampler struct {
 	// Ctx, when non-nil, cancels in-flight solves; Sample then returns
 	// the witnesses drawn so far.
 	Ctx context.Context
+	// Simp controls CNF preprocessing of each cell's solver (zero
+	// value: enabled; simp.Off() disables).
+	Simp simp.Options
 	// Trace receives one sample.cell event per enumerated XOR cell. Nil
 	// disables.
 	Trace *obs.Tracer
@@ -176,7 +186,10 @@ func NewXorSampler(g *aig.AIG, cond aig.Lit, seed int64) *XorSampler {
 // enumerateCell lists up to limit witnesses of cond subject to nXor random
 // parity constraints over the inputs.
 func (xs *XorSampler) enumerateCell(nXor, limit int) [][]bool {
-	s, ins := prepare(xs.Ctx, xs.g, xs.cond, xs.Budget)
+	// Preprocessing runs inside prepare, before the parity constraints:
+	// the XOR chains land on a reduced base encoding either way, and the
+	// per-cell solver stays cheap to set up.
+	s, ins := prepare(xs.Ctx, xs.g, xs.cond, xs.Budget, xs.Simp, xs.Trace)
 	s.SetRandomPolarity(xs.rng.Int63())
 	for x := 0; x < nXor; x++ {
 		var lits []sat.Lit

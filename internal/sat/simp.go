@@ -1,0 +1,904 @@
+package sat
+
+// SatELite-style clause-database simplification (Eén & Biere, SAT'05;
+// MiniSat-2's SimpSolver): bounded variable elimination by resolution,
+// backward subsumption and self-subsuming resolution over occurrence
+// lists with signature hashing, top-level unit/pure-literal reduction,
+// and clause vivification by unit propagation.
+//
+// The simplifier works on the live incremental solver, so it must honor
+// two contracts the preprocessing literature can take for granted:
+//
+//   - Frozen variables (Freeze/FreezeLit) are exempt from elimination.
+//     Any variable later used in an assumption, read through ModelValue,
+//     or mentioned by a clause added after Simplify must be frozen
+//     first; violating this panics rather than corrupting the answer.
+//   - Eliminated variables get their model values reconstructed
+//     (extendModel) from the clauses removed at elimination time, so
+//     Model/ModelValue keep working unchanged for callers that froze
+//     everything they read.
+//
+// All simplification is deterministic: occurrence lists and queues are
+// slices filled and drained in ascending clause-reference order,
+// candidate variables are sorted with explicit tie-breaks, and no map
+// is iterated anywhere on these paths.
+
+import "sort"
+
+// SimpOptions tunes Simplify. The zero value disables every technique;
+// use DefaultSimpOptions for the standard configuration.
+type SimpOptions struct {
+	// VarElim enables bounded variable elimination by resolution.
+	// Eliminating a variable is only sound for equisatisfiability:
+	// enable it when every literal the caller will assume, read or
+	// constrain later is frozen.
+	VarElim bool
+	// Subsume enables backward subsumption and self-subsuming
+	// resolution. These are equivalence-preserving.
+	Subsume bool
+	// Vivify enables clause vivification by unit propagation
+	// (equivalence-preserving: it only removes redundant literals).
+	Vivify bool
+	// MaxOccur skips elimination of variables occurring in more than
+	// this many clauses (SatELite's "don't touch heavily shared
+	// variables" guard).
+	MaxOccur int
+	// MaxGrowth bounds the clause-count growth per eliminated
+	// variable: resolvents kept must number at most
+	// removed_clauses + MaxGrowth.
+	MaxGrowth int
+	// MaxResolventLen aborts an elimination producing a resolvent
+	// longer than this, and caps the length of clauses considered for
+	// vivification.
+	MaxResolventLen int
+	// VivifyMaxProps bounds the unit propagations spent by one
+	// vivification pass.
+	VivifyMaxProps int64
+	// MaxRounds bounds the subsume/eliminate fixpoint iterations.
+	MaxRounds int
+}
+
+// DefaultSimpOptions returns the standard simplification configuration.
+func DefaultSimpOptions() SimpOptions {
+	return SimpOptions{
+		VarElim:         true,
+		Subsume:         true,
+		Vivify:          true,
+		MaxOccur:        30,
+		MaxGrowth:       0,
+		MaxResolventLen: 24,
+		VivifyMaxProps:  300000,
+		MaxRounds:       3,
+	}
+}
+
+// SimpStats counts simplification work, cumulative across Simplify calls.
+type SimpStats struct {
+	// Rounds counts Simplify invocations.
+	Rounds int64
+	// ElimVars counts variables eliminated by resolution.
+	ElimVars int64
+	// PureVars counts the subset of ElimVars removed as pure literals
+	// (all occurrences in one polarity, so elimination adds nothing).
+	PureVars int64
+	// FixedVars counts variables fixed at the root level during
+	// simplification (top-level units discovered).
+	FixedVars int64
+	// SubsumedClauses counts clauses deleted by backward subsumption.
+	SubsumedClauses int64
+	// StrengthenedLits counts literals removed by self-subsuming
+	// resolution.
+	StrengthenedLits int64
+	// VivifiedLits counts literals removed by vivification.
+	VivifiedLits int64
+	// RemovedClauses counts problem clauses removed by variable
+	// elimination (their resolvents are added back).
+	RemovedClauses int64
+	// ResolventsAdded counts resolvent clauses added by elimination.
+	ResolventsAdded int64
+}
+
+// Sub returns the per-interval delta s - prev (all counters).
+func (s SimpStats) Sub(prev SimpStats) SimpStats {
+	return SimpStats{
+		Rounds:           s.Rounds - prev.Rounds,
+		ElimVars:         s.ElimVars - prev.ElimVars,
+		PureVars:         s.PureVars - prev.PureVars,
+		FixedVars:        s.FixedVars - prev.FixedVars,
+		SubsumedClauses:  s.SubsumedClauses - prev.SubsumedClauses,
+		StrengthenedLits: s.StrengthenedLits - prev.StrengthenedLits,
+		VivifiedLits:     s.VivifiedLits - prev.VivifiedLits,
+		RemovedClauses:   s.RemovedClauses - prev.RemovedClauses,
+		ResolventsAdded:  s.ResolventsAdded - prev.ResolventsAdded,
+	}
+}
+
+// elimRecord remembers the clauses removed when a variable was
+// eliminated, for model reconstruction. The literal slices are deep
+// copies: clause storage is mutated and nil'd as simplification
+// proceeds.
+type elimRecord struct {
+	v       int
+	clauses [][]Lit
+}
+
+// Freeze exempts a variable from elimination. Freeze every variable
+// that will later appear in an assumption, a ModelValue read, or a
+// clause added after Simplify.
+func (s *Solver) Freeze(v int) { s.frozen[v] = true }
+
+// FreezeLit is Freeze on the literal's variable.
+func (s *Solver) FreezeLit(l Lit) { s.frozen[l.Var()] = true }
+
+// Frozen reports whether the variable is exempt from elimination.
+func (s *Solver) Frozen(v int) bool { return s.frozen[v] }
+
+// Eliminated reports whether the variable has been eliminated by a
+// Simplify call. Its model value is reconstructed after each Sat
+// answer, but it may no longer appear in assumptions or new clauses.
+func (s *Solver) Eliminated(v int) bool { return s.elim[v] }
+
+// SimpStats returns simplification counters accumulated across all
+// Simplify calls.
+func (s *Solver) SimpStats() SimpStats { return s.simpStats }
+
+// Simplify reduces the clause database in place: top-level
+// unit/pure-literal reduction, backward subsumption, self-subsuming
+// resolution, bounded variable elimination, and clause vivification,
+// per opt. It returns false when simplification proves the formula
+// unsatisfiable (like AddClause). Solving continues to work afterwards:
+// frozen variables keep their meaning, eliminated variables are
+// reconstructed into the model.
+func (s *Solver) Simplify(opt SimpOptions) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	if s.propagate() != clauseNone {
+		s.ok = false
+		return false
+	}
+	trailBase := len(s.trail)
+	sp := &simplifier{s: s, opt: opt}
+	ok := sp.run()
+	if ok && opt.Vivify {
+		ok = sp.vivifyAll()
+	}
+	s.simpStats.Rounds++
+	s.simpStats.FixedVars += int64(len(s.trail) - trailBase)
+	if !ok {
+		s.ok = false
+	}
+	return ok
+}
+
+// simplifier is the per-Simplify working state.
+type simplifier struct {
+	s   *Solver
+	opt SimpOptions
+
+	// occ maps each variable to the (live) clause refs containing it in
+	// either polarity, learnt clauses included. nil until buildOcc.
+	occ  [][]int32
+	abst []uint64 // per-clause variable signature
+
+	queue   []int32 // subsumption work queue (clause refs)
+	qh      int
+	inQueue []bool
+
+	markL   []bool  // literal-indexed scratch marks
+	scratch []int32 // occurrence-list iteration copy
+	resolv  []Lit   // resolvent scratch
+}
+
+// run performs the occurrence-list phases (everything but vivification)
+// and leaves the solver in a consistent solving state: watches rebuilt,
+// learnts list filtered, propagation queue settled.
+func (sp *simplifier) run() bool {
+	s := sp.s
+	// Deferred-propagation protocol: from here until finish, units are
+	// enqueued at level 0 but never propagated through the watch lists
+	// (clause mutation would invalidate them). Clause/value consistency
+	// is restored by normalize's fixpoint scans instead.
+	if !sp.normalize() {
+		return false
+	}
+	sp.buildOcc()
+	sp.markL = make([]bool, 2*s.numVars)
+	rounds := sp.opt.MaxRounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		changed := 0
+		if sp.opt.Subsume {
+			sp.queueAll()
+			n, ok := sp.subsumeAll()
+			if !ok {
+				return false
+			}
+			changed += n
+		}
+		if sp.opt.VarElim {
+			n, ok := sp.eliminateVars()
+			if !ok {
+				return false
+			}
+			changed += n
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return sp.finish()
+}
+
+// normalize cleans every live clause against the level-0 assignment
+// until no new unit facts appear: satisfied clauses are deleted, false
+// literals stripped, and clauses shrunk to units enqueue their literal.
+// It returns false on a root-level conflict.
+func (sp *simplifier) normalize() bool {
+	s := sp.s
+	for {
+		pre := len(s.trail)
+		for ci := range s.clauses {
+			if s.clauses[ci].deleted {
+				continue
+			}
+			if !sp.cleanClause(int32(ci)) {
+				return false
+			}
+		}
+		if len(s.trail) == pre {
+			return true
+		}
+	}
+}
+
+// cleanClause removes literals false at level 0 and deletes the clause
+// if satisfied. A clause shrunk to a unit is deleted and its literal
+// enqueued (not propagated; see the deferred-propagation protocol). It
+// returns false on a root-level conflict.
+func (sp *simplifier) cleanClause(cref int32) bool {
+	s := sp.s
+	c := &s.clauses[cref]
+	for _, l := range c.lits {
+		if s.valueLit(l) == lTrue {
+			sp.removeClause(cref)
+			return true
+		}
+	}
+	out := c.lits[:0]
+	for _, l := range c.lits {
+		if s.valueLit(l) == lFalse {
+			sp.occRemove(l.Var(), cref)
+			continue
+		}
+		out = append(out, l)
+	}
+	c.lits = out
+	switch len(out) {
+	case 0:
+		return false
+	case 1:
+		l := out[0]
+		sp.removeClause(cref)
+		// l cannot be assigned here: true lits delete the clause above,
+		// false lits were just stripped.
+		s.uncheckedEnqueue(l, clauseNone)
+		return true
+	}
+	sp.updateAbst(cref)
+	return true
+}
+
+// removeClause deletes a clause and removes it from the occurrence
+// lists. The learnts index is filtered later, in finish.
+func (sp *simplifier) removeClause(cref int32) {
+	s := sp.s
+	c := &s.clauses[cref]
+	if c.deleted {
+		return
+	}
+	for _, l := range c.lits {
+		sp.occRemove(l.Var(), cref)
+	}
+	c.deleted = true
+	c.lits = nil
+	if c.learnt {
+		s.stats.Deleted++
+	}
+}
+
+// occRemove drops one clause ref from a variable's occurrence list,
+// preserving order (determinism: later iterations see a stable order).
+func (sp *simplifier) occRemove(v int, cref int32) {
+	if sp.occ == nil {
+		return
+	}
+	ws := sp.occ[v]
+	for i, w := range ws {
+		if w == cref {
+			copy(ws[i:], ws[i+1:])
+			sp.occ[v] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (sp *simplifier) buildOcc() {
+	s := sp.s
+	sp.occ = make([][]int32, s.numVars)
+	sp.abst = make([]uint64, len(s.clauses))
+	sp.inQueue = make([]bool, len(s.clauses))
+	for ci := range s.clauses {
+		c := &s.clauses[ci]
+		if c.deleted {
+			continue
+		}
+		for _, l := range c.lits {
+			sp.occ[l.Var()] = append(sp.occ[l.Var()], int32(ci))
+		}
+		sp.updateAbst(int32(ci))
+	}
+}
+
+// updateAbst recomputes the clause's variable signature: a 64-bit
+// Bloom-style filter used to reject non-subset candidates cheaply.
+func (sp *simplifier) updateAbst(cref int32) {
+	if sp.abst == nil {
+		return
+	}
+	var a uint64
+	for _, l := range sp.s.clauses[cref].lits {
+		a |= 1 << (uint(l.Var()) & 63)
+	}
+	sp.abst[cref] = a
+}
+
+func (sp *simplifier) enqueueSub(cref int32) {
+	if int(cref) < len(sp.inQueue) && !sp.inQueue[cref] {
+		sp.inQueue[cref] = true
+		sp.queue = append(sp.queue, cref)
+	}
+}
+
+// queueAll enqueues every live problem clause for backward subsumption,
+// in ascending clause-ref order.
+func (sp *simplifier) queueAll() {
+	sp.queue = sp.queue[:0]
+	sp.qh = 0
+	for ci := range sp.s.clauses {
+		c := &sp.s.clauses[ci]
+		if c.deleted || c.learnt {
+			continue
+		}
+		sp.inQueue[ci] = true
+		sp.queue = append(sp.queue, int32(ci))
+	}
+}
+
+// subsumeAll drains the subsumption queue: each queued clause C is
+// checked backward against every clause D sharing C's rarest variable.
+// C ⊆ D deletes D; C ⊆ D with exactly one flipped literal strengthens D
+// by self-subsuming resolution (learnt D included — that only shrinks a
+// redundant clause). Learnt clauses are never used as the subsuming
+// side: a problem clause deleted on a learnt's authority would become
+// unsound to drop in reduceDB.
+func (sp *simplifier) subsumeAll() (int, bool) {
+	s := sp.s
+	changed := 0
+	for sp.qh < len(sp.queue) {
+		cref := sp.queue[sp.qh]
+		sp.qh++
+		sp.inQueue[cref] = false
+		c := &s.clauses[cref]
+		if c.deleted {
+			continue
+		}
+		if !sp.cleanClause(cref) {
+			return changed, false
+		}
+		if c.deleted {
+			continue
+		}
+		best := c.lits[0].Var()
+		for _, l := range c.lits[1:] {
+			if len(sp.occ[l.Var()]) < len(sp.occ[best]) {
+				best = l.Var()
+			}
+		}
+		for _, l := range c.lits {
+			sp.markL[l] = true
+		}
+		cl := len(c.lits)
+		ca := sp.abst[cref]
+		ok := true
+		sp.scratch = append(sp.scratch[:0], sp.occ[best]...)
+		for _, dref := range sp.scratch {
+			if dref == cref {
+				continue
+			}
+			d := &s.clauses[dref]
+			if d.deleted || len(d.lits) < cl {
+				continue
+			}
+			if ca&^sp.abst[dref] != 0 {
+				continue
+			}
+			cnt := 0
+			flips := 0
+			flip := LitUndef
+			for _, l := range d.lits {
+				if sp.markL[l] {
+					cnt++
+				} else if sp.markL[l.Not()] {
+					flips++
+					flip = l
+				}
+			}
+			if cnt == cl {
+				sp.removeClause(dref)
+				s.simpStats.SubsumedClauses++
+				changed++
+			} else if cnt == cl-1 && flips == 1 {
+				if !sp.strengthen(dref, flip) {
+					ok = false
+					break
+				}
+				s.simpStats.StrengthenedLits++
+				changed++
+			}
+		}
+		for _, l := range c.lits {
+			sp.markL[l] = false
+		}
+		if !ok {
+			return changed, false
+		}
+	}
+	return changed, true
+}
+
+// strengthen removes one literal from a clause (self-subsuming
+// resolution or vivification) and requeues it for subsumption. It
+// returns false on a root-level conflict.
+func (sp *simplifier) strengthen(cref int32, l Lit) bool {
+	s := sp.s
+	c := &s.clauses[cref]
+	out := c.lits[:0]
+	for _, q := range c.lits {
+		if q == l {
+			continue
+		}
+		out = append(out, q)
+	}
+	c.lits = out
+	sp.occRemove(l.Var(), cref)
+	switch len(out) {
+	case 0:
+		return false
+	case 1:
+		u := out[0]
+		sp.removeClause(cref)
+		switch s.valueLit(u) {
+		case lTrue:
+			return true
+		case lFalse:
+			return false
+		}
+		s.uncheckedEnqueue(u, clauseNone)
+		return true
+	}
+	sp.updateAbst(cref)
+	sp.enqueueSub(cref)
+	return true
+}
+
+// eliminateVars tries bounded variable elimination on every unfrozen,
+// unassigned variable, cheapest occurrence count first (ties by
+// variable index — deterministic).
+func (sp *simplifier) eliminateVars() (int, bool) {
+	s := sp.s
+	var cands []int
+	for v := 0; v < s.numVars; v++ {
+		if s.frozen[v] || s.elim[v] || s.assign[v] != lUndef {
+			continue
+		}
+		n := len(sp.occ[v])
+		if n == 0 || n > sp.opt.MaxOccur {
+			continue
+		}
+		cands = append(cands, v)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if la, lb := len(sp.occ[a]), len(sp.occ[b]); la != lb {
+			return la < lb
+		}
+		return a < b
+	})
+	eliminated := 0
+	for _, v := range cands {
+		if s.assign[v] != lUndef || s.elim[v] {
+			continue
+		}
+		ok, did := sp.tryEliminate(v)
+		if !ok {
+			return eliminated, false
+		}
+		if did {
+			eliminated++
+		}
+	}
+	return eliminated, true
+}
+
+// tryEliminate attempts to eliminate v by resolution: it resolves every
+// positive problem clause against every negative one, and commits when
+// the surviving resolvents do not outnumber the removed clauses by more
+// than MaxGrowth (SatELite's growth bound). Removed problem clauses are
+// recorded for model reconstruction; learnt clauses mentioning v are
+// simply dropped (they are redundant, and keeping them would constrain
+// an eliminated variable).
+func (sp *simplifier) tryEliminate(v int) (ok, did bool) {
+	s := sp.s
+	var pos, neg, lrnt []int32
+	sp.scratch = append(sp.scratch[:0], sp.occ[v]...)
+	for _, cref := range sp.scratch {
+		c := &s.clauses[cref]
+		if c.deleted {
+			continue
+		}
+		if !sp.cleanClause(cref) {
+			return false, false
+		}
+		if c.deleted {
+			continue
+		}
+		if c.learnt {
+			lrnt = append(lrnt, cref)
+			continue
+		}
+		polNeg := false
+		for _, l := range c.lits {
+			if l.Var() == v {
+				polNeg = l.Neg()
+				break
+			}
+		}
+		if polNeg {
+			neg = append(neg, cref)
+		} else {
+			pos = append(pos, cref)
+		}
+	}
+	// Cleaning can enqueue a unit on v itself; elimination of an
+	// assigned variable is meaningless (normalize handles it).
+	if s.assign[v] != lUndef {
+		return true, false
+	}
+	pure := len(pos) == 0 || len(neg) == 0
+	var resolvents [][]Lit
+	if !pure {
+		limit := len(pos) + len(neg) + sp.opt.MaxGrowth
+		for _, pc := range pos {
+			for _, nc := range neg {
+				lits, keep := sp.resolve(pc, nc, v)
+				if !keep {
+					continue
+				}
+				if sp.opt.MaxResolventLen > 0 && len(lits) > sp.opt.MaxResolventLen {
+					return true, false
+				}
+				resolvents = append(resolvents, lits)
+				if len(resolvents) > limit {
+					return true, false
+				}
+			}
+		}
+	}
+	// Commit: record removed problem clauses for reconstruction, drop
+	// everything touching v, add the resolvents.
+	rec := elimRecord{v: v}
+	for _, side := range [][]int32{pos, neg} {
+		for _, cref := range side {
+			rec.clauses = append(rec.clauses,
+				append([]Lit(nil), s.clauses[cref].lits...))
+		}
+	}
+	s.elimCl = append(s.elimCl, rec)
+	s.elim[v] = true
+	for _, side := range [][]int32{pos, neg} {
+		for _, cref := range side {
+			sp.removeClause(cref)
+			s.simpStats.RemovedClauses++
+		}
+	}
+	for _, cref := range lrnt {
+		sp.removeClause(cref)
+	}
+	for _, lits := range resolvents {
+		if !sp.addSimpClause(lits) {
+			return false, true
+		}
+	}
+	s.simpStats.ElimVars++
+	if pure {
+		s.simpStats.PureVars++
+	}
+	return true, true
+}
+
+// resolve computes the resolvent of a positive and a negative clause of
+// v into fresh storage. keep is false when the resolvent is a
+// tautology or already satisfied at level 0.
+func (sp *simplifier) resolve(pc, nc int32, v int) (lits []Lit, keep bool) {
+	s := sp.s
+	sp.resolv = sp.resolv[:0]
+	defer func() {
+		for _, l := range sp.resolv {
+			sp.markL[l] = false
+		}
+	}()
+	for _, l := range s.clauses[pc].lits {
+		if l.Var() == v {
+			continue
+		}
+		switch s.valueLit(l) {
+		case lTrue:
+			return nil, false
+		case lFalse:
+			continue
+		}
+		if !sp.markL[l] {
+			sp.markL[l] = true
+			sp.resolv = append(sp.resolv, l)
+		}
+	}
+	for _, l := range s.clauses[nc].lits {
+		if l.Var() == v {
+			continue
+		}
+		switch s.valueLit(l) {
+		case lTrue:
+			return nil, false
+		case lFalse:
+			continue
+		}
+		if sp.markL[l.Not()] {
+			return nil, false // tautology
+		}
+		if !sp.markL[l] {
+			sp.markL[l] = true
+			sp.resolv = append(sp.resolv, l)
+		}
+	}
+	return append([]Lit(nil), sp.resolv...), true
+}
+
+// addSimpClause inserts a resolvent as a problem clause mid-
+// simplification: values are re-checked (units may have fired since the
+// resolvent was built), occurrence lists and signatures are extended,
+// and the clause is queued for subsumption. Watches are not touched;
+// finish rebuilds them. It returns false on a root-level conflict.
+func (sp *simplifier) addSimpClause(lits []Lit) bool {
+	s := sp.s
+	out := lits[:0]
+	for _, l := range lits {
+		switch s.valueLit(l) {
+		case lTrue:
+			return true
+		case lFalse:
+			continue
+		}
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], clauseNone)
+		return true
+	}
+	cref := int32(len(s.clauses))
+	s.clauses = append(s.clauses, clause{lits: out})
+	sp.abst = append(sp.abst, 0)
+	sp.inQueue = append(sp.inQueue, false)
+	for _, l := range out {
+		sp.occ[l.Var()] = append(sp.occ[l.Var()], cref)
+	}
+	sp.updateAbst(cref)
+	sp.enqueueSub(cref)
+	s.simpStats.ResolventsAdded++
+	return true
+}
+
+// finish restores the solver to a consistent solving state after the
+// occurrence-list phases: a final normalize fixpoint (so no surviving
+// clause mentions an assigned variable), the learnts index filtered of
+// deleted refs (reduceDB dereferences lits[0] of every indexed learnt),
+// stale level-0 reasons cleared, all watch lists rebuilt from scratch,
+// and the propagation queue settled at the trail head.
+func (sp *simplifier) finish() bool {
+	s := sp.s
+	if !sp.normalize() {
+		return false
+	}
+	kept := s.learnts[:0]
+	for _, ci := range s.learnts {
+		if !s.clauses[ci].deleted {
+			kept = append(kept, ci)
+		}
+	}
+	s.learnts = kept
+	for _, l := range s.trail {
+		s.reason[l.Var()] = clauseNone
+	}
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for ci := range s.clauses {
+		c := &s.clauses[ci]
+		if c.deleted {
+			continue
+		}
+		s.watch(c.lits[0], int32(ci), c.lits[1])
+		s.watch(c.lits[1], int32(ci), c.lits[0])
+	}
+	// Every root assignment's consequences are already structural
+	// (satisfied clauses deleted, false literals stripped), so there is
+	// nothing left to propagate.
+	s.qhead = len(s.trail)
+	sp.occ = nil
+	return true
+}
+
+// vivifyAll runs clause vivification over the problem clauses, after
+// finish has rebuilt the watches: for clause (l1 ∨ … ∨ lk), assume
+// ¬l1, ¬l2, … one temporary decision level at a time and propagate. A
+// conflict or an implied-true literal proves the prefix subsumes the
+// clause; an implied-false literal is redundant and dropped. The pass
+// is bounded by VivifyMaxProps unit propagations.
+func (sp *simplifier) vivifyAll() bool {
+	s := sp.s
+	if !s.ok {
+		return false
+	}
+	budget := sp.opt.VivifyMaxProps
+	if budget <= 0 {
+		return true
+	}
+	maxLen := sp.opt.MaxResolventLen
+	if maxLen <= 0 {
+		maxLen = 24
+	}
+	start := s.stats.Propagations
+	var keep []Lit
+	for ci := 0; ci < len(s.clauses); ci++ {
+		if s.stats.Propagations-start >= budget {
+			break
+		}
+		c := &s.clauses[ci]
+		if c.deleted || c.learnt || len(c.lits) < 2 || len(c.lits) > maxLen {
+			continue
+		}
+		// Skip clauses touched by units discovered earlier in this
+		// pass; the next Simplify round cleans them.
+		touched := false
+		for _, l := range c.lits {
+			if s.valueLit(l) != lUndef {
+				touched = true
+				break
+			}
+		}
+		if touched {
+			continue
+		}
+		// Detach: the clause must not propagate against itself.
+		sp.unwatch(c.lits[0], int32(ci))
+		sp.unwatch(c.lits[1], int32(ci))
+		keep = keep[:0]
+		shortened := false
+		done := false
+		for _, l := range c.lits {
+			switch s.valueLit(l) {
+			case lTrue:
+				keep = append(keep, l)
+				shortened = len(keep) < len(c.lits)
+				done = true
+			case lFalse:
+				shortened = true
+			default:
+				keep = append(keep, l)
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.uncheckedEnqueue(l.Not(), clauseNone)
+				if s.propagate() != clauseNone {
+					shortened = len(keep) < len(c.lits)
+					done = true
+				}
+			}
+			if done {
+				break
+			}
+		}
+		s.cancelUntil(0)
+		if !shortened || len(keep) >= len(c.lits) {
+			s.watch(c.lits[0], int32(ci), c.lits[1])
+			s.watch(c.lits[1], int32(ci), c.lits[0])
+			continue
+		}
+		s.simpStats.VivifiedLits += int64(len(c.lits) - len(keep))
+		if len(keep) == 1 {
+			u := keep[0]
+			c.deleted = true
+			c.lits = nil
+			if s.valueLit(u) == lUndef {
+				s.uncheckedEnqueue(u, clauseNone)
+			}
+			if s.valueLit(u) == lFalse || s.propagate() != clauseNone {
+				return false
+			}
+			continue
+		}
+		c.lits = append(c.lits[:0], keep...)
+		s.watch(c.lits[0], int32(ci), c.lits[1])
+		s.watch(c.lits[1], int32(ci), c.lits[0])
+	}
+	return true
+}
+
+// unwatch removes one clause's watcher from a literal's watch list,
+// preserving order.
+func (sp *simplifier) unwatch(l Lit, cref int32) {
+	ws := sp.s.watches[l]
+	for i := range ws {
+		if ws[i].cref == cref {
+			copy(ws[i:], ws[i+1:])
+			sp.s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// modelLitTrue evaluates a literal under the last model (used only by
+// extendModel, where every variable already has a concrete value).
+func (s *Solver) modelLitTrue(l Lit) bool {
+	v := s.model[l.Var()] == lTrue
+	if l.Neg() {
+		return !v
+	}
+	return v
+}
+
+// extendModel reconstructs values for eliminated variables after a Sat
+// answer. Records are processed newest-first: a clause stored when v
+// was eliminated may mention variables eliminated later, whose values
+// must be fixed first. Within a record, v defaults to false (which
+// satisfies every ¬v clause) and flips to true only when some stored
+// clause containing +v has all its other literals false; SatELite's
+// elimination invariant guarantees no ¬v clause then becomes falsified.
+func (s *Solver) extendModel() {
+	for i := len(s.elimCl) - 1; i >= 0; i-- {
+		rec := &s.elimCl[i]
+		s.model[rec.v] = lFalse
+		for _, cl := range rec.clauses {
+			needs := true
+			positive := false
+			for _, l := range cl {
+				if l.Var() == rec.v {
+					positive = !l.Neg()
+					continue
+				}
+				if s.modelLitTrue(l) {
+					needs = false
+					break
+				}
+			}
+			if needs && positive {
+				s.model[rec.v] = lTrue
+				break
+			}
+		}
+	}
+}

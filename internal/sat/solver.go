@@ -113,6 +113,20 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
+// Add returns the counter-wise sum s + o (aggregating the work of
+// several solvers into one report).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Decisions:    s.Decisions + o.Decisions,
+		Propagations: s.Propagations + o.Propagations,
+		Conflicts:    s.Conflicts + o.Conflicts,
+		Restarts:     s.Restarts + o.Restarts,
+		Learnt:       s.Learnt + o.Learnt,
+		Deleted:      s.Deleted + o.Deleted,
+		Reductions:   s.Reductions + o.Reductions,
+	}
+}
+
 // Progress is the snapshot handed to the SetProgress callback.
 type Progress struct {
 	Stats
@@ -159,6 +173,14 @@ type Solver struct {
 	progressFn    func(Progress)
 	progressEvery int64
 	progressNext  int64
+
+	// Simplification state (see simp.go). frozen vars are exempt from
+	// variable elimination; elim vars have been resolved away and their
+	// model values are reconstructed from elimCl after each Sat answer.
+	frozen    []bool
+	elim      []bool
+	elimCl    []elimRecord
+	simpStats SimpStats
 }
 
 // New returns an empty solver.
@@ -256,6 +278,8 @@ func (s *Solver) NewVar() int {
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.frozen = append(s.frozen, false)
+	s.elim = append(s.elim, false)
 	s.order.insert(v)
 	return v
 }
@@ -286,6 +310,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	for _, l := range lits {
 		if l.Var() >= s.numVars {
 			panic("sat: literal references unknown variable")
+		}
+		if s.elim[l.Var()] {
+			panic("sat: clause references eliminated variable (freeze it before Simplify)")
 		}
 		switch s.valueLit(l) {
 		case lTrue:
@@ -540,7 +567,7 @@ func (s *Solver) litRedundant(l Lit) bool {
 func (s *Solver) pickBranchLit() Lit {
 	for !s.order.empty() {
 		v := s.order.removeMin()
-		if s.assign[v] == lUndef {
+		if s.assign[v] == lUndef && !s.elim[v] {
 			pol := s.polarity[v]
 			if s.rndPol {
 				s.rndState ^= s.rndState << 13
@@ -724,6 +751,11 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	for _, a := range assumps {
+		if s.elim[a.Var()] {
+			panic("sat: assumption over eliminated variable (freeze it before Simplify)")
+		}
+	}
 	if s.cancelled() {
 		s.exhausted = true
 		return Unknown
@@ -755,6 +787,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 				s.model[i] = lFalse
 			}
 		}
+		s.extendModel()
 	}
 	s.cancelUntil(0)
 	return status

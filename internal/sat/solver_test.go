@@ -470,3 +470,20 @@ func TestStatsDeltasAndDeletion(t *testing.T) {
 		t.Fatalf("Sub delta wrong: %+v", d)
 	}
 }
+
+// BenchmarkPigeonhole8Simp runs the same UNSAT instance through the
+// SatELite-style simplifier first: the resolution-based eliminations
+// shrink the formula before CDCL search, and the pair quantifies what
+// preprocessing buys (or costs) on a search-bound instance.
+func BenchmarkPigeonhole8Simp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		pigeonhole(s, 8, 7)
+		if !s.Simplify(DefaultSimpOptions()) {
+			continue // refuted during preprocessing: also a win
+		}
+		if s.Solve() != Unsat {
+			b.Fatal("wrong result")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package simp is the policy layer over the SAT solver's SatELite-style
+// simplifier (internal/sat's Simplify): consumer packages embed an
+// Options and call Apply before their first solve, or InprocessDue
+// between incremental rounds, without each reimplementing the flag
+// mapping and observability plumbing.
+//
+// The zero value of Options means simplification is ON with the default
+// techniques — consumers gain preprocessing just by embedding the field.
+// The negative flags (Disable, NoVarElim, ...) exist so that the zero
+// value stays the recommended configuration; Off() is the opt-out.
+package simp
+
+import (
+	"obfuslock/internal/obs"
+	"obfuslock/internal/sat"
+)
+
+// Options selects which simplification techniques run. The zero value
+// enables everything with sat.DefaultSimpOptions tuning.
+type Options struct {
+	// Disable turns simplification off entirely.
+	Disable bool
+	// NoVarElim keeps bounded variable elimination off, leaving only
+	// the equivalence-preserving techniques (subsumption,
+	// strengthening, vivification, top-level units). Required when a
+	// caller later adds clauses over arbitrary internal variables it
+	// did not freeze — see Equivalence.
+	NoVarElim bool
+	// NoSubsume turns off backward subsumption and self-subsuming
+	// resolution.
+	NoSubsume bool
+	// NoVivify turns off clause vivification.
+	NoVivify bool
+	// InprocessEvery re-runs simplification between incremental solve
+	// rounds every N rounds. 0 means the consumer's default cadence;
+	// negative disables inprocessing (the initial Apply still runs).
+	InprocessEvery int
+}
+
+// Default returns the recommended configuration: everything on.
+func Default() Options { return Options{} }
+
+// Off returns the opt-out configuration (the CLIs' -simp=false).
+func Off() Options { return Options{Disable: true} }
+
+// Equivalence returns a configuration safe for consumers that keep
+// adding clauses over arbitrary internal variables after simplifying
+// (e.g. fraig's rolling equivalence proofs): variable elimination is
+// equisatisfiability-only, so it stays off; the equivalence-preserving
+// techniques remain.
+func Equivalence() Options { return Options{NoVarElim: true} }
+
+// Enabled reports whether Apply would do anything.
+func (o Options) Enabled() bool {
+	return !o.Disable && !(o.NoVarElim && o.NoSubsume && o.NoVivify)
+}
+
+// InprocessDue reports whether an inprocessing pass is due after the
+// given 1-based incremental round, with the consumer's default cadence
+// def (used when InprocessEvery is 0).
+func (o Options) InprocessDue(round, def int) bool {
+	if !o.Enabled() || o.InprocessEvery < 0 {
+		return false
+	}
+	every := o.InprocessEvery
+	if every == 0 {
+		every = def
+	}
+	if every <= 0 {
+		return false
+	}
+	return round > 0 && round%every == 0
+}
+
+// solverOptions maps the policy flags onto the mechanism's tuning.
+func (o Options) solverOptions() sat.SimpOptions {
+	so := sat.DefaultSimpOptions()
+	so.VarElim = so.VarElim && !o.NoVarElim
+	so.Subsume = so.Subsume && !o.NoSubsume
+	so.Vivify = so.Vivify && !o.NoVivify
+	return so
+}
+
+// Apply runs one simplification pass on the solver under a
+// "sat.simplify" span, bumping the sat.simp.* counters with the pass's
+// deltas. It returns false when simplification refutes the formula
+// (like sat.Solver.Simplify); callers treat that exactly like an Unsat
+// solve answer. A nil tracer costs nothing beyond the pass itself.
+func Apply(s *sat.Solver, o Options, tr *obs.Tracer) bool {
+	if !o.Enabled() {
+		return true
+	}
+	sp := tr.Span("sat.simplify",
+		obs.Int("vars", int64(s.NumVars())),
+		obs.Int("clauses", int64(s.NumClauses())))
+	before := s.SimpStats()
+	ok := s.Simplify(o.solverOptions())
+	d := s.SimpStats().Sub(before)
+	if tr.Enabled() {
+		tr.Counter("sat.simp.eliminated_vars").Add(d.ElimVars)
+		tr.Counter("sat.simp.subsumed").Add(d.SubsumedClauses)
+		tr.Counter("sat.simp.strengthened").Add(d.StrengthenedLits + d.VivifiedLits)
+	}
+	sp.End(
+		obs.Int("eliminated_vars", d.ElimVars),
+		obs.Int("subsumed", d.SubsumedClauses),
+		obs.Int("strengthened", d.StrengthenedLits),
+		obs.Int("vivified", d.VivifiedLits),
+		obs.Int("fixed", d.FixedVars),
+		obs.Bool("unsat", !ok))
+	return ok
+}

@@ -24,6 +24,7 @@ import (
 	"obfuslock/internal/aig"
 	"obfuslock/internal/sample"
 	"obfuslock/internal/sim"
+	"obfuslock/internal/simp"
 )
 
 // Bits converts a probability p of being 1 into bits of skewness:
@@ -97,6 +98,9 @@ type SplittingOptions struct {
 	// UseXorSampler switches to the (slower, more uniform) parity-cell
 	// sampler for conditionals.
 	UseXorSampler bool
+	// Simp controls CNF preprocessing inside the witness samplers (zero
+	// value: enabled).
+	Simp simp.Options
 }
 
 // DefaultSplittingOptions returns sane defaults.
@@ -192,9 +196,13 @@ func Splitting(g *aig.AIG, root aig.Lit, stages []aig.Lit, opt SplittingOptions)
 	}
 	newSampler := func(cond aig.Lit, seed int64) sample.Sampler {
 		if opt.UseXorSampler {
-			return sample.NewXorSampler(g, cond, seed)
+			xs := sample.NewXorSampler(g, cond, seed)
+			xs.Simp = opt.Simp
+			return xs
 		}
-		return sample.NewCubeSampler(g, cond, seed)
+		cs := sample.NewCubeSampler(g, cond, seed)
+		cs.Simp = opt.Simp
+		return cs
 	}
 	for i := 1; i < len(stages); i++ {
 		prev, cur := stages[i-1], stages[i]

@@ -39,6 +39,7 @@ import (
 	"obfuslock/internal/locking"
 	"obfuslock/internal/netlistgen"
 	"obfuslock/internal/obs"
+	"obfuslock/internal/simp"
 	"obfuslock/internal/skew"
 	"obfuslock/internal/techmap"
 )
@@ -144,6 +145,20 @@ func RunSATAttack(ctx context.Context, l *Locked, o *Oracle, opt AttackOptions) 
 func RunAppSAT(ctx context.Context, l *Locked, o *Oracle, opt AttackOptions) AttackResult {
 	return attacks.AppSAT(ctx, l, o, opt)
 }
+
+// SimpOptions controls SatELite-style CNF preprocessing and inprocessing
+// inside every SAT-backed step (lock construction, equivalence checking,
+// attacks). The zero value enables it; see internal/simp for the knobs
+// and DESIGN.md "CNF preprocessing & inprocessing" for the soundness
+// rules. Options.Simp, CECOptions.Simp and AttackOptions.Simp all take
+// one.
+type SimpOptions = simp.Options
+
+// DefaultSimp returns the enabled-by-default preprocessing configuration.
+func DefaultSimp() SimpOptions { return simp.Default() }
+
+// SimpOff disables CNF preprocessing entirely.
+func SimpOff() SimpOptions { return simp.Off() }
 
 // Budget bounds SAT effort: a wall-clock timeout plus a conflict cap
 // (0 = unlimited). See internal/exec for the full semantics.
