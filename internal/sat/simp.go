@@ -393,7 +393,7 @@ func (sp *simplifier) subsumeAll() (int, bool) {
 		sp.qh++
 		sp.inQueue[cref] = false
 		c := &s.clauses[cref]
-		if c.deleted {
+		if c.deleted || c.learnt {
 			continue
 		}
 		if !sp.cleanClause(cref) {
@@ -461,8 +461,9 @@ func (sp *simplifier) subsumeAll() (int, bool) {
 }
 
 // strengthen removes one literal from a clause (self-subsuming
-// resolution or vivification) and requeues it for subsumption. It
-// returns false on a root-level conflict.
+// resolution or vivification) and, for problem clauses only, requeues
+// it for subsumption — learnt clauses must never become the subsuming
+// side. It returns false on a root-level conflict.
 func (sp *simplifier) strengthen(cref int32, l Lit) bool {
 	s := sp.s
 	c := &s.clauses[cref]
@@ -491,7 +492,9 @@ func (sp *simplifier) strengthen(cref int32, l Lit) bool {
 		return true
 	}
 	sp.updateAbst(cref)
-	sp.enqueueSub(cref)
+	if !c.learnt {
+		sp.enqueueSub(cref)
+	}
 	return true
 }
 
