@@ -1,0 +1,168 @@
+package obfuslock
+
+// Cross-check of the content-addressed result cache: the same query suite
+// must render byte-identical output with the cache off, cold and warm, at
+// any worker count. The suite touches every cached layer — CEC verdicts,
+// splitting-based skewness estimates, projected model counts, witness
+// pools and techmap PPA reports — and runs every cell twice concurrently
+// so the singleflight path is exercised, not just the store.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"obfuslock/internal/aig"
+	"obfuslock/internal/count"
+	"obfuslock/internal/exec"
+	"obfuslock/internal/memo"
+	"obfuslock/internal/netlistgen"
+	"obfuslock/internal/rewrite"
+	"obfuslock/internal/sample"
+	"obfuslock/internal/skew"
+	"obfuslock/internal/techmap"
+)
+
+// cacheSuite is a purpose-sized circuit set for the cross-check: big
+// enough that every query layer does real SAT work, small enough that the
+// four full renders (off x2, cold, warm) stay in seconds. The reduced
+// benchmark suite is far too slow here — projected model counting alone
+// takes minutes per 48-input control circuit.
+func cacheSuite() []netlistgen.Benchmark {
+	return []netlistgen.Benchmark{
+		{Name: "mult4", Build: func() *aig.AIG { return netlistgen.Multiplier(4) }},
+		{Name: "addcmp6", Build: func() *aig.AIG { return netlistgen.AdderCmp(6) }},
+		{Name: "max3x8", Build: func() *aig.AIG { return netlistgen.Max(3, 8) }},
+	}
+}
+
+// renderCacheSuite runs the query suite against the given cache (nil: off)
+// at the given worker count and returns the rendered report. Each logical
+// cell appears twice in the task list, so at workers > 1 identical queries
+// race and must deduplicate through the singleflight layer.
+func renderCacheSuite(t *testing.T, cache *memo.Cache, workers int) []byte {
+	t.Helper()
+	ctx := context.Background()
+	suite := cacheSuite()
+
+	cell := func(i int) string {
+		b := suite[i%len(suite)]
+		c := b.Build()
+		var sb strings.Builder
+
+		// CEC: the circuit against a rewritten (equivalent) copy.
+		rw := rewrite.FunctionalRewrite(c, rewrite.ObfuscationOptions(7))
+		copt := DefaultCECOptions()
+		copt.Cache = cache
+		r, err := CheckEquivalent(ctx, c, rw, copt)
+		if err != nil {
+			t.Error(err)
+			return ""
+		}
+		fmt.Fprintf(&sb, "%s cec eq=%v decided=%v\n", b.Name, r.Equivalent, r.Decided)
+
+		// Skewness: splitting estimate of output 0.
+		so := skew.DefaultSplittingOptions()
+		so.Seed = 3
+		so.Cache = cache
+		fmt.Fprintf(&sb, "%s skew bits=%.6f\n", b.Name, skew.SplittingBits(c, c.Output(0), so))
+
+		// Counting: projected models of output 0, and reachable patterns on
+		// the output cut.
+		mo := count.DefaultOptions()
+		mo.Pivot = 12
+		mo.Trials = 3
+		mo.Budget = exec.WithConflicts(50000)
+		mo.Seed = 2
+		mo.Cache = cache
+		mr := count.Models(ctx, c, c.Output(0), mo)
+		fmt.Fprintf(&sb, "%s count log2=%.6f exact=%v decided=%v\n", b.Name, mr.Log2Count, mr.Exact, mr.Decided)
+		rr := count.ReachablePatterns(ctx, c, []Lit{c.Output(0), c.Output(c.NumOutputs() - 1)}, mo)
+		fmt.Fprintf(&sb, "%s reach log2=%.6f decided=%v\n", b.Name, rr.Log2Count, rr.Decided)
+
+		// Witness pools: a memoized pool draw over a fresh cube sampler.
+		ps := &sample.PoolSampler{
+			Cache: cache,
+			Key:   fmt.Sprintf("test.pool|%016x|cond=%d|seed=11", c.StructuralHash(), c.Output(0)),
+			New:   func() sample.Sampler { return sample.NewCubeSampler(c, c.Output(0), 11) },
+		}
+		wit := ps.Sample(4)
+		fmt.Fprintf(&sb, "%s pool n=%d", b.Name, len(wit))
+		for _, w := range wit {
+			sb.WriteByte(' ')
+			for _, v := range w {
+				if v {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+
+		// Techmap: the PPA report of the mapped netlist.
+		fmt.Fprintf(&sb, "%s ppa %s\n", b.Name, techmap.AnalyzeWith(c, 4, 1, cache))
+		return sb.String()
+	}
+
+	n := 2 * len(suite) // every cell twice: concurrent identical queries
+	parts := make([]string, n)
+	exec.Collect(ctx, workers, n, func(ctx context.Context, i int) string {
+		return cell(i)
+	}, func(i int, s string) { parts[i] = s })
+
+	// The two copies of each cell must already agree — and the rendered
+	// report keeps just one, so cache-off and cache-on runs compare equal.
+	var buf bytes.Buffer
+	for i := 0; i < len(suite); i++ {
+		if parts[i] != parts[i+len(suite)] {
+			t.Errorf("cell %d disagrees with its duplicate:\n%s---\n%s", i, parts[i], parts[i+len(suite)])
+		}
+		buf.WriteString(parts[i])
+	}
+	return buf.Bytes()
+}
+
+// TestCacheCrossCheck pins the tentpole determinism contract: identical
+// bytes with the cache off, cold and warm, at 1 and 4 workers, with the
+// warm pass actually hitting (not silently recomputing).
+func TestCacheCrossCheck(t *testing.T) {
+	off1 := renderCacheSuite(t, nil, 1)
+	off4 := renderCacheSuite(t, nil, 4)
+	if !bytes.Equal(off1, off4) {
+		t.Fatalf("cache-off output differs between 1 and 4 workers:\n--- w1\n%s--- w4\n%s", off1, off4)
+	}
+
+	dir := t.TempDir()
+	cold, err := memo.New(memo.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold1 := renderCacheSuite(t, cold, 1)
+	if !bytes.Equal(off1, cold1) {
+		t.Fatalf("cold cache changed the output:\n--- off\n%s--- cold\n%s", off1, cold1)
+	}
+	if _, misses, _, _ := cold.Stats(); misses == 0 {
+		t.Fatal("cold pass recorded no cache misses — the suite bypassed the cache")
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from the spill file: a genuinely warm, cross-process cache.
+	warm, err := memo.New(memo.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	warm4 := renderCacheSuite(t, warm, 4)
+	if !bytes.Equal(off1, warm4) {
+		t.Fatalf("warm cache changed the output:\n--- off\n%s--- warm\n%s", off1, warm4)
+	}
+	hits, _, _, _ := warm.Stats()
+	if hits == 0 {
+		t.Fatal("warm pass recorded no cache hits — the spill reload is not serving results")
+	}
+}

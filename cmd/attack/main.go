@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"obfuslock"
 	"obfuslock/internal/aig"
 	"obfuslock/internal/attacks"
 	"obfuslock/internal/bench"
@@ -56,6 +57,7 @@ import (
 	"obfuslock/internal/exec"
 	"obfuslock/internal/experiments"
 	"obfuslock/internal/locking"
+	"obfuslock/internal/memo"
 	"obfuslock/internal/netlistgen"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
@@ -81,6 +83,9 @@ func main() {
 	sweepCEC := flag.Bool("sweep", true, "use SAT sweeping (fraig) for the equivalence checks of removal/valkyrie")
 	sweepWords := flag.Int("sweep-words", 8, "64-pattern signature words seeding the sweep's equivalence classes")
 	useSimp := flag.Bool("simp", true, "SatELite-style CNF preprocessing/inprocessing in every SAT solver")
+	useCache := flag.Bool("cache", false, "memoize SAT-backed sub-queries in a content-addressed result cache")
+	cacheDir := flag.String("cache-dir", "", "spill the cache to <dir>/cache.jsonl and reload it on start (requires -cache)")
+	cacheMB := flag.Int("cache-mb", 256, "in-memory cache budget in MiB (requires -cache)")
 
 	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
 	progress := flag.Bool("progress", false, "live one-line progress on stderr")
@@ -89,7 +94,14 @@ func main() {
 	metricsPath := flag.String("metrics", "metrics.json", "machine-readable output of -table1")
 	flag.Parse()
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if err := validateFlags(*encPath, *oraclePath, *attackName, *table1, *fig4, *fig5, *structural); err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := validateCacheFlags(*useCache, *cacheMB, set); err != nil {
 		fmt.Fprintln(os.Stderr, "attack:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -97,6 +109,9 @@ func main() {
 
 	tracer, finish := setupTracer(*tracePath, *progress, *pprofAddr)
 	defer finish()
+
+	cache := setupCache(*useCache, *cacheDir, *cacheMB, tracer)
+	defer cache.Close()
 
 	// Ctrl-C / SIGTERM cancels the context; every layer down to the SAT
 	// solvers polls it, so the run winds down instead of dying mid-write.
@@ -119,6 +134,7 @@ func main() {
 		Deterministic: *det,
 		Simp:          sopt,
 		Trace:         tracer,
+		Cache:         cache,
 	}
 
 	switch {
@@ -141,7 +157,7 @@ func main() {
 	case *fig4:
 		b := suite[0]
 		c := b.Build()
-		before, after, err := experiments.Fig4(ctx, c, levels[0], *seed, *workers)
+		before, after, err := experiments.Fig4(ctx, c, levels[0], *seed, *workers, cache)
 		if err != nil {
 			fatal(err)
 		}
@@ -152,12 +168,12 @@ func main() {
 			after.SkewHist, after.KeyHist, after.MaxSkewBits, after.CriticalVisible)
 		return
 	case *fig5:
-		if _, err := experiments.Fig5(ctx, suite, levels, *seed, *workers, os.Stdout); err != nil {
+		if _, err := experiments.Fig5(ctx, suite, levels, *seed, *workers, cache, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
 	case *structural:
-		if _, err := experiments.Structural(ctx, suite, levels[0], *seed, *workers, os.Stdout); err != nil {
+		if _, err := experiments.Structural(ctx, suite, levels[0], *seed, *workers, cache, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -197,29 +213,21 @@ func main() {
 	}
 
 	gotKey := true
-	switch *attackName {
-	case "sat":
-		r := attacks.SATAttack(ctx, l, oracle, aopt)
+	// The oracle-guided attacks (sat, appsat, portfolio) dispatch through
+	// the facade's attack registry — one code path instead of a switch arm
+	// per attack; the analysis attacks below have bespoke outputs.
+	if a, ok := obfuslock.AttackNamed(*attackName); ok {
+		r := a.Run(ctx, l, oracle, aopt)
 		gotKey = report(r.Key, fmt.Sprintf(" (iters=%d queries=%d exact=%v timeout=%v runtime=%v)",
 			r.Iterations, r.Queries, r.Exact, r.TimedOut, r.Runtime))
 		printSolverStats(*verbose, r.SolverStats)
-	case "appsat":
-		r := attacks.AppSAT(ctx, l, oracle, aopt)
-		gotKey = report(r.Key, fmt.Sprintf(" (iters=%d queries=%d exact=%v runtime=%v)",
-			r.Iterations, r.Queries, r.Exact, r.Runtime))
-		printSolverStats(*verbose, r.SolverStats)
-	case "portfolio":
-		// Race SAT and AppSAT (plus an AppSAT with a shifted seed) and take
-		// the first verified key; losers are cancelled. Each variant owns
-		// its oracle — query counters are not shared across goroutines.
-		appopt := aopt
-		appopt.Seed = exec.DeriveSeed(*seed, 1)
-		r := attacks.Portfolio(ctx, []attacks.PortfolioVariant{
-			{Name: "sat", Attack: "sat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: aopt},
-			{Name: "appsat", Attack: "appsat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: aopt},
-			{Name: "appsat-r2", Attack: "appsat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: appopt},
-		}, tracer)
-		gotKey = report(r.Key, fmt.Sprintf(" (winner=%s runtime=%v)", r.Winner, r.Runtime))
+		if !gotKey {
+			finish()
+			os.Exit(1)
+		}
+		return
+	}
+	switch *attackName {
 	case "sensitization":
 		r := attacks.Sensitization(ctx, l, oracle, exec.WithConflicts(500000), sopt)
 		fmt.Printf("sensitization: %d/%d key bits isolatable (runtime %v)\n",
@@ -232,7 +240,7 @@ func main() {
 		}
 	case "removal":
 		sps := attacks.SPS(l, 256, *seed, 10)
-		r := attacks.Removal(ctx, l, orig, sps.Candidates, cecOptions(*sweepCEC, *sweepWords, *seed, tracer, sopt))
+		r := attacks.Removal(ctx, l, orig, sps.Candidates, cecOptions(*sweepCEC, *sweepWords, *seed, tracer, sopt, cache))
 		fmt.Printf("removal: success=%v tried=%d runtime=%v\n", r.Success, r.Tried, r.Runtime)
 	case "bypass":
 		wrong := make([]bool, l.KeyBits)
@@ -240,7 +248,7 @@ func main() {
 		fmt.Printf("bypass: success=%v patterns=%d exhausted=%v runtime=%v\n",
 			r.Success, r.Patterns, r.Exhausted, r.Runtime)
 	case "valkyrie":
-		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cecOptions(*sweepCEC, *sweepWords, *seed, tracer, sopt))
+		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cecOptions(*sweepCEC, *sweepWords, *seed, tracer, sopt, cache))
 		fmt.Printf("valkyrie: found-pair=%v restore-only=%v pairs-tried=%d runtime=%v\n",
 			r.FoundPair, r.RestoreOnly, r.PairsTried, r.Runtime)
 	case "spi":
@@ -256,7 +264,7 @@ func main() {
 
 // cecOptions builds the equivalence-check configuration for the attacks
 // that prove candidate modifications equivalent to the oracle.
-func cecOptions(sweep bool, sweepWords int, seed int64, tracer *obs.Tracer, sopt simp.Options) cec.Options {
+func cecOptions(sweep bool, sweepWords int, seed int64, tracer *obs.Tracer, sopt simp.Options, cache *memo.Cache) cec.Options {
 	opt := cec.DefaultOptions()
 	if sweep {
 		opt = cec.SweepOptions()
@@ -265,7 +273,36 @@ func cecOptions(sweep bool, sweepWords int, seed int64, tracer *obs.Tracer, sopt
 	opt.Seed = seed
 	opt.Trace = tracer
 	opt.Simp = sopt
+	opt.Cache = cache
 	return opt
+}
+
+// validateCacheFlags enforces the cache flag contract: -cache-mb must be a
+// positive budget, and the cache tuning flags only mean something when the
+// cache is on.
+func validateCacheFlags(useCache bool, cacheMB int, set map[string]bool) error {
+	if set["cache-mb"] && cacheMB <= 0 {
+		return fmt.Errorf("-cache-mb must be positive, got %d", cacheMB)
+	}
+	if !useCache && (set["cache-dir"] || set["cache-mb"]) {
+		return fmt.Errorf("-cache-dir/-cache-mb require -cache")
+	}
+	return nil
+}
+
+// setupCache opens the result cache; an unusable -cache-dir (unwritable,
+// or a corrupt spill file) is a flag error, reported before any work starts.
+func setupCache(enabled bool, dir string, mb int, tracer *obs.Tracer) *memo.Cache {
+	if !enabled {
+		return nil
+	}
+	c, err := memo.New(memo.Options{MaxBytes: int64(mb) << 20, Dir: dir, Trace: tracer})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	return c
 }
 
 // validateFlags rejects inconsistent mode combinations before any work

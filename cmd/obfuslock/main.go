@@ -46,6 +46,9 @@ func main() {
 	sweep := flag.Bool("sweep", true, "use SAT sweeping (fraig) for the -verify equivalence proof")
 	sweepWords := flag.Int("sweep-words", 8, "64-pattern signature words seeding the sweep's equivalence classes")
 	useSimp := flag.Bool("simp", true, "SatELite-style CNF preprocessing/inprocessing in every SAT solver")
+	useCache := flag.Bool("cache", false, "memoize SAT-backed sub-queries in a content-addressed result cache")
+	cacheDir := flag.String("cache-dir", "", "spill the cache to <dir>/cache.jsonl and reload it on start (requires -cache)")
+	cacheMB := flag.Int("cache-mb", 256, "in-memory cache budget in MiB (requires -cache)")
 	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
 	progress := flag.Bool("progress", false, "live one-line progress on stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -56,8 +59,19 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateCacheFlags(*useCache, *cacheMB, set); err != nil {
+		fmt.Fprintln(os.Stderr, "obfuslock:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	tracer, finish := setupTracer(*tracePath, *progress, *pprofAddr)
 	defer finish()
+
+	cache := setupCache(*useCache, *cacheDir, *cacheMB, tracer)
+	defer cache.Close()
 
 	// Ctrl-C / SIGTERM cancels the lock construction down to its SAT
 	// solves instead of killing the process mid-write.
@@ -109,6 +123,7 @@ func main() {
 	opt.FinalRewrite = !*noRewrite
 	opt.Trace = tracer
 	opt.Simp = sopt
+	opt.Cache = cache
 
 	res, err := obfuslock.LockContext(ctx, c, opt)
 	if err != nil {
@@ -129,6 +144,7 @@ func main() {
 		copt.Seed = *seed
 		copt.Trace = tracer
 		copt.Simp = sopt
+		copt.Cache = cache
 		err := res.Locked.VerifyWith(ctx, c, copt)
 		if err != nil {
 			vsp.End(obfuslock.TraceStr("error", err.Error()))
@@ -205,6 +221,34 @@ func setupTracer(tracePath string, progress bool, pprofAddr string) (*obfuslock.
 		}
 	}
 	return tracer, finish
+}
+
+// validateCacheFlags enforces the cache flag contract: -cache-mb must be a
+// positive budget, and the cache tuning flags only mean something when the
+// cache is on.
+func validateCacheFlags(useCache bool, cacheMB int, set map[string]bool) error {
+	if set["cache-mb"] && cacheMB <= 0 {
+		return fmt.Errorf("-cache-mb must be positive, got %d", cacheMB)
+	}
+	if !useCache && (set["cache-dir"] || set["cache-mb"]) {
+		return fmt.Errorf("-cache-dir/-cache-mb require -cache")
+	}
+	return nil
+}
+
+// setupCache opens the result cache; an unusable -cache-dir (unwritable,
+// or a corrupt spill file) is a flag error, reported before any work starts.
+func setupCache(enabled bool, dir string, mb int, tracer *obfuslock.Tracer) *obfuslock.Cache {
+	if !enabled {
+		return nil
+	}
+	c, err := obfuslock.NewCache(obfuslock.CacheOptions{MaxBytes: int64(mb) << 20, Dir: dir, Trace: tracer})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obfuslock:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	return c
 }
 
 func fatal(err error) {

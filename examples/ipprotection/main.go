@@ -59,7 +59,7 @@ func main() {
 		ov.AreaPct, ov.PowerPct, ov.DelayPct)
 
 	// Fig. 4 style check: before/after structural transformation.
-	before, after, err := experiments.Fig4(context.Background(), c, 10, 7, 0)
+	before, after, err := experiments.Fig4(context.Background(), c, 10, 7, 0, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

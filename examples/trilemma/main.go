@@ -25,16 +25,23 @@ func main() {
 	fmt.Printf("circuit: %s\n\n", c.Stats())
 	origPPA := techmap.Analyze(c, 8, 1)
 
+	// The baselines all route through the facade's scheme registry; only
+	// the per-scheme parameters differ.
 	type scheme struct {
 		name string
 		lock func() (*locking.Locked, error)
 	}
+	baseline := func(reg, display string, opt obfuslock.SchemeOptions) scheme {
+		return scheme{display, func() (*locking.Locked, error) {
+			return obfuslock.LockWith(context.Background(), reg, c, opt)
+		}}
+	}
 	schemes := []scheme{
-		{"RLL", func() (*locking.Locked, error) { return obfuslock.LockRLL(c, 16, 1) }},
-		{"SARLock", func() (*locking.Locked, error) { return obfuslock.LockSARLock(c, 10, 1) }},
-		{"Anti-SAT", func() (*locking.Locked, error) { return obfuslock.LockAntiSAT(c, 8, 1) }},
-		{"TTLock", func() (*locking.Locked, error) { return obfuslock.LockTTLock(c, 10, 1) }},
-		{"SFLL-HD", func() (*locking.Locked, error) { return obfuslock.LockSFLLHD(c, 10, 1, 1) }},
+		baseline("rll", "RLL", obfuslock.SchemeOptions{KeyBits: 16, Seed: 1}),
+		baseline("sarlock", "SARLock", obfuslock.SchemeOptions{ProtWidth: 10, Seed: 1}),
+		baseline("antisat", "Anti-SAT", obfuslock.SchemeOptions{ProtWidth: 8, Seed: 1}),
+		baseline("ttlock", "TTLock", obfuslock.SchemeOptions{ProtWidth: 10, Seed: 1}),
+		baseline("sfll-hd", "SFLL-HD", obfuslock.SchemeOptions{ProtWidth: 10, HammingDistance: 1, Seed: 1}),
 		{"ObfusLock", func() (*locking.Locked, error) {
 			opt := obfuslock.DefaultOptions()
 			opt.TargetSkewBits = 10

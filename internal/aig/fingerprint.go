@@ -1,0 +1,185 @@
+package aig
+
+import "fmt"
+
+// Fingerprint is a 128-bit canonical structural hash of a circuit or cone.
+// It is DAG-aware (each shared node is hashed once) and invariant under
+// node renumbering and fanin reordering of commutative operators: two
+// graphs that are isomorphic modulo variable numbering — same operators,
+// same edge polarities, same primary-input positions, same output order —
+// fingerprint identically. It deliberately ignores names.
+//
+// The fingerprint identifies the *function representation*, not solver
+// behavior: two circuits with equal fingerprints compute the same function
+// the same way, so semantic verdicts (equivalence, model counts) transfer
+// between them, but search-dependent artifacts (which witness a SAT solver
+// happens to find) may not. Queries whose results depend on concrete
+// variable numbering should key on StructuralHash instead.
+type Fingerprint [2]uint64
+
+// String renders the fingerprint as 32 hex digits.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x%016x", f[0], f[1]) }
+
+// IsZero reports whether the fingerprint is the zero value (never produced
+// for a real graph).
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// splitmix64 finalizer; the same mixer exec.DeriveSeed builds on.
+func fpMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Domain-separation tags for the per-node hash lanes.
+const (
+	fpTagConst = 0x9e3779b97f4a7c15
+	fpTagInput = 0xd1b54a32d192ed03
+	fpTagAnd   = 0x8cb92ba72f3d8dd7
+	fpTagXor   = 0xa24baed4963ee407
+	fpTagMaj   = 0x9fb21c651e98df25
+	fpTagPhase = 0x5851f42d4c957f2d
+	fpTagRoot  = 0x2545f4914f6cdd1d
+	fpLane     = 0x6a09e667f3bcc909
+)
+
+type fpHash [2]uint64
+
+func fpLeaf(tag uint64, idx int) fpHash {
+	return fpHash{
+		fpMix(tag + uint64(idx)*0x9e3779b97f4a7c15),
+		fpMix(tag ^ fpLane + uint64(idx)*0xc2b2ae3d27d4eb4f),
+	}
+}
+
+// fpEdge combines a child hash with the edge's complement bit.
+func fpEdge(h fpHash, compl bool) fpHash {
+	if compl {
+		return fpHash{fpMix(h[0] ^ fpTagPhase), fpMix(h[1] + fpTagPhase)}
+	}
+	return h
+}
+
+func fpLess(a, b fpHash) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// fpNode folds the (sorted) edge contributions of a commutative operator.
+func fpNode(tag uint64, edges []fpHash) fpHash {
+	// Insertion sort: at most 3 fanins.
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && fpLess(edges[j], edges[j-1]); j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	acc := fpHash{fpMix(tag), fpMix(tag ^ fpLane)}
+	for _, e := range edges {
+		acc[0] = fpMix(acc[0]*0x100000001b3 + e[0])
+		acc[1] = fpMix(acc[1]*0xc6a4a7935bd1e995 + e[1])
+	}
+	return acc
+}
+
+func fpOpTag(op Op) uint64 {
+	switch op {
+	case OpAnd:
+		return fpTagAnd
+	case OpXor:
+		return fpTagXor
+	default:
+		return fpTagMaj
+	}
+}
+
+// coneHashes computes the canonical per-node hash for every variable in the
+// cone of roots. piRank maps a PI variable to the input index used for its
+// leaf hash; for the whole graph this is the PI position, for a cone it is
+// the rank within the cone's sorted support (matching ExtractCone's input
+// numbering, so FingerprintCone(g, r) equals ExtractCone(r).Fingerprint()).
+func (g *AIG) coneHashes(cone map[uint32]bool, piRank func(v uint32) int) []fpHash {
+	h := make([]fpHash, len(g.nodes))
+	h[0] = fpHash{fpMix(fpTagConst), fpMix(fpTagConst ^ fpLane)}
+	var edges [3]fpHash
+	for v := uint32(1); v <= g.MaxVar(); v++ {
+		if cone != nil && !cone[v] {
+			continue
+		}
+		n := &g.nodes[v]
+		if n.op == OpInput {
+			h[v] = fpLeaf(fpTagInput, piRank(v))
+			continue
+		}
+		fans := g.Fanins(v)
+		for i, f := range fans {
+			edges[i] = fpEdge(h[f.Var()], f.IsCompl())
+		}
+		h[v] = fpNode(fpOpTag(n.op), edges[:len(fans)])
+	}
+	return h
+}
+
+// fpFold folds root hashes (with phases) plus the input count into the
+// final fingerprint.
+func fpFold(numInputs int, roots []Lit, h []fpHash) Fingerprint {
+	acc := fpHash{
+		fpMix(fpTagRoot + uint64(numInputs)),
+		fpMix(fpTagRoot ^ fpLane + uint64(numInputs)),
+	}
+	for _, r := range roots {
+		e := fpEdge(h[r.Var()], r.IsCompl())
+		acc[0] = fpMix(acc[0]*0x100000001b3 + e[0])
+		acc[1] = fpMix(acc[1]*0xc6a4a7935bd1e995 + e[1])
+	}
+	return Fingerprint(acc)
+}
+
+// Fingerprint returns the canonical structural hash of the whole graph:
+// its inputs (by position), outputs (in order, with phases) and every node
+// in their cones.
+func (g *AIG) Fingerprint() Fingerprint {
+	h := g.coneHashes(nil, func(v uint32) int { return g.piIndex[v] })
+	return fpFold(len(g.pis), g.pos, h)
+}
+
+// FingerprintCone returns the canonical hash of the cone of roots, with
+// the cone's support renumbered to 0..k-1 in increasing PI order — the
+// same numbering ExtractCone produces, so the fingerprint of a cone equals
+// the fingerprint of its extraction as a standalone circuit.
+func (g *AIG) FingerprintCone(roots ...Lit) Fingerprint {
+	cone := g.TFI(roots...)
+	cone[0] = true
+	rank := make(map[uint32]int)
+	for _, i := range g.Support(roots...) {
+		rank[g.pis[i]] = len(rank)
+	}
+	h := g.coneHashes(cone, func(v uint32) int { return rank[v] })
+	return fpFold(len(rank), roots, h)
+}
+
+// StructuralHash returns a concrete (numbering-sensitive) 64-bit hash of
+// the exact netlist: node records in variable order, PI variables and PO
+// literals. Unlike Fingerprint it distinguishes renumbered-but-isomorphic
+// graphs, which makes it the right cache key for queries whose results are
+// tied to concrete variables (node identities, CNF variable order and the
+// solver search artifacts that follow from it).
+func (g *AIG) StructuralHash() uint64 {
+	acc := fpMix(0x27d4eb2f165667c5 + uint64(len(g.nodes)))
+	for v := uint32(1); v <= g.MaxVar(); v++ {
+		n := &g.nodes[v]
+		acc = fpMix(acc*0x100000001b3 + uint64(n.op))
+		acc = fpMix(acc*0x100000001b3 + uint64(n.fan[0])<<42 + uint64(n.fan[1])<<21 + uint64(n.fan[2]))
+	}
+	for _, v := range g.pis {
+		acc = fpMix(acc*0x100000001b3 + uint64(v))
+	}
+	for _, po := range g.pos {
+		acc = fpMix(acc*0x100000001b3 + uint64(po) + fpTagRoot)
+	}
+	return acc
+}

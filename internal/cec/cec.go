@@ -15,11 +15,18 @@ import (
 	"obfuslock/internal/cnf"
 	"obfuslock/internal/exec"
 	"obfuslock/internal/fraig"
+	"obfuslock/internal/memo"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
 	"obfuslock/internal/sim"
 	"obfuslock/internal/simp"
 )
+
+// simpSig renders the simp policy for cache descriptors.
+func simpSig(o simp.Options) string {
+	return fmt.Sprintf("%t.%t.%t.%t.%d",
+		o.Disable, o.NoVarElim, o.NoSubsume, o.NoVivify, o.InprocessEvery)
+}
 
 // Result reports the outcome of an equivalence check.
 type Result struct {
@@ -59,6 +66,14 @@ type Options struct {
 	// Trace receives cec.check / cec.find_node spans and the sweep's
 	// instrumentation (nil: disabled).
 	Trace *obs.Tracer
+	// Cache memoizes decided verdicts under the circuits' canonical
+	// fingerprints (nil: disabled). Verdicts transfer between isomorphic
+	// circuit pairs: the equivalence answer is semantic, and a cached
+	// counterexample — an input pattern over the shared PI positions —
+	// remains a valid refutation for any pair with the same fingerprints.
+	// Wall-clock-bounded checks (Budget.Timeout set) are never cached:
+	// their verdicts depend on machine speed, not only on the key.
+	Cache *memo.Cache
 }
 
 // DefaultOptions uses a small simulation pre-filter and no SAT budget.
@@ -87,12 +102,62 @@ func Check(ctx context.Context, a, b *aig.AIG, opt Options) (Result, error) {
 		obs.Int("nodes_a", int64(a.NumNodes())),
 		obs.Int("nodes_b", int64(b.NumNodes())),
 		obs.Bool("sweep", opt.Sweep))
-	r, err := check(ctx, a, b, opt, sp)
+	r, err := checkCached(ctx, a, b, opt, sp)
 	r.Runtime = time.Since(start)
 	sp.End(
 		obs.Bool("equivalent", r.Equivalent),
 		obs.Bool("decided", r.Decided))
 	return r, err
+}
+
+// checkVerdict is the cacheable (semantic) part of a Result.
+type checkVerdict struct {
+	Eq  bool   `json:"eq"`
+	Cex []bool `json:"cex,omitempty"`
+}
+
+// errUndecided marks a budget-exhausted check so memo.Do does not store it.
+var errUndecided = fmt.Errorf("cec: undecided result is not cacheable")
+
+// checkCached wraps check with the content-addressed cache. Only decided,
+// non-wall-clock-bounded verdicts are stored; anything else falls through
+// to a plain compute, so enabling the cache never changes an answer.
+func checkCached(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (Result, error) {
+	if !opt.Cache.Enabled() || opt.Budget.Timeout != 0 {
+		return check(ctx, a, b, opt, sp)
+	}
+	key := fmt.Sprintf("cec.check|%s|%s|sw=%d|seed=%d|conf=%d|sweep=%t.%d|simp=%s",
+		a.Fingerprint(), b.Fingerprint(), opt.SimWords, opt.Seed,
+		opt.Budget.Conflicts, opt.Sweep, opt.SweepWords, simpSig(opt.Simp))
+	var computed *Result
+	var computeErr error
+	v, err := memo.Do(opt.Cache, key, func() (checkVerdict, error) {
+		r, err := check(ctx, a, b, opt, sp)
+		computed = &r
+		computeErr = err
+		if err != nil {
+			return checkVerdict{}, err
+		}
+		if !r.Decided {
+			return checkVerdict{}, errUndecided
+		}
+		return checkVerdict{Eq: r.Equivalent, Cex: r.Counterexample}, nil
+	})
+	if computed != nil {
+		// This call was the singleflight leader: its own result (with
+		// solver stats) is authoritative whether or not it was cached.
+		return *computed, computeErr
+	}
+	if err != nil {
+		// A concurrent leader failed or was undecided; compute locally.
+		return check(ctx, a, b, opt, sp)
+	}
+	sp.Event("cec.cache_hit")
+	return Result{
+		Equivalent:     v.Eq,
+		Counterexample: append([]bool(nil), v.Cex...),
+		Decided:        true,
+	}, nil
 }
 
 func check(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (Result, error) {
@@ -261,6 +326,12 @@ type FindOptions struct {
 	Simp simp.Options
 	// Trace receives the cec.find_node span (nil: disabled).
 	Trace *obs.Tracer
+	// Cache memoizes completed scans (nil: disabled). The answer names a
+	// concrete node of g, so the key uses the exact netlist hashes
+	// (aig.StructuralHash), not the canonical fingerprint: a
+	// renumbered-but-isomorphic graph would make the cached literal
+	// meaningless. Cancelled scans are never stored.
+	Cache *memo.Cache
 }
 
 // DefaultFindOptions matches the paper's elimination check: 512 patterns
@@ -286,6 +357,43 @@ func FindEquivalentNode(ctx context.Context, g *aig.AIG, specG *aig.AIG, spec ai
 	if opt.SimWords <= 0 {
 		opt.SimWords = 8
 	}
+	if !opt.Cache.Enabled() || opt.Budget.Timeout != 0 {
+		return findEquivalentNode(ctx, g, specG, spec, opt)
+	}
+	key := fmt.Sprintf("cec.find|%016x|%016x|spec=%d|sw=%d|seed=%d|conf=%d|simp=%s",
+		g.StructuralHash(), specG.StructuralHash(), spec, opt.SimWords,
+		opt.Seed, opt.Budget.Conflicts, simpSig(opt.Simp))
+	type findVerdict struct {
+		Found bool    `json:"found"`
+		Lit   aig.Lit `json:"lit,omitempty"`
+	}
+	computed := false
+	v, err := memo.Do(opt.Cache, key, func() (findVerdict, error) {
+		computed = true
+		if ctx != nil && ctx.Err() != nil {
+			return findVerdict{}, ctx.Err()
+		}
+		lit, found := findEquivalentNode(ctx, g, specG, spec, opt)
+		if ctx != nil && ctx.Err() != nil {
+			// A cancelled scan may have stopped early: not a real verdict.
+			return findVerdict{}, ctx.Err()
+		}
+		return findVerdict{Found: found, Lit: lit}, nil
+	})
+	if err != nil && !computed {
+		// A concurrent leader was cancelled; run the scan locally.
+		return findEquivalentNode(ctx, g, specG, spec, opt)
+	}
+	if err != nil {
+		return 0, false
+	}
+	if !computed {
+		opt.Trace.Counter("cec.find_node.cache_hit").Inc()
+	}
+	return v.Lit, v.Found
+}
+
+func findEquivalentNode(ctx context.Context, g *aig.AIG, specG *aig.AIG, spec aig.Lit, opt FindOptions) (aig.Lit, bool) {
 	sp := opt.Trace.Span("cec.find_node",
 		obs.Int("nodes", int64(g.NumNodes())))
 

@@ -23,6 +23,7 @@ import (
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cec"
 	"obfuslock/internal/locking"
+	"obfuslock/internal/memo"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/rewrite"
 	"obfuslock/internal/simp"
@@ -31,7 +32,7 @@ import (
 
 // criticalSurvives checks whether any node of the wrong-key-bound netlist
 // computes the given spec function of the original inputs.
-func criticalSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, spec aig.Lit, tr *obs.Tracer, so simp.Options) bool {
+func criticalSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, spec aig.Lit, tr *obs.Tracer, so simp.Options, cache *memo.Cache) bool {
 	wrong := make([]bool, l.KeyBits)
 	same := true
 	for i, b := range l.Key {
@@ -47,6 +48,7 @@ func criticalSurvives(ctx context.Context, l *locking.Locked, specG *aig.AIG, sp
 	fopt := cec.DefaultFindOptions()
 	fopt.Trace = tr
 	fopt.Simp = so
+	fopt.Cache = cache
 	_, found := cec.FindEquivalentNode(ctx, bound, specG, spec, fopt)
 	return found
 }
@@ -95,6 +97,11 @@ type Options struct {
 	// value enables it; simp.Off() disables (the CLIs' -simp=false).
 	// Like tracing, it never influences randomized choices.
 	Simp simp.Options
+	// Cache memoizes the lock's SAT-backed sub-queries (skewness splitting
+	// estimates, witness pools, reachability counts, CEC scans, dead-key-bit
+	// miters) in a content-addressed store. Nil disables. Caching never
+	// changes results: a warm cache replays exactly what a cold run computes.
+	Cache *memo.Cache
 }
 
 // DefaultOptions targets 20 bits of skewness. Rule budgets keep the
@@ -252,6 +259,7 @@ func assessCircuitSkewness(c *aig.AIG, opt Options) (float64, bool) {
 			so := skew.DefaultSplittingOptions()
 			so.Seed = opt.Seed
 			so.Simp = opt.Simp
+			so.Cache = opt.Cache
 			b = skew.SplittingBits(c, po, so)
 			if b < opt.TargetSkewBits {
 				return b, true
@@ -352,6 +360,7 @@ func lockDoubleFlip(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span) 
 		work = c.Copy()
 		bopt := defaultBuildOptions(opt.TargetSkewBits, opt.Seed+7919*attempt)
 		bopt.Simp = opt.Simp
+		bopt.Cache = opt.Cache
 		bopt.MaxSupport = opt.MaxSupport
 		if bopt.MaxSupport == 0 {
 			bopt.MaxSupport = int(2.5*opt.TargetSkewBits) + 8
@@ -408,7 +417,7 @@ func lockDoubleFlip(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span) 
 	clean := func(g *aig.AIG) bool {
 		csp := sp.Span("lock.cec")
 		lk := mk(g)
-		ok := !criticalSurvives(ctx, lk, c, specF, opt.Trace, opt.Simp) && !criticalSurvives(ctx, lk, specLG, specL, opt.Trace, opt.Simp)
+		ok := !criticalSurvives(ctx, lk, c, specF, opt.Trace, opt.Simp, opt.Cache) && !criticalSurvives(ctx, lk, specLG, specL, opt.Trace, opt.Simp, opt.Cache)
 		csp.End(obs.Bool("clean", ok))
 		return ok
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"obfuslock/internal/aig"
+	"obfuslock/internal/memo"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sample"
 	"obfuslock/internal/simp"
@@ -54,6 +55,8 @@ type buildOptions struct {
 	// Simp controls CNF preprocessing inside the witness samplers (zero
 	// value: enabled).
 	Simp simp.Options
+	// Cache memoizes splitting estimates and witness pools (nil: disabled).
+	Cache *memo.Cache
 }
 
 func defaultBuildOptions(target float64, seed int64) buildOptions {
@@ -71,12 +74,36 @@ func defaultBuildOptions(target float64, seed int64) buildOptions {
 	}
 }
 
-// condProb estimates P(target=1 | cond) with n witnesses of cond.
-func condProb(g *aig.AIG, target, cond aig.Lit, n int, seed int64, so simp.Options) (float64, bool) {
-	s := sample.NewCubeSampler(g, cond, seed)
-	s.Simp = so
-	p, got := sample.ConditionalProbability(g, target, cond, s, n)
-	return p, got > 0
+// condEstimate is the memoized form of one conditional-probability query.
+type condEstimate struct {
+	P  float64 `json:"p"`
+	OK bool    `json:"ok"`
+}
+
+// condProb estimates P(target=1 | cond) with n witnesses of cond. The
+// estimate is a pure function of the concrete graph, the literals, the
+// sample budget and the seed (the cube sampler's conflict budgets are
+// deterministic), so it memoizes under the graph's exact structural hash —
+// a warm cache replays the construction's sampling verbatim.
+func condProb(g *aig.AIG, target, cond aig.Lit, n int, seed int64, so simp.Options, cache *memo.Cache) (float64, bool) {
+	compute := func() condEstimate {
+		s := sample.NewCubeSampler(g, cond, seed)
+		s.Simp = so
+		p, got := sample.ConditionalProbability(g, target, cond, s, n)
+		return condEstimate{P: p, OK: got > 0}
+	}
+	if !cache.Enabled() {
+		e := compute()
+		return e.P, e.OK
+	}
+	key := fmt.Sprintf("core.condprob|%016x|t=%d|c=%d|n=%d|seed=%d|simp=%t.%t.%t.%t.%d",
+		g.StructuralHash(), target, cond, n, seed,
+		so.Disable, so.NoVarElim, so.NoSubsume, so.NoVivify, so.InprocessEvery)
+	e, err := memo.Do(cache, key, func() (condEstimate, error) { return compute(), nil })
+	if err != nil {
+		e = compute()
+	}
+	return e.P, e.OK
 }
 
 // buildLockingCircuit incrementally constructs L inside work (a private
@@ -189,9 +216,18 @@ func buildLockingCircuit(work *aig.AIG, opt buildOptions) (*lockingCircuit, erro
 		if work.EvalLits(ones, lc.Root)[0] {
 			return false
 		}
-		cs := sample.NewCubeSampler(work, lc.Root, opt.Seed^0x9e3779b9)
-		cs.Simp = opt.Simp
-		wit := cs.Sample(6)
+		ps := &sample.PoolSampler{
+			Cache: opt.Cache,
+			Key: fmt.Sprintf("core.harden|%016x|root=%d|seed=%d|simp=%t.%t.%t.%t.%d",
+				work.StructuralHash(), lc.Root, opt.Seed^0x9e3779b9,
+				opt.Simp.Disable, opt.Simp.NoVarElim, opt.Simp.NoSubsume, opt.Simp.NoVivify, opt.Simp.InprocessEvery),
+			New: func() sample.Sampler {
+				cs := sample.NewCubeSampler(work, lc.Root, opt.Seed^0x9e3779b9)
+				cs.Simp = opt.Simp
+				return cs
+			},
+		}
+		wit := ps.Sample(6)
 		if len(wit) < 3 {
 			return true // cannot test; construction estimates vouch for satisfiability
 		}
@@ -284,7 +320,7 @@ func buildLockingCircuit(work *aig.AIG, opt buildOptions) (*lockingCircuit, erro
 			if tentative == lc.Root || tentative.IsConst() {
 				continue
 			}
-			newProb, ok := chainProb(work, tentative, lc.Root, curProb, opt.QuickSamples, opt.Seed+int64(lc.Attachments)*31+int64(try), opt.Simp)
+			newProb, ok := chainProb(work, tentative, lc.Root, curProb, opt.QuickSamples, opt.Seed+int64(lc.Attachments)*31+int64(try), opt.Simp, opt.Cache)
 			if !ok || newProb <= 0 {
 				continue
 			}
@@ -301,7 +337,7 @@ func buildLockingCircuit(work *aig.AIG, opt buildOptions) (*lockingCircuit, erro
 			}
 			if g >= need {
 				// Accept; refine the estimate with a larger budget.
-				refined, ok2 := chainProb(work, tentative, lc.Root, curProb, opt.RefineSamples, opt.Seed^0x5bd1e995+int64(lc.Attachments), opt.Simp)
+				refined, ok2 := chainProb(work, tentative, lc.Root, curProb, opt.RefineSamples, opt.Seed^0x5bd1e995+int64(lc.Attachments), opt.Simp, opt.Cache)
 				if ok2 && refined > 0 {
 					newProb = refined
 				}
@@ -350,8 +386,8 @@ func buildLockingCircuit(work *aig.AIG, opt buildOptions) (*lockingCircuit, erro
 
 // chainProb estimates P(next=1) from P(cur=1) and sampled conditionals —
 // one splitting step along the chain.
-func chainProb(g *aig.AIG, next, cur aig.Lit, curProb float64, samples int, seed int64, so simp.Options) (float64, bool) {
-	pGiven, ok := condProb(g, next, cur, samples, seed, so)
+func chainProb(g *aig.AIG, next, cur aig.Lit, curProb float64, samples int, seed int64, so simp.Options, cache *memo.Cache) (float64, bool) {
+	pGiven, ok := condProb(g, next, cur, samples, seed, so, cache)
 	if !ok {
 		return 0, false
 	}
@@ -360,7 +396,7 @@ func chainProb(g *aig.AIG, next, cur aig.Lit, curProb float64, samples int, seed
 	// to the SAT sampler only when rejection fails.
 	pGivenNot, ok2 := condProbRejection(g, next, cur.Not(), samples, seed+1)
 	if !ok2 {
-		pGivenNot, _ = condProb(g, next, cur.Not(), samples/2, seed+2, so)
+		pGivenNot, _ = condProb(g, next, cur.Not(), samples/2, seed+2, so, cache)
 	}
 	return pGiven*curProb + pGivenNot*(1-curProb), true
 }
@@ -400,5 +436,6 @@ func splitOpts(opt buildOptions, round int64) skew.SplittingOptions {
 	so.Seed = opt.Seed + round
 	so.SamplesPerStage = opt.RefineSamples
 	so.Simp = opt.Simp
+	so.Cache = opt.Cache
 	return so
 }

@@ -184,6 +184,11 @@ func (o *Oracle) Query(x []bool) []bool {
 	return o.g.Eval(x)
 }
 
+// Circuit returns the wrapped original circuit. Attack portfolios use it
+// to give every racing variant its own oracle (query counters are not
+// shared across goroutines) and to verify the winning key.
+func (o *Oracle) Circuit() *aig.AIG { return o.g }
+
 // NumInputs returns the oracle interface width.
 func (o *Oracle) NumInputs() int { return o.g.NumInputs() }
 

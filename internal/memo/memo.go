@@ -1,0 +1,381 @@
+// Package memo implements a deterministic, content-addressed result cache
+// for semantic circuit queries (CEC verdicts, skewness estimates, projected
+// model counts, witness pools, PPA reports).
+//
+// Keys are strings built from a canonical structural fingerprint of the
+// queried (sub)circuit — aig.Fingerprint / aig.FingerprintCone for
+// renumbering-invariant semantic verdicts, aig.StructuralHash for queries
+// whose results are tied to concrete variable numbering — concatenated with
+// a query descriptor that captures every option influencing the result
+// (seeds included). Because each key fully determines its value, caching
+// never changes observable results: outputs are byte-identical with the
+// cache on, off, cold, or warm, at any worker count.
+//
+// The cache is an in-process sharded LRU with byte accounting, a
+// singleflight layer that lets concurrent identical queries from the
+// exec.Collect worker pool compute once and share the result, and an
+// optional JSON-Lines on-disk spill (Options.Dir) that warms the next
+// process. Values are treated as immutable once stored; callers must not
+// mutate what Do returns (copy slices before editing).
+//
+// A nil *Cache is valid and disables caching: Do computes directly.
+package memo
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"obfuslock/internal/obs"
+)
+
+const (
+	numShards      = 16
+	entryOverhead  = 96
+	unsizedEntry   = 512
+	defaultMaxMiB  = 64
+	spillSizeLimit = 4 << 20 // skip spilling single values larger than 4 MiB
+)
+
+// Options configures a Cache.
+type Options struct {
+	// MaxBytes bounds the in-memory footprint (approximate; keys + encoded
+	// values + bookkeeping). 0 means 64 MiB.
+	MaxBytes int64
+	// Dir, when non-empty, enables the JSONL disk spill: entries are
+	// appended to Dir/cache.jsonl as they are stored and loaded back by
+	// New, warming the cache across processes. The directory is created
+	// if missing; New fails if it cannot be written.
+	Dir string
+	// Trace registers the memo.* counters (hit, miss, inflight_dedup,
+	// evict, spill, disk_load) and the memo.bytes gauge. Nil is free.
+	Trace *obs.Tracer
+}
+
+type entry struct {
+	key        string
+	val        any
+	size       int64
+	prev, next *entry // LRU ring; head.next is most recent
+}
+
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+type shard struct {
+	mu       sync.Mutex
+	entries  map[string]*entry
+	head     entry // sentinel of the LRU ring
+	bytes    int64
+	inflight map[string]*call
+}
+
+// Cache is a sharded, content-addressed LRU with singleflight. The zero
+// value is not usable; construct with New. A nil *Cache disables caching.
+type Cache struct {
+	shards   [numShards]shard
+	maxShard int64
+
+	spillMu sync.Mutex
+	spill   *os.File
+
+	hit, miss, dedup, evict, spilled, loaded *obs.Counter
+	bytes                                    *obs.Gauge
+}
+
+// New builds a cache. With Options.Dir set, the spill file is opened for
+// append (creating the directory as needed) and existing entries are
+// loaded; an unwritable directory is an error.
+func New(opt Options) (*Cache, error) {
+	max := opt.MaxBytes
+	if max <= 0 {
+		max = defaultMaxMiB << 20
+	}
+	// With a tracer the counters land in its metrics snapshot; without one
+	// they still count locally so Stats keeps working.
+	counter := func(name string) *obs.Counter {
+		if ctr := opt.Trace.Counter(name); ctr != nil {
+			return ctr
+		}
+		return new(obs.Counter)
+	}
+	bytes := opt.Trace.Gauge("memo.bytes")
+	if bytes == nil {
+		bytes = new(obs.Gauge)
+	}
+	c := &Cache{
+		maxShard: max / numShards,
+		hit:      counter("memo.hit"),
+		miss:     counter("memo.miss"),
+		dedup:    counter("memo.inflight_dedup"),
+		evict:    counter("memo.evict"),
+		spilled:  counter("memo.spill"),
+		loaded:   counter("memo.disk_load"),
+		bytes:    bytes,
+	}
+	if c.maxShard < 1 {
+		c.maxShard = 1
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.entries = make(map[string]*entry)
+		s.inflight = make(map[string]*call)
+		s.head.prev, s.head.next = &s.head, &s.head
+	}
+	if opt.Dir != "" {
+		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("memo: cache dir: %w", err)
+		}
+		path := filepath.Join(opt.Dir, "cache.jsonl")
+		c.load(path)
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("memo: cache spill: %w", err)
+		}
+		c.spill = f
+	}
+	return c, nil
+}
+
+// Close flushes and closes the spill file, if any.
+func (c *Cache) Close() error {
+	if c == nil || c.spill == nil {
+		return nil
+	}
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
+	err := c.spill.Close()
+	c.spill = nil
+	return err
+}
+
+// Enabled reports whether the cache is active (non-nil).
+func (c *Cache) Enabled() bool { return c != nil }
+
+func (c *Cache) shard(key string) *shard {
+	// FNV-1a over the key picks the shard.
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 0x100000001b3
+	}
+	return &c.shards[h%numShards]
+}
+
+// get returns the stored value for key, refreshing its LRU position.
+func (c *Cache) get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	s.moveFront(e)
+	return e.val, true
+}
+
+// put stores a value, evicting least-recently-used entries past the shard
+// budget, and spills it to disk unless fromDisk.
+func (c *Cache) put(key string, v any, fromDisk bool) {
+	raw, rawErr := json.Marshal(v)
+	size := int64(len(key)) + entryOverhead
+	if rawErr == nil {
+		size += int64(len(raw))
+	} else {
+		size += unsizedEntry
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		// Keys fully determine values, so an existing entry is the same
+		// result; just refresh it.
+		s.moveFront(e)
+		s.mu.Unlock()
+		return
+	}
+	e := &entry{key: key, val: v, size: size}
+	s.entries[key] = e
+	s.bytes += size
+	e.next = s.head.next
+	e.prev = &s.head
+	e.next.prev = e
+	s.head.next = e
+	var evicted int64
+	for s.bytes > c.maxShard && s.head.prev != &s.head && s.head.prev != e {
+		old := s.head.prev
+		s.unlink(old)
+		delete(s.entries, old.key)
+		s.bytes -= old.size
+		evicted++
+	}
+	s.mu.Unlock()
+	c.evict.Add(evicted)
+	c.bytes.Set(float64(c.totalBytes()))
+	if !fromDisk && rawErr == nil && len(raw) <= spillSizeLimit {
+		c.appendSpill(key, raw)
+	}
+}
+
+// totalBytes sums the byte accounting across shards.
+func (c *Cache) totalBytes() int64 {
+	var total int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.bytes
+		s.mu.Unlock()
+	}
+	return total
+}
+
+func (s *shard) moveFront(e *entry) {
+	s.unlink(e)
+	e.next = s.head.next
+	e.prev = &s.head
+	e.next.prev = e
+	s.head.next = e
+}
+
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+// do runs the singleflight protocol: a cache hit returns immediately, the
+// first miss computes, and concurrent callers of the same key wait for the
+// leader's result instead of recomputing.
+func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
+	if v, ok := c.get(key); ok {
+		c.hit.Inc()
+		return v, nil
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	// Re-check under the lock: the leader may have stored meanwhile.
+	if e, ok := s.entries[key]; ok {
+		s.moveFront(e)
+		s.mu.Unlock()
+		c.hit.Inc()
+		return e.val, nil
+	}
+	if cl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.dedup.Inc()
+		<-cl.done
+		if cl.err != nil {
+			return nil, cl.err
+		}
+		return cl.val, nil
+	}
+	cl := &call{done: make(chan struct{})}
+	s.inflight[key] = cl
+	s.mu.Unlock()
+	c.miss.Inc()
+
+	cl.val, cl.err = compute()
+	if cl.err == nil {
+		c.put(key, cl.val, false)
+	}
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(cl.done)
+	return cl.val, cl.err
+}
+
+type spillRecord struct {
+	K string          `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+func (c *Cache) appendSpill(key string, raw json.RawMessage) {
+	if c.spill == nil {
+		return
+	}
+	line, err := json.Marshal(spillRecord{K: key, V: raw})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
+	if c.spill == nil {
+		return
+	}
+	if _, err := c.spill.Write(line); err == nil {
+		c.spilled.Inc()
+	}
+}
+
+// load reads a spill file written by a previous process. Values come back
+// as json.RawMessage; Do decodes them into the caller's type on first hit.
+// Malformed lines (torn writes) are skipped.
+func (c *Cache) load(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), spillSizeLimit+1024)
+	for sc.Scan() {
+		var rec spillRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.K == "" {
+			continue
+		}
+		c.put(rec.K, json.RawMessage(append([]byte(nil), rec.V...)), true)
+		c.loaded.Inc()
+	}
+}
+
+// Do returns the cached value for key, computing (and storing) it on a
+// miss. Concurrent calls with the same key compute once. A nil cache, or a
+// cached value of an unexpected type, falls through to compute. The
+// returned value is shared: treat it as immutable.
+func Do[T any](c *Cache, key string, compute func() (T, error)) (T, error) {
+	if c == nil {
+		return compute()
+	}
+	v, err := c.do(key, func() (any, error) { return compute() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	if t, ok := v.(T); ok {
+		return t, nil
+	}
+	if raw, ok := v.(json.RawMessage); ok {
+		var t T
+		if json.Unmarshal(raw, &t) == nil {
+			// Swap the decoded value in so later hits skip the decode.
+			c.promote(key, t)
+			return t, nil
+		}
+	}
+	// Type clash (two call sites sharing a key is a bug, but stay safe).
+	return compute()
+}
+
+// promote replaces a disk-loaded raw entry with its decoded value.
+func (c *Cache) promote(key string, v any) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		e.val = v
+	}
+	s.mu.Unlock()
+}
+
+// Stats reports cache counters (tracked with or without a tracer).
+func (c *Cache) Stats() (hits, misses, dedups, evicts int64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	return c.hit.Value(), c.miss.Value(), c.dedup.Value(), c.evict.Value()
+}

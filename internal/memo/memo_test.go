@@ -1,0 +1,221 @@
+package memo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"obfuslock/internal/obs"
+)
+
+type payload struct {
+	N int
+	S string
+}
+
+func TestDoHitMiss(t *testing.T) {
+	tr := obs.New(obs.Discard)
+	c, err := New(Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	compute := func() (payload, error) {
+		calls++
+		return payload{N: 7, S: "x"}, nil
+	}
+	v1, err := Do(c, "k1", compute)
+	if err != nil || v1.N != 7 {
+		t.Fatalf("first Do: %v %v", v1, err)
+	}
+	v2, err := Do(c, "k1", compute)
+	if err != nil || v2 != v1 {
+		t.Fatalf("second Do: %v %v", v2, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	hits, misses, _, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestNilCachePassesThrough(t *testing.T) {
+	var c *Cache
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := Do(c, "k", func() (int, error) { calls++; return 42, nil })
+		if err != nil || v != 42 {
+			t.Fatalf("nil cache Do: %v %v", v, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("nil cache should always compute, got %d calls", calls)
+	}
+	if c.Enabled() {
+		t.Fatal("nil cache reports enabled")
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c, err := New(Options{Trace: obs.New(obs.Discard)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := Do(c, "shared", func() (int, error) {
+				calls.Add(1)
+				<-gate
+				return 99, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let followers pile up behind the leader, then release it.
+	for {
+		_, _, dedups, _ := c.Stats()
+		if dedups >= workers-1 {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under singleflight, want 1", n)
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Fatalf("worker %d got %d", i, v)
+		}
+	}
+}
+
+func TestEviction(t *testing.T) {
+	tr := obs.New(obs.Discard)
+	c, err := New(Options{MaxBytes: numShards * 512, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 200)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if _, err := Do(c, k, func() ([]byte, error) { return big, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, _, evicts := c.Stats()
+	if evicts == 0 {
+		t.Fatal("expected evictions with a tiny budget")
+	}
+	if total := c.totalBytes(); total > numShards*512*2 {
+		t.Fatalf("byte accounting did not shrink: %d", total)
+	}
+}
+
+func TestDiskSpillWarmsNextCache(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload{N: 13, S: "persisted"}
+	if _, err := Do(c1, "disk-key", func() (payload, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, err := Do(c2, "disk-key", func() (payload, error) {
+		return payload{}, fmt.Errorf("should not recompute")
+	})
+	if err != nil || got != want {
+		t.Fatalf("warm cache: %v %v", got, err)
+	}
+	// Second hit exercises the promoted (decoded) entry.
+	got, err = Do(c2, "disk-key", func() (payload, error) {
+		return payload{}, fmt.Errorf("should not recompute")
+	})
+	if err != nil || got != want {
+		t.Fatalf("promoted hit: %v %v", got, err)
+	}
+}
+
+func TestUnmarshalableValueStaysInMemory(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channels cannot be JSON-marshaled: the value must still cache in
+	// memory, only the disk spill is skipped.
+	ch := make(chan int)
+	calls := 0
+	for i := 0; i < 2; i++ {
+		v, err := Do(c, "chan", func() (chan int, error) { calls++; return ch, nil })
+		if err != nil || v != ch {
+			t.Fatalf("Do: %v %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	c.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "cache.jsonl"))
+	if len(data) != 0 {
+		t.Fatalf("unmarshalable value leaked to disk: %q", data)
+	}
+}
+
+func TestUnwritableDirFails(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: permission bits are not enforced")
+	}
+	dir := t.TempDir()
+	ro := filepath.Join(dir, "ro")
+	if err := os.Mkdir(ro, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Dir: filepath.Join(ro, "cache")}); err == nil {
+		t.Fatal("expected error for unwritable cache dir")
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	_, err = Do(c, "e", func() (int, error) { calls++; return 0, fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	v, err := Do(c, "e", func() (int, error) { calls++; return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("retry after error: %v %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("error was cached: %d calls", calls)
+	}
+}

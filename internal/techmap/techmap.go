@@ -8,8 +8,10 @@ package techmap
 
 import (
 	"fmt"
+	"sort"
 
 	"obfuslock/internal/aig"
+	"obfuslock/internal/memo"
 	"obfuslock/internal/sim"
 )
 
@@ -166,11 +168,40 @@ func (r Report) String() string {
 // Analyze maps the netlist and estimates PPA. Switching activity comes
 // from words*64 random simulation patterns.
 func Analyze(g *aig.AIG, words int, seed int64) Report {
+	return AnalyzeWith(g, words, seed, nil)
+}
+
+// AnalyzeWith is Analyze with an optional content-addressed cache for the
+// report (nil: compute). The report depends on concrete net ordering
+// (float accumulation follows variable order), so the key uses the exact
+// netlist hash, not the canonical fingerprint.
+func AnalyzeWith(g *aig.AIG, words int, seed int64, cache *memo.Cache) Report {
+	if !cache.Enabled() {
+		return analyze(g, words, seed)
+	}
+	key := fmt.Sprintf("techmap.analyze|%016x|words=%d|seed=%d", g.StructuralHash(), words, seed)
+	rep, err := memo.Do(cache, key, func() (Report, error) {
+		return analyze(g, words, seed), nil
+	})
+	if err != nil {
+		return analyze(g, words, seed)
+	}
+	return rep
+}
+
+func analyze(g *aig.AIG, words int, seed int64) Report {
 	m := Map(g)
 	rep := Report{NumCells: m.NumCells}
 
-	// Area and leakage from instance counts.
-	for name, n := range m.CellCount {
+	// Area and leakage from instance counts, in sorted cell order so the
+	// float accumulation is reproducible (map iteration order is not).
+	names := make([]string, 0, len(m.CellCount))
+	for name := range m.CellCount {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := m.CellCount[name]
 		c := cellByName(name)
 		rep.AreaUM2 += c.AreaUM2 * float64(n)
 		rep.LeakageUW += c.LeakNW * float64(n) / 1000

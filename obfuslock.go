@@ -35,8 +35,8 @@ import (
 	"obfuslock/internal/cec"
 	"obfuslock/internal/core"
 	"obfuslock/internal/exec"
-	"obfuslock/internal/lockbase"
 	"obfuslock/internal/locking"
+	"obfuslock/internal/memo"
 	"obfuslock/internal/netlistgen"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/simp"
@@ -136,14 +136,20 @@ type AttackResult = attacks.IOResult
 // RunSATAttack launches the oracle-guided SAT attack of Subramanyan et
 // al. Cancelling ctx stops the attack within one solver progress interval
 // and yields a timeout-style result; a nil ctx runs unbounded.
+//
+// Deprecated: use AttackNamed("sat") from the attack registry.
 func RunSATAttack(ctx context.Context, l *Locked, o *Oracle, opt AttackOptions) AttackResult {
-	return attacks.SATAttack(ctx, l, o, opt)
+	a, _ := AttackNamed("sat")
+	return a.Run(ctx, l, o, opt)
 }
 
 // RunAppSAT launches the approximate SAT attack of Shamsi et al. under
 // the same cancellation contract as RunSATAttack.
+//
+// Deprecated: use AttackNamed("appsat") from the attack registry.
 func RunAppSAT(ctx context.Context, l *Locked, o *Oracle, opt AttackOptions) AttackResult {
-	return attacks.AppSAT(ctx, l, o, opt)
+	a, _ := AttackNamed("appsat")
+	return a.Run(ctx, l, o, opt)
 }
 
 // SimpOptions controls SatELite-style CNF preprocessing and inprocessing
@@ -171,6 +177,23 @@ func WithConflicts(n int64) Budget { return exec.WithConflicts(n) }
 // seed and an index (splitmix64); the experiment sweeps use it to give
 // every cell its own stream regardless of worker count.
 func DeriveSeed(master int64, index int) int64 { return exec.DeriveSeed(master, index) }
+
+// Cache is a deterministic content-addressed result cache with
+// singleflight deduplication. Every SAT-backed layer accepts one
+// (Options.Cache, CECOptions.Cache, and the counting/skewness options);
+// results are byte-identical with the cache on, off, cold or warm. See
+// internal/memo and DESIGN.md "Memoization & canonical fingerprints".
+type Cache = memo.Cache
+
+// CacheOptions configures a Cache: in-memory byte budget, optional
+// on-disk JSONL spill directory, optional tracer for hit/miss counters.
+type CacheOptions = memo.Options
+
+// NewCache opens a result cache. With CacheOptions.Dir set, an existing
+// spill file is loaded (warm start) and new results are appended to it;
+// an unwritable directory is an error. Close flushes the spill handle.
+// A nil *Cache is valid everywhere and disables caching.
+func NewCache(opt CacheOptions) (*Cache, error) { return memo.New(opt) }
 
 // PortfolioVariant is one racer of a portfolio attack.
 type PortfolioVariant = attacks.PortfolioVariant
@@ -216,34 +239,49 @@ func SkewnessBits(c *Circuit, output int, seed int64) float64 {
 	return skew.SplittingBits(c, c.Output(output), opt)
 }
 
-// Baseline locking schemes for comparison (the trilemma corners).
+// Baseline locking schemes for comparison (the trilemma corners) live in
+// the scheme registry: Schemes() lists them, LockWith applies one by name.
+// The LockXXX functions below are kept for source compatibility.
 
 // LockRLL applies random XOR/XNOR key-gate insertion (EPIC).
+//
+// Deprecated: use LockWith(ctx, "rll", c, SchemeOptions{KeyBits: keyBits, Seed: seed}).
 func LockRLL(c *Circuit, keyBits int, seed int64) (*Locked, error) {
-	return lockbase.RLL(c, keyBits, seed)
+	return LockWith(context.Background(), "rll", c, SchemeOptions{KeyBits: keyBits, Seed: seed})
 }
 
 // LockSARLock applies SARLock single-flip locking.
+//
+// Deprecated: use LockWith(ctx, "sarlock", c, SchemeOptions{ProtWidth: protWidth, Seed: seed}).
 func LockSARLock(c *Circuit, protWidth int, seed int64) (*Locked, error) {
-	return lockbase.SARLock(c, protWidth, seed)
+	return LockWith(context.Background(), "sarlock", c, SchemeOptions{ProtWidth: protWidth, Seed: seed})
 }
 
 // LockAntiSAT applies Anti-SAT locking.
+//
+// Deprecated: use LockWith(ctx, "antisat", c, SchemeOptions{ProtWidth: protWidth, Seed: seed}).
 func LockAntiSAT(c *Circuit, protWidth int, seed int64) (*Locked, error) {
-	return lockbase.AntiSAT(c, protWidth, seed)
+	return LockWith(context.Background(), "antisat", c, SchemeOptions{ProtWidth: protWidth, Seed: seed})
 }
 
 // LockTTLock applies TTLock point-function stripping.
+//
+// Deprecated: use LockWith(ctx, "ttlock", c, SchemeOptions{ProtWidth: protWidth, Seed: seed}).
 func LockTTLock(c *Circuit, protWidth int, seed int64) (*Locked, error) {
-	return lockbase.TTLock(c, protWidth, seed)
+	return LockWith(context.Background(), "ttlock", c, SchemeOptions{ProtWidth: protWidth, Seed: seed})
 }
 
 // LockSFLLHD applies SFLL-HD locking at the given Hamming distance.
+//
+// Deprecated: use LockWith(ctx, "sfll-hd", c, SchemeOptions{ProtWidth: protWidth, HammingDistance: h, Seed: seed}).
 func LockSFLLHD(c *Circuit, protWidth, h int, seed int64) (*Locked, error) {
-	return lockbase.SFLLHD(c, protWidth, h, seed)
+	return LockWith(context.Background(), "sfll-hd", c,
+		SchemeOptions{ProtWidth: protWidth, HammingDistance: h, Seed: seed})
 }
 
 // WithTimeout is a convenience for building attack budgets.
+//
+// Deprecated: set AttackOptions.Timeout directly.
 func WithTimeout(opt AttackOptions, d time.Duration) AttackOptions {
 	opt.Timeout = d
 	return opt
@@ -265,12 +303,18 @@ func NewTracer(sink TraceSink) *Tracer { return obs.New(sink) }
 // NewJSONLSink returns a sink writing the stream as JSON Lines to w.
 func NewJSONLSink(w io.Writer) TraceSink { return obs.NewJSONL(w) }
 
+// ProgressSink paints a live one-line status; it implements TraceSink.
+type ProgressSink = obs.Progress
+
+// TraceCollector records the stream in memory; it implements TraceSink.
+type TraceCollector = obs.Collector
+
 // NewProgressSink returns a sink painting a live one-line status on w.
 // Call Done on it after the tracer is finished to end the line.
-func NewProgressSink(w io.Writer) *obs.Progress { return obs.NewProgress(w) }
+func NewProgressSink(w io.Writer) *ProgressSink { return obs.NewProgress(w) }
 
 // NewTraceCollector returns an in-memory sink for tests and inspection.
-func NewTraceCollector() *obs.Collector { return obs.NewCollector() }
+func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
 
 // MultiSink fans the stream out to several sinks (nils are skipped).
 func MultiSink(sinks ...TraceSink) TraceSink { return obs.Multi(sinks...) }
