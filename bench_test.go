@@ -217,7 +217,8 @@ func BenchmarkTableICached(b *testing.B) {
 			cell(cache)
 		}
 		warmNs = b.Elapsed().Nanoseconds() / int64(max(b.N, 1))
-		hits, misses, _, _ = cache.Stats()
+		st := cache.Stats()
+		hits, misses = st.Hits, st.Misses
 	})
 	if coldNs > 0 && warmNs > 0 {
 		rec := &cacheBenchRecord{ColdNs: coldNs, WarmNs: warmNs,

@@ -144,7 +144,7 @@ func TestCacheCrossCheck(t *testing.T) {
 	if !bytes.Equal(off1, cold1) {
 		t.Fatalf("cold cache changed the output:\n--- off\n%s--- cold\n%s", off1, cold1)
 	}
-	if _, misses, _, _ := cold.Stats(); misses == 0 {
+	if st := cold.Stats(); st.Misses == 0 {
 		t.Fatal("cold pass recorded no cache misses — the suite bypassed the cache")
 	}
 	if err := cold.Close(); err != nil {
@@ -161,8 +161,7 @@ func TestCacheCrossCheck(t *testing.T) {
 	if !bytes.Equal(off1, warm4) {
 		t.Fatalf("warm cache changed the output:\n--- off\n%s--- warm\n%s", off1, warm4)
 	}
-	hits, _, _, _ := warm.Stats()
-	if hits == 0 {
+	if warm.Stats().Hits == 0 {
 		t.Fatal("warm pass recorded no cache hits — the spill reload is not serving results")
 	}
 }

@@ -24,9 +24,16 @@
 //
 //	-trace out.jsonl   full span/event stream as JSON Lines
 //	-progress          live one-line status on stderr
-//	-pprof addr        serve net/http/pprof; spans label profiles
+//	-pprof prefix      write <prefix>.cpu.pprof, <prefix>.heap.pprof and
+//	                   <prefix>.allocs.pprof; spans label the profiles
+//	-debug-addr addr   serve /metrics, /flight and /debug/pprof live
+//	-ledger path       write a ledger.json run record at exit
 //	-v                 print cumulative SAT-solver statistics
 //	-metrics path      metrics.json written by -table1 (default metrics.json)
+//
+// Any telemetry flag arms a flight recorder — a ring of the most recent
+// spans/events — dumped to stderr on SIGQUIT, panic, or when a single
+// attack exhausts its budget without a key.
 //
 // The equivalence checks inside the removal and Valkyrie attacks run
 // SAT-swept by default (-sweep, -sweep-words; see DESIGN.md "Equivalence
@@ -40,8 +47,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -89,7 +94,9 @@ func main() {
 
 	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
 	progress := flag.Bool("progress", false, "live one-line progress on stderr")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pprof, <prefix>.heap.pprof and <prefix>.allocs.pprof profiles")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /flight and /debug/pprof on this address (e.g. localhost:6060)")
+	ledgerPath := flag.String("ledger", "", "write a ledger.json run record (flags, build, metrics, peak RSS) to this file")
 	verbose := flag.Bool("v", false, "print cumulative SAT-solver statistics after the attack")
 	metricsPath := flag.String("metrics", "metrics.json", "machine-readable output of -table1")
 	flag.Parse()
@@ -107,11 +114,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	tracer, finish := setupTracer(*tracePath, *progress, *pprofAddr)
+	var ledger *obs.Ledger
+	if *ledgerPath != "" {
+		ledger = obs.NewLedger("attack")
+	}
+	tracer, flight, finish := setupTelemetry(*tracePath, *progress, *pprofPrefix, *debugAddr, ledger != nil)
 	defer finish()
+	armFlightDump(flight)
+	defer dumpFlightOnPanic(flight)
 
 	cache := setupCache(*useCache, *cacheDir, *cacheMB, tracer)
 	defer cache.Close()
+
+	// writeLedger runs both on normal returns (deferred) and explicitly on
+	// the non-zero exit paths, which bypass deferred calls via os.Exit.
+	ledgerDone := false
+	writeLedger := func() {
+		if ledger == nil || ledgerDone {
+			return
+		}
+		ledgerDone = true
+		if st := cache.Stats(); st.Lookups() > 0 {
+			ledger.AddExtra("cache_hit_ratio", st.HitRatio())
+		}
+		ledger.Finish(tracer)
+		if err := ledger.WriteFile(*ledgerPath); err != nil {
+			fmt.Fprintln(os.Stderr, "attack:", err)
+		}
+	}
+	defer writeLedger()
 
 	// Ctrl-C / SIGTERM cancels the context; every layer down to the SAT
 	// solvers polls it, so the run winds down instead of dying mid-write.
@@ -222,6 +253,12 @@ func main() {
 			r.Iterations, r.Queries, r.Exact, r.TimedOut, r.Runtime))
 		printSolverStats(*verbose, r.SolverStats)
 		if !gotKey {
+			if r.TimedOut {
+				// The wedged-DIP-loop post-mortem: what the attack was
+				// doing when the budget ran out.
+				dumpFlight(flight, "attack budget exhausted")
+			}
+			writeLedger()
 			finish()
 			os.Exit(1)
 		}
@@ -257,6 +294,7 @@ func main() {
 			r.XORRuleHits, r.PointRuleHits, r.Runtime))
 	}
 	if !gotKey {
+		writeLedger()
 		finish()
 		os.Exit(1)
 	}
@@ -337,10 +375,12 @@ func validateFlags(encPath, oraclePath, attackName string, table1, fig4, fig5, s
 	return nil
 }
 
-// setupTracer builds the tracer from the observability flags and returns
-// it with a finish func that flushes metrics and closes the trace file.
-// All three flags off yields a nil tracer (the zero-cost path).
-func setupTracer(tracePath string, progress bool, pprofAddr string) (*obs.Tracer, func()) {
+// setupTelemetry builds the tracer, flight recorder and profile writers
+// from the observability flags and returns them with a finish func that
+// flushes metrics, stops profiling and closes the trace file. All flags
+// off yields a nil tracer (the zero-cost path) and no flight recorder.
+func setupTelemetry(tracePath string, progress bool, pprofPrefix, debugAddr string, ledger bool) (*obs.Tracer, *obs.Flight, func()) {
+	reg := obs.NewRegistry()
 	var sinks []obs.Sink
 	var closers []func()
 	if tracePath != "" {
@@ -356,20 +396,41 @@ func setupTracer(tracePath string, progress bool, pprofAddr string) (*obs.Tracer
 		sinks = append(sinks, p)
 		closers = append(closers, p.Done)
 	}
+	var flight *obs.Flight
+	if tracePath != "" || progress || debugAddr != "" || ledger {
+		flight = obs.NewFlight(obs.DefaultFlightDepth)
+		sinks = append(sinks, flight)
+	}
+	if len(sinks) > 0 {
+		// Every completed span also lands in a span.<name>_us histogram,
+		// so /metrics and the ledger carry per-phase latency distributions.
+		sinks = append(sinks, obs.NewSpanDurations(reg))
+	}
 	sink := obs.Multi(sinks...)
-	if pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+	if sink == nil && pprofPrefix != "" {
+		// pprof labels need an enabled tracer even with no stream.
+		sink = obs.Discard
+	}
+	tracer := obs.NewWithRegistry(sink, reg)
+	tracer.EnablePprofLabels()
+	if pprofPrefix != "" {
+		stop, err := obs.StartProfiles(pprofPrefix)
+		if err != nil {
+			fatal(err)
+		}
+		closers = append(closers, func() {
+			if err := stop(); err != nil {
 				fmt.Fprintln(os.Stderr, "attack: pprof:", err)
 			}
-		}()
-		if sink == nil {
-			// pprof labels need an enabled tracer even with no stream.
-			sink = obs.Discard
-		}
+		})
 	}
-	tracer := obs.New(sink)
-	tracer.EnablePprofLabels()
+	if debugAddr != "" {
+		addr, err := obs.ListenDebug(debugAddr, tracer, flight)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "attack: debug endpoint on http://%s (/metrics, /flight, /debug/pprof)\n", addr)
+	}
 	done := false
 	finish := func() {
 		if done {
@@ -381,7 +442,40 @@ func setupTracer(tracePath string, progress bool, pprofAddr string) (*obs.Tracer
 			c()
 		}
 	}
-	return tracer, finish
+	return tracer, flight, finish
+}
+
+// dumpFlight writes the flight recorder's recent-span ring to stderr.
+func dumpFlight(flight *obs.Flight, reason string) {
+	if flight == nil || flight.Len() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "attack: %s — flight recorder dump:\n", reason)
+	flight.WriteTo(os.Stderr)
+}
+
+// armFlightDump dumps the flight recorder on SIGQUIT (the run keeps
+// going, like a thread dump).
+func armFlightDump(flight *obs.Flight) {
+	if flight == nil {
+		return
+	}
+	qc := make(chan os.Signal, 1)
+	signal.Notify(qc, syscall.SIGQUIT)
+	go func() {
+		for range qc {
+			dumpFlight(flight, "SIGQUIT")
+		}
+	}()
+}
+
+// dumpFlightOnPanic preserves the flight recorder's evidence when the run
+// dies: deferred in main, it dumps the ring and re-panics.
+func dumpFlightOnPanic(flight *obs.Flight) {
+	if r := recover(); r != nil {
+		dumpFlight(flight, "panic")
+		panic(r)
+	}
 }
 
 func writeMetrics(path string, rows []experiments.TableIRow, tr *obs.Tracer) error {

@@ -12,17 +12,20 @@
 // DESIGN.md "Equivalence checking & SAT sweeping"); -sweep=false forces
 // the monolithic miter.
 //
-// Observability: -trace out.jsonl records every lock phase as a JSON-Lines
-// span/event stream, -progress paints a live status line on stderr, and
-// -pprof addr serves net/http/pprof with spans labeling the profiles.
+// Observability (see DESIGN.md "Observability"): -trace out.jsonl records
+// every lock phase as a JSON-Lines span/event stream, -progress paints a
+// live status line on stderr, -pprof prefix writes <prefix>.cpu.pprof
+// during the run plus <prefix>.heap.pprof and <prefix>.allocs.pprof at
+// exit, -debug-addr serves /metrics, /flight and /debug/pprof live (spans
+// label the profiles), -ledger writes a ledger.json run record, and -v
+// prints cache statistics after the run. Any telemetry flag arms a flight
+// recorder whose recent-span ring is dumped to stderr on SIGQUIT or panic.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -51,7 +54,10 @@ func main() {
 	cacheMB := flag.Int("cache-mb", 256, "in-memory cache budget in MiB (requires -cache)")
 	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
 	progress := flag.Bool("progress", false, "live one-line progress on stderr")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pprof, <prefix>.heap.pprof and <prefix>.allocs.pprof profiles")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /flight and /debug/pprof on this address (e.g. localhost:6060)")
+	ledgerPath := flag.String("ledger", "", "write a ledger.json run record (flags, build, metrics, peak RSS) to this file")
+	verbose := flag.Bool("v", false, "print cache statistics after the run")
 	workers := flag.Int("workers", 0, "GOMAXPROCS override for the construction (0: leave as is)")
 	flag.Parse()
 
@@ -67,8 +73,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	tracer, finish := setupTracer(*tracePath, *progress, *pprofAddr)
+	var ledger *obfuslock.RunLedger
+	if *ledgerPath != "" {
+		ledger = obfuslock.NewRunLedger("obfuslock")
+	}
+	tracer, flight, finish := setupTelemetry(*tracePath, *progress, *pprofPrefix, *debugAddr, ledger != nil)
 	defer finish()
+	armFlightDump(flight)
+	defer dumpFlightOnPanic(flight)
 
 	cache := setupCache(*useCache, *cacheDir, *cacheMB, tracer)
 	defer cache.Close()
@@ -174,12 +186,40 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s and %s\n", *out, *keyOut)
+
+	if *verbose {
+		printCacheStats(cache)
+	}
+	if ledger != nil {
+		if st := cache.Stats(); st.Lookups() > 0 {
+			ledger.AddExtra("cache_hit_ratio", st.HitRatio())
+		}
+		ledger.Finish(tracer)
+		if err := ledger.WriteFile(*ledgerPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *ledgerPath)
+	}
 }
 
-// setupTracer builds the tracer from the observability flags and returns
-// it with a finish func that flushes metrics and closes the trace file.
-// All three flags off yields a nil (zero-cost) tracer.
-func setupTracer(tracePath string, progress bool, pprofAddr string) (*obfuslock.Tracer, func()) {
+// printCacheStats surfaces the memo cache's own counters (available even
+// without a tracer) for -v runs.
+func printCacheStats(cache *obfuslock.Cache) {
+	if cache == nil {
+		fmt.Println("cache: disabled (use -cache)")
+		return
+	}
+	st := cache.Stats()
+	fmt.Printf("cache: hits=%d misses=%d hit-ratio=%.3f dedups=%d evictions=%d spills=%d disk-loads=%d bytes=%d\n",
+		st.Hits, st.Misses, st.HitRatio(), st.InflightDedups, st.Evictions, st.Spills, st.DiskLoads, st.Bytes)
+}
+
+// setupTelemetry builds the tracer, flight recorder and profile writers
+// from the observability flags and returns them with a finish func that
+// flushes metrics, stops profiling and closes the trace file. All flags
+// off yields a nil (zero-cost) tracer and no flight recorder.
+func setupTelemetry(tracePath string, progress bool, pprofPrefix, debugAddr string, ledger bool) (*obfuslock.Tracer, *obfuslock.FlightRecorder, func()) {
+	reg := obfuslock.NewMetricRegistry()
 	var sinks []obfuslock.TraceSink
 	var closers []func()
 	if tracePath != "" {
@@ -195,20 +235,41 @@ func setupTracer(tracePath string, progress bool, pprofAddr string) (*obfuslock.
 		sinks = append(sinks, p)
 		closers = append(closers, p.Done)
 	}
+	var flight *obfuslock.FlightRecorder
+	if tracePath != "" || progress || debugAddr != "" || ledger {
+		flight = obfuslock.NewFlightRecorder(obfuslock.DefaultFlightDepth)
+		sinks = append(sinks, flight)
+	}
+	if len(sinks) > 0 {
+		// Every completed span also lands in a span.<name>_us histogram,
+		// so /metrics and the ledger carry per-phase latency distributions.
+		sinks = append(sinks, obfuslock.NewSpanDurationsSink(reg))
+	}
 	sink := obfuslock.MultiSink(sinks...)
-	if pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+	if sink == nil && pprofPrefix != "" {
+		// pprof labels need an enabled tracer even with no stream.
+		sink = obfuslock.DiscardSink
+	}
+	tracer := obfuslock.NewTracerWithRegistry(sink, reg)
+	tracer.EnablePprofLabels()
+	if pprofPrefix != "" {
+		stop, err := obfuslock.StartProfiles(pprofPrefix)
+		if err != nil {
+			fatal(err)
+		}
+		closers = append(closers, func() {
+			if err := stop(); err != nil {
 				fmt.Fprintln(os.Stderr, "obfuslock: pprof:", err)
 			}
-		}()
-		if sink == nil {
-			// pprof labels need an enabled tracer even with no stream.
-			sink = obfuslock.DiscardSink
-		}
+		})
 	}
-	tracer := obfuslock.NewTracer(sink)
-	tracer.EnablePprofLabels()
+	if debugAddr != "" {
+		addr, err := obfuslock.ListenDebug(debugAddr, tracer, flight)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "obfuslock: debug endpoint on http://%s (/metrics, /flight, /debug/pprof)\n", addr)
+	}
 	done := false
 	finish := func() {
 		if done {
@@ -220,7 +281,35 @@ func setupTracer(tracePath string, progress bool, pprofAddr string) (*obfuslock.
 			c()
 		}
 	}
-	return tracer, finish
+	return tracer, flight, finish
+}
+
+// armFlightDump dumps the flight recorder's recent-span ring to stderr on
+// SIGQUIT (the run keeps going, like a thread dump).
+func armFlightDump(flight *obfuslock.FlightRecorder) {
+	if flight == nil {
+		return
+	}
+	qc := make(chan os.Signal, 1)
+	signal.Notify(qc, syscall.SIGQUIT)
+	go func() {
+		for range qc {
+			fmt.Fprintln(os.Stderr, "obfuslock: SIGQUIT — flight recorder dump:")
+			flight.WriteTo(os.Stderr)
+		}
+	}()
+}
+
+// dumpFlightOnPanic preserves the flight recorder's evidence when the run
+// dies: deferred in main, it dumps the ring and re-panics.
+func dumpFlightOnPanic(flight *obfuslock.FlightRecorder) {
+	if r := recover(); r != nil {
+		if flight != nil {
+			fmt.Fprintln(os.Stderr, "obfuslock: panic — flight recorder dump:")
+			flight.WriteTo(os.Stderr)
+		}
+		panic(r)
+	}
 }
 
 // validateCacheFlags enforces the cache flag contract: -cache-mb must be a

@@ -93,9 +93,17 @@ type attackState struct {
 	// scale with the circuit size on every iteration.
 	spec    *aig.AIG
 	specEnc *cnf.Encoder
+	// hDIP is the per-DIP solve+oracle+constrain latency histogram
+	// (attack.dip_us); nil with telemetry off, and the loops then never
+	// read the clock for it.
+	hDIP *obs.Histogram
 }
 
-func newAttackState(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, sp *obs.Span, progressEvery int64) *attackState {
+// MetricDIPLatency is the per-DIP iteration latency histogram
+// (microseconds: miter solve + oracle query + constraint add).
+const MetricDIPLatency = "attack.dip_us"
+
+func newAttackState(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, tr *obs.Tracer, sp *obs.Span, progressEvery int64) *attackState {
 	s := sat.New()
 	e1 := cnf.NewEncoder(l.Enc, s)
 	e2 := cnf.NewEncoder(l.Enc, s)
@@ -128,8 +136,10 @@ func newAttackState(ctx context.Context, l *locking.Locked, oracle *locking.Orac
 		xLits: xLits, k1Lits: k1, k2Lits: k2, actDiff: act,
 		stopped: func() bool { return ctx.Err() != nil },
 		spec:    aig.New(),
+		hDIP:    tr.Histogram(MetricDIPLatency),
 	}
 	s.SetContext(ctx)
+	s.SetTelemetry(tr.Registry())
 	if sp.Enabled() {
 		if progressEvery == 0 {
 			progressEvery = 10000
@@ -204,7 +214,7 @@ func SATAttack(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, o
 		obs.Int("inputs", int64(l.NumInputs)),
 		obs.Int("key_bits", int64(l.KeyBits)),
 		obs.Int("enc_nodes", int64(l.Enc.NumNodes())))
-	st := newAttackState(ctx, l, oracle, sp, opt.ProgressConflicts)
+	st := newAttackState(ctx, l, oracle, opt.Trace, sp, opt.ProgressConflicts)
 	// Preprocess the miter once up front. All interface literals (inputs,
 	// both key copies, the activation literal) are frozen, so full
 	// variable elimination is sound here and for every later constraint.
@@ -214,6 +224,10 @@ func SATAttack(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, o
 		if opt.MaxIterations > 0 && res.Iterations >= opt.MaxIterations {
 			res.TimedOut = true
 			break
+		}
+		var iterStart time.Time
+		if st.hDIP != nil {
+			iterStart = time.Now()
 		}
 		prev := st.s.Stats()
 		status := st.s.Solve(st.actDiff)
@@ -234,6 +248,9 @@ func SATAttack(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, o
 		y := oracle.Query(dip)
 		st.addIOConstraint(dip, y)
 		res.Iterations++
+		if st.hDIP != nil {
+			st.hDIP.RecordDuration(time.Since(iterStart))
+		}
 		if sp.Enabled() {
 			d := st.s.Stats().Sub(prev)
 			sp.Event("dip",
@@ -289,11 +306,15 @@ func AppSAT(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt 
 		obs.Int("inputs", int64(l.NumInputs)),
 		obs.Int("key_bits", int64(l.KeyBits)),
 		obs.Int("max_iterations", int64(opt.MaxIterations)))
-	st := newAttackState(ctx, l, oracle, sp, opt.ProgressConflicts)
+	st := newAttackState(ctx, l, oracle, opt.Trace, sp, opt.ProgressConflicts)
 	simp.Apply(st.s, opt.Simp, opt.Trace)
 	rng := newSplitMix(opt.Seed)
 	res := IOResult{}
 	for res.Iterations < opt.MaxIterations {
+		var iterStart time.Time
+		if st.hDIP != nil {
+			iterStart = time.Now()
+		}
 		prev := st.s.Stats()
 		status := st.s.Solve(st.actDiff)
 		if status == sat.Unknown {
@@ -311,6 +332,9 @@ func AppSAT(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt 
 		}
 		st.addIOConstraint(dip, oracle.Query(dip))
 		res.Iterations++
+		if st.hDIP != nil {
+			st.hDIP.RecordDuration(time.Since(iterStart))
+		}
 		if sp.Enabled() {
 			d := st.s.Stats().Sub(prev)
 			sp.Event("dip",

@@ -76,6 +76,22 @@ type Options struct {
 	Cache *memo.Cache
 }
 
+// MetricProofLatency is the histogram of final miter-solve latencies
+// (microseconds), one observation per SAT proof attempt.
+const MetricProofLatency = "cec.proof_us"
+
+// timedSolve runs one Solve recording its latency into h (which may be
+// nil, in which case the clock is never read).
+func timedSolve(s *sat.Solver, h *obs.Histogram, assumps ...sat.Lit) sat.Status {
+	if h == nil {
+		return s.Solve(assumps...)
+	}
+	t0 := time.Now()
+	st := s.Solve(assumps...)
+	h.RecordDuration(time.Since(t0))
+	return st
+}
+
 // DefaultOptions uses a small simulation pre-filter and no SAT budget.
 func DefaultOptions() Options {
 	return Options{SimWords: 4, Seed: 1}
@@ -193,6 +209,7 @@ func check(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (Resul
 	s := sat.New()
 	s.SetBudget(opt.Budget.ConflictCap())
 	s.SetContext(ctx)
+	s.SetTelemetry(opt.Trace.Registry())
 	inputs, diff := cnf.Miter(s, a, b)
 	s.AddClause(diff)
 	// Preprocess the whole miter CNF: the shared-input interface is
@@ -200,7 +217,7 @@ func check(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (Resul
 	if !simp.Apply(s, opt.Simp, opt.Trace) {
 		return Result{Equivalent: true, Decided: true, SolverStats: s.Stats()}, nil
 	}
-	switch s.Solve() {
+	switch timedSolve(s, opt.Trace.Histogram(MetricProofLatency)) {
 	case sat.Unsat:
 		return Result{Equivalent: true, Decided: true, SolverStats: s.Stats()}, nil
 	case sat.Sat:
@@ -259,6 +276,7 @@ func checkSwept(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (
 	s := sat.New()
 	s.SetBudget(opt.Budget.ConflictCap())
 	s.SetContext(ctx)
+	s.SetTelemetry(opt.Trace.Registry())
 	e := cnf.NewEncoder(red, s)
 	inputs := make([]sat.Lit, red.NumInputs())
 	for i := range inputs {
@@ -276,7 +294,7 @@ func checkSwept(ctx context.Context, a, b *aig.AIG, opt Options, sp *obs.Span) (
 	if !simp.Apply(s, opt.Simp, opt.Trace) {
 		return Result{Equivalent: true, Decided: true, SolverStats: stats()}, nil
 	}
-	switch s.Solve() {
+	switch timedSolve(s, opt.Trace.Histogram(MetricProofLatency)) {
 	case sat.Unsat:
 		return Result{Equivalent: true, Decided: true, SolverStats: stats()}, nil
 	case sat.Sat:

@@ -184,8 +184,15 @@ func Lock(ctx context.Context, c *aig.AIG, opt Options) (*Result, error) {
 		obs.Float("skew_bits", res.Report.SkewBits),
 		obs.Int("enc_nodes", int64(res.Report.EncNodes)),
 		obs.Dur("runtime", res.Report.Runtime))
+	// One observation per locked circuit: across a sweep this is the
+	// lock-time distribution behind the paper's Table I column.
+	opt.Trace.Histogram(MetricLockLatency).RecordDuration(res.Report.Runtime)
 	return res, nil
 }
+
+// MetricLockLatency is the per-circuit end-to-end lock latency
+// histogram (microseconds).
+const MetricLockLatency = "lock.total_us"
 
 func lock(ctx context.Context, c *aig.AIG, opt Options, sp *obs.Span, start time.Time) (*Result, error) {
 	if c.NumOutputs() == 0 {

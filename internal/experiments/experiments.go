@@ -254,7 +254,9 @@ func TableI(ctx context.Context, suite []netlistgen.Benchmark, skews []float64, 
 		}
 	}
 	var rows []TableIRow
-	exec.Collect(ctx, budget.Workers, len(cells), func(ctx context.Context, i int) cellOut {
+	// Metered variant: queue-depth gauge + per-cell latency histogram when
+	// budget.Trace is live; identical scheduling (and output) otherwise.
+	exec.CollectMetered(ctx, budget.Workers, len(cells), exec.PoolMetricsFrom(budget.Trace), func(ctx context.Context, i int) cellOut {
 		row, err := TableIEntry(ctx, cells[i].b, cells[i].skew, exec.DeriveSeed(seed, i), budget, nil)
 		return cellOut{row, err}
 	}, func(i int, r cellOut) {

@@ -33,6 +33,9 @@ type MetricsMetric struct {
 	Sum   float64 `json:"sum,omitempty"`
 	Min   float64 `json:"min,omitempty"`
 	Max   float64 `json:"max,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P90   float64 `json:"p90,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
 }
 
 // MetricsFile is the top-level metrics.json document written by
@@ -72,6 +75,7 @@ func NewMetricsFile(rows []TableIRow, tr *obs.Tracer) MetricsFile {
 		mf.Metrics = append(mf.Metrics, MetricsMetric{
 			Name: m.Name, Kind: m.Kind, Value: m.Value,
 			Count: m.Count, Sum: m.Sum, Min: m.Min, Max: m.Max,
+			P50: m.P50, P90: m.P90, P99: m.P99,
 		})
 	}
 	return mf

@@ -26,8 +26,8 @@ func TestWriteMetricsJSON(t *testing.T) {
 	}
 	tr := obs.New(obs.Discard)
 	tr.Counter("oracle_queries").Add(42)
-	tr.Histogram("dip_seconds").Observe(0.25)
-	tr.Histogram("dip_seconds").Observe(0.75)
+	tr.Histogram("dip_us").Record(250000)
+	tr.Histogram("dip_us").Record(750000)
 
 	var buf bytes.Buffer
 	if err := WriteMetricsJSON(&buf, rows, tr); err != nil {
@@ -60,8 +60,9 @@ func TestWriteMetricsJSON(t *testing.T) {
 		switch m.Name {
 		case "oracle_queries":
 			seenCounter = m.Kind == "counter" && m.Value == 42
-		case "dip_seconds":
-			seenHist = m.Kind == "histogram" && m.Count == 2 && m.Sum == 1.0
+		case "dip_us":
+			seenHist = m.Kind == "histogram" && m.Count == 2 && m.Sum == 1000000 &&
+				m.P50 >= 250000 && m.P99 <= 750000
 		}
 	}
 	if !seenCounter || !seenHist {

@@ -24,6 +24,7 @@ package fraig
 
 import (
 	"context"
+	"time"
 
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cnf"
@@ -105,6 +106,10 @@ type Result struct {
 	SolverStats sat.Stats
 }
 
+// MetricProofLatency is the histogram of per-candidate equivalence
+// proof latencies (microseconds), one observation per SAT query.
+const MetricProofLatency = "fraig.proof_us"
+
 // sweeper carries the mutable state of one Sweep call.
 type sweeper struct {
 	g       *aig.AIG
@@ -114,6 +119,7 @@ type sweeper struct {
 	classOf []int32   // old var -> class index, -1 when unclassified
 	classes [][]uint32
 	st      Stats
+	hProof  *obs.Histogram // per-query proof latency; nil with telemetry off
 }
 
 // Sweep reduces g by merging functionally equivalent nodes. The input
@@ -128,7 +134,7 @@ func Sweep(ctx context.Context, g *aig.AIG, opt Options) *Result {
 		obs.Int("nodes", int64(g.NumNodes())),
 		obs.Int("words", int64(opt.Words)))
 
-	sw := &sweeper{g: g, ng: aig.New()}
+	sw := &sweeper{g: g, ng: aig.New(), hProof: tr.Histogram(MetricProofLatency)}
 	sw.ng.Name = g.Name
 	sw.buildClasses(opt)
 
@@ -137,6 +143,7 @@ func Sweep(ctx context.Context, g *aig.AIG, opt Options) *Result {
 	// selectors) persist across queries.
 	s := sat.New()
 	s.SetContext(ctx)
+	s.SetTelemetry(tr.Registry())
 	enc := cnf.NewEncoder(sw.ng, s)
 	sw.m = make([]aig.Lit, g.MaxVar()+1)
 	sw.m[0] = aig.ConstFalse
@@ -289,7 +296,15 @@ func (sw *sweeper) prove(ctx context.Context, v uint32, s *sat.Solver, enc *cnf.
 		lits := enc.Encode(sw.m[v], target)
 		d := cnf.XorLit(s, lits[0], lits[1])
 		s.SetBudget(opt.Budget.ConflictCap())
-		switch s.Solve(d) {
+		var t0 time.Time
+		if sw.hProof != nil {
+			t0 = time.Now()
+		}
+		status := s.Solve(d)
+		if sw.hProof != nil {
+			sw.hProof.RecordDuration(time.Since(t0))
+		}
+		switch status {
 		case sat.Unsat:
 			s.AddClause(d.Not()) // lock the proven equality in for later queries
 			sw.m[v] = target

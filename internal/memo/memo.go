@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"obfuslock/internal/obs"
 )
@@ -87,6 +88,12 @@ type Cache struct {
 
 	hit, miss, dedup, evict, spilled, loaded *obs.Counter
 	bytes                                    *obs.Gauge
+	// hitRatio and lookupUS exist only with a tracer attached (nil
+	// otherwise): the ratio gauge mirrors Stats().HitRatio() into the
+	// metric stream, and the histogram times the cache machinery per
+	// lookup (hit resolution or miss classification — never the compute).
+	hitRatio *obs.Gauge
+	lookupUS *obs.Histogram
 }
 
 // New builds a cache. With Options.Dir set, the spill file is opened for
@@ -118,6 +125,8 @@ func New(opt Options) (*Cache, error) {
 		spilled:  counter("memo.spill"),
 		loaded:   counter("memo.disk_load"),
 		bytes:    bytes,
+		hitRatio: opt.Trace.Gauge("memo.hit_ratio"),
+		lookupUS: opt.Trace.Histogram("memo.lookup_us"),
 	}
 	if c.maxShard < 1 {
 		c.maxShard = 1
@@ -251,8 +260,13 @@ func (s *shard) unlink(e *entry) {
 // first miss computes, and concurrent callers of the same key wait for the
 // leader's result instead of recomputing.
 func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
+	var t0 time.Time
+	if c.lookupUS != nil {
+		t0 = time.Now()
+	}
 	if v, ok := c.get(key); ok {
 		c.hit.Inc()
+		c.lookupDone(t0)
 		return v, nil
 	}
 	s := c.shard(key)
@@ -262,11 +276,13 @@ func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 		s.moveFront(e)
 		s.mu.Unlock()
 		c.hit.Inc()
+		c.lookupDone(t0)
 		return e.val, nil
 	}
 	if cl, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		c.dedup.Inc()
+		c.lookupDone(t0)
 		<-cl.done
 		if cl.err != nil {
 			return nil, cl.err
@@ -277,6 +293,7 @@ func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 	s.inflight[key] = cl
 	s.mu.Unlock()
 	c.miss.Inc()
+	c.lookupDone(t0)
 
 	cl.val, cl.err = compute()
 	if cl.err == nil {
@@ -372,10 +389,61 @@ func (c *Cache) promote(key string, v any) {
 	s.mu.Unlock()
 }
 
-// Stats reports cache counters (tracked with or without a tracer).
-func (c *Cache) Stats() (hits, misses, dedups, evicts int64) {
-	if c == nil {
-		return 0, 0, 0, 0
+// lookupDone records the cache-machinery latency for one lookup and
+// refreshes the hit-ratio gauge. Inert without a tracer.
+func (c *Cache) lookupDone(t0 time.Time) {
+	if c.lookupUS != nil {
+		c.lookupUS.RecordDuration(time.Since(t0))
 	}
-	return c.hit.Value(), c.miss.Value(), c.dedup.Value(), c.evict.Value()
+	if c.hitRatio != nil {
+		c.hitRatio.Set(c.Stats().HitRatio())
+	}
+}
+
+// Stats is a point-in-time summary of cache effectiveness, available
+// with or without a tracer attached.
+type Stats struct {
+	// Hits and Misses partition completed lookups (a singleflight
+	// follower counts as neither; see InflightDedups).
+	Hits   int64
+	Misses int64
+	// InflightDedups counts lookups that waited on a concurrent
+	// identical computation instead of recomputing.
+	InflightDedups int64
+	// Evictions counts entries dropped by the LRU byte budget.
+	Evictions int64
+	// Spills and DiskLoads count entries written to and warmed from the
+	// JSONL spill file.
+	Spills    int64
+	DiskLoads int64
+	// Bytes is the current approximate in-memory footprint.
+	Bytes int64
+}
+
+// Lookups returns hits + misses.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRatio returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Stats reports cache counters (tracked with or without a tracer). A
+// nil cache returns the zero Stats.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:           c.hit.Value(),
+		Misses:         c.miss.Value(),
+		InflightDedups: c.dedup.Value(),
+		Evictions:      c.evict.Value(),
+		Spills:         c.spilled.Value(),
+		DiskLoads:      c.loaded.Value(),
+		Bytes:          c.totalBytes(),
+	}
 }

@@ -38,9 +38,12 @@ func TestDoHitMiss(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("compute ran %d times, want 1", calls)
 	}
-	hits, misses, _, _ := c.Stats()
-	if hits != 1 || misses != 1 {
-		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+	if st.HitRatio() != 0.5 || st.Lookups() != 2 {
+		t.Fatalf("hit ratio=%v lookups=%d, want 0.5/2", st.HitRatio(), st.Lookups())
 	}
 }
 
@@ -88,8 +91,7 @@ func TestSingleflight(t *testing.T) {
 	}
 	// Let followers pile up behind the leader, then release it.
 	for {
-		_, _, dedups, _ := c.Stats()
-		if dedups >= workers-1 {
+		if c.Stats().InflightDedups >= workers-1 {
 			break
 		}
 	}
@@ -118,8 +120,7 @@ func TestEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, _, _, evicts := c.Stats()
-	if evicts == 0 {
+	if c.Stats().Evictions == 0 {
 		t.Fatal("expected evictions with a tiny budget")
 	}
 	if total := c.totalBytes(); total > numShards*512*2 {

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanDurations is a Sink that turns the span stream into latency
+// histograms: every completed span records its duration (microseconds)
+// into the registry histogram "span.<name>_us". Attached alongside a
+// primary sink via Multi, it gives per-phase latency distributions —
+// lock.assess_skew, lock.cec, table1.cell, attack.sat — without any
+// call-site instrumentation. Metric handles are cached per span name,
+// so steady state costs one map read per span end.
+type SpanDurations struct {
+	reg *Registry
+
+	mu    sync.RWMutex
+	hists map[string]*Histogram
+}
+
+// NewSpanDurations returns the bridge sink recording into reg. A nil
+// registry yields a nil sink (valid for Multi, which skips it).
+func NewSpanDurations(reg *Registry) *SpanDurations {
+	if reg == nil {
+		return nil
+	}
+	return &SpanDurations{reg: reg, hists: make(map[string]*Histogram)}
+}
+
+func (d *SpanDurations) hist(name string) *Histogram {
+	d.mu.RLock()
+	h, ok := d.hists[name]
+	d.mu.RUnlock()
+	if ok {
+		return h
+	}
+	var b strings.Builder
+	b.Grow(len("span.") + len(name) + len("_us"))
+	b.WriteString("span.")
+	b.WriteString(name)
+	b.WriteString("_us")
+	h = d.reg.Histogram(b.String())
+	d.mu.Lock()
+	d.hists[name] = h
+	d.mu.Unlock()
+	return h
+}
+
+// SpanStart implements Sink.
+func (d *SpanDurations) SpanStart(SpanData) {}
+
+// SpanEnd implements Sink.
+func (d *SpanDurations) SpanEnd(sd SpanData) {
+	if d == nil {
+		return
+	}
+	d.hist(sd.Name).RecordDuration(sd.Duration)
+}
+
+// Event implements Sink.
+func (d *SpanDurations) Event(uint64, string, time.Time, []Field) {}
+
+// Metric implements Sink.
+func (d *SpanDurations) Metric(MetricSnapshot) {}

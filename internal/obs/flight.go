@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// flightRecord is one ring-buffer entry: a span start, span end, or
+// event, in arrival order.
+type flightRecord struct {
+	typ    string // "span_start", "span_end", "event"
+	spanID uint64
+	parent uint64
+	name   string
+	at     time.Time
+	dur    time.Duration
+	fields []Field
+	seq    uint64
+}
+
+// Flight is a bounded ring buffer of the most recent span/event records
+// flowing through a tracer — a flight recorder. It costs O(1) per
+// record, never blocks the stream, and its contents can be dumped as
+// JSONL after a panic, on SIGQUIT, or when an attack exhausts its
+// budget, so a wedged DIP loop is debuggable post mortem. Attach it to
+// a tracer with Multi(primary, flight). A nil *Flight is valid and
+// inert.
+type Flight struct {
+	mu   sync.Mutex
+	ring []flightRecord
+	next int    // ring index of the next write
+	n    int    // live records (== len(ring) once wrapped)
+	seq  uint64 // monotone record number, survives wrapping
+}
+
+// DefaultFlightDepth is the record capacity used by NewFlight when the
+// caller passes a non-positive depth.
+const DefaultFlightDepth = 4096
+
+// NewFlight returns a flight recorder keeping the last depth records
+// (DefaultFlightDepth if depth <= 0).
+func NewFlight(depth int) *Flight {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &Flight{ring: make([]flightRecord, depth)}
+}
+
+func (f *Flight) push(rec flightRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.seq++
+	rec.seq = f.seq
+	// Fields are copied: the emitting span's variadic slice is reused by
+	// the caller's stack frame once the Sink call returns.
+	rec.fields = append([]Field(nil), rec.fields...)
+	f.ring[f.next] = rec
+	f.next = (f.next + 1) % len(f.ring)
+	if f.n < len(f.ring) {
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+// SpanStart implements Sink.
+func (f *Flight) SpanStart(sd SpanData) {
+	f.push(flightRecord{typ: "span_start", spanID: sd.ID, parent: sd.Parent, name: sd.Name, at: sd.Start, fields: sd.Fields})
+}
+
+// SpanEnd implements Sink.
+func (f *Flight) SpanEnd(sd SpanData) {
+	f.push(flightRecord{typ: "span_end", spanID: sd.ID, parent: sd.Parent, name: sd.Name, at: sd.Start, dur: sd.Duration, fields: sd.Fields})
+}
+
+// Event implements Sink.
+func (f *Flight) Event(id uint64, name string, at time.Time, fields []Field) {
+	f.push(flightRecord{typ: "event", spanID: id, name: name, at: at, fields: fields})
+}
+
+// Metric implements Sink. Metric snapshots are not ring-buffered: the
+// registry already holds the live aggregate state.
+func (f *Flight) Metric(MetricSnapshot) {}
+
+// Len returns the number of buffered records.
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// WriteTo dumps the buffered records oldest-first as JSONL, one record
+// per line in the trace schema plus a "seq" record number showing how
+// much history scrolled past. It implements io.WriterTo.
+func (f *Flight) WriteTo(w io.Writer) (int64, error) {
+	if f == nil {
+		return 0, nil
+	}
+	f.mu.Lock()
+	recs := make([]flightRecord, 0, f.n)
+	start := f.next - f.n
+	if start < 0 {
+		start += len(f.ring)
+	}
+	for i := 0; i < f.n; i++ {
+		recs = append(recs, f.ring[(start+i)%len(f.ring)])
+	}
+	f.mu.Unlock()
+
+	var total int64
+	var buf []byte
+	for _, rec := range recs {
+		buf = appendFlightLine(buf[:0], rec)
+		n, err := w.Write(buf)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func appendFlightLine(b []byte, rec flightRecord) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, rec.seq, 10)
+	b = append(b, `,"type":`...)
+	b = strconv.AppendQuote(b, rec.typ)
+	if rec.typ == "event" {
+		b = append(b, `,"span":`...)
+		b = strconv.AppendUint(b, rec.spanID, 10)
+	} else {
+		b = append(b, `,"id":`...)
+		b = strconv.AppendUint(b, rec.spanID, 10)
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, rec.parent, 10)
+	}
+	b = append(b, `,"name":`...)
+	b = strconv.AppendQuote(b, rec.name)
+	b = appendTS(b, rec.at)
+	if rec.typ == "span_end" {
+		b = append(b, `,"dur_us":`...)
+		b = strconv.AppendInt(b, int64(rec.dur/time.Microsecond), 10)
+	}
+	b = appendFields(b, rec.fields)
+	b = append(b, '}', '\n')
+	return b
+}

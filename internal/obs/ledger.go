@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LedgerSchema identifies the ledger.json layout; bump on breaking
+// changes so cross-run trajectory tooling can detect stale files.
+const LedgerSchema = "obfuslock-ledger/v1"
+
+// Ledger is the run ledger: one JSON document per CLI invocation
+// recording what ran (tool, args, build), on what (go version,
+// GOOS/GOARCH), for how long, at what peak memory, and the final metric
+// snapshot. Accumulated across runs, ledgers give the perf trajectory
+// of the project — the cross-run counterpart to a single run's
+// metrics.json.
+type Ledger struct {
+	Schema    string   `json:"schema"`
+	Tool      string   `json:"tool"`
+	Args      []string `json:"args"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	// BuildRevision is the VCS revision baked into the binary
+	// (git-describe style: short hash, "+dirty" when the tree was
+	// modified, or "devel" when no VCS stamp is present).
+	BuildRevision string    `json:"build_revision"`
+	Start         time.Time `json:"start"`
+	End           time.Time `json:"end"`
+	WallSeconds   float64   `json:"wall_seconds"`
+	// PeakRSSBytes is the process's high-water resident set size (VmHWM
+	// on Linux; 0 where the platform offers no cheap source).
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+	// Extra holds tool-specific scalars (cache hit ratio, key bits
+	// recovered, ...) keyed by name.
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Metrics is the final registry snapshot, sorted by name.
+	Metrics []LedgerMetric `json:"metrics,omitempty"`
+}
+
+// LedgerMetric mirrors one MetricSnapshot in ledger JSON form.
+type LedgerMetric struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value,omitempty"`
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P90   float64 `json:"p90,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// NewLedger opens a ledger for the named tool, stamping the start time,
+// command-line args, and build identity.
+func NewLedger(tool string) *Ledger {
+	return &Ledger{
+		Schema:        LedgerSchema,
+		Tool:          tool,
+		Args:          append([]string(nil), os.Args[1:]...),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		BuildRevision: buildRevision(),
+		Start:         time.Now(),
+	}
+}
+
+// AddExtra records one tool-specific scalar.
+func (l *Ledger) AddExtra(name string, v float64) {
+	if l.Extra == nil {
+		l.Extra = make(map[string]float64)
+	}
+	l.Extra[name] = v
+}
+
+// Finish stamps the end time, wall duration, peak RSS, and the final
+// metric snapshot from tr (which may be nil).
+func (l *Ledger) Finish(tr *Tracer) {
+	l.End = time.Now()
+	l.WallSeconds = l.End.Sub(l.Start).Seconds()
+	l.PeakRSSBytes = peakRSSBytes()
+	l.Metrics = l.Metrics[:0]
+	for _, m := range tr.Metrics() {
+		l.Metrics = append(l.Metrics, LedgerMetric{
+			Name: m.Name, Kind: m.Kind, Value: m.Value,
+			Count: m.Count, Sum: m.Sum, Min: m.Min, Max: m.Max,
+			P50: m.P50, P90: m.P90, P99: m.P99,
+		})
+	}
+}
+
+// WriteFile writes the ledger as indented JSON to path.
+func (l *Ledger) WriteFile(path string) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// buildRevision extracts a git-describe-style revision from the
+// binary's embedded build info.
+func buildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// peakRSSBytes returns the process's peak resident set size, or 0 when
+// the platform offers no cheap source. On Linux it parses VmHWM from
+// /proc/self/status.
+func peakRSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

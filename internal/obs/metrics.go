@@ -2,9 +2,9 @@ package obs
 
 import (
 	"math"
-	"sort"
-	"sync"
+	"math/bits"
 	"sync/atomic"
+	"time"
 )
 
 // MetricSnapshot is the sink-facing view of one metric.
@@ -19,6 +19,11 @@ type MetricSnapshot struct {
 	Sum   float64
 	Min   float64
 	Max   float64
+	// P50/P90/P99 are quantile estimates interpolated from the
+	// histogram's log-2 buckets (zero for counters and gauges).
+	P50 float64
+	P90 float64
+	P99 float64
 }
 
 // Counter is a monotonically increasing metric. A nil *Counter is valid
@@ -34,17 +39,7 @@ func (t *Tracer) Counter(name string) *Counter {
 	if !t.Enabled() {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.counters == nil {
-		t.counters = make(map[string]*Counter)
-	}
-	c := t.counters[name]
-	if c == nil {
-		c = &Counter{name: name}
-		t.counters[name] = c
-	}
-	return c
+	return t.reg.Counter(name)
 }
 
 // Add increments the counter by d.
@@ -76,23 +71,28 @@ func (t *Tracer) Gauge(name string) *Gauge {
 	if !t.Enabled() {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.gauges == nil {
-		t.gauges = make(map[string]*Gauge)
-	}
-	g := t.gauges[name]
-	if g == nil {
-		g = &Gauge{name: name}
-		t.gauges[name] = g
-	}
-	return g
+	return t.reg.Gauge(name)
 }
 
 // Set records the gauge value.
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add shifts the gauge by delta (lock-free CAS loop); useful for
+// level-style gauges such as a worker pool's queue depth.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
 	}
 }
 
@@ -104,15 +104,31 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram summarizes a stream of observations (count, sum, min, max).
-// A nil *Histogram is valid and inert.
+// histBuckets is the fixed bucket count of a Histogram: bucket 0 holds
+// observations <= 0, bucket i >= 1 holds [2^(i-1), 2^i - 1]. 64 buckets
+// cover the whole non-negative int64 range, so the layout never resizes
+// and the record path never branches on configuration.
+const histBuckets = 64
+
+// Histogram summarizes a stream of integer observations (typically
+// microsecond latencies, depths, or per-step counts) in fixed log-2
+// buckets. All updates are lock-free atomics: Record never allocates and
+// never takes a lock, so it is safe on solver hot paths at any
+// concurrency. A nil *Histogram is valid and inert.
 type Histogram struct {
-	name string
-	mu   sync.Mutex
-	n    int64
-	sum  float64
-	min  float64
-	max  float64
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // math.MaxInt64 until first Record
+	max     atomic.Int64 // math.MinInt64 until first Record
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram(name string) *Histogram {
+	h := &Histogram{name: name}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
 }
 
 // Histogram returns the named histogram, creating it on first use.
@@ -120,34 +136,159 @@ func (t *Tracer) Histogram(name string) *Histogram {
 	if !t.Enabled() {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.hists == nil {
-		t.hists = make(map[string]*Histogram)
-	}
-	h := t.hists[name]
-	if h == nil {
-		h = &Histogram{name: name}
-		t.hists[name] = h
-	}
-	return h
+	return t.reg.Histogram(name)
 }
 
-// Observe records one observation.
+// bucketOf maps an observation to its log-2 bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Record adds one observation. It is the zero-alloc, lock-free hot path.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// RecordDuration records d in microseconds, the repository's canonical
+// latency unit (matching the *_us metric naming and JSONL dur_us).
+func (h *Histogram) RecordDuration(d time.Duration) {
+	h.Record(int64(d / time.Microsecond))
+}
+
+// Observe records a float observation by rounding to the nearest
+// integer. Prefer Record/RecordDuration; Observe exists for callers with
+// naturally float-valued inputs.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	h.mu.Lock()
-	if h.n == 0 || v < h.min {
-		h.min = v
+	h.Record(int64(math.Round(v)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
 	}
-	if h.n == 0 || v > h.max {
-		h.max = v
+	return h.count.Load()
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the log-2 bucket holding the q-th observation,
+// clamped to the observed min/max. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
 	}
-	h.n++
-	h.sum += v
-	h.mu.Unlock()
+	return h.snapshot().quantile(q)
+}
+
+// histSnap is a consistent-enough copy of the histogram's atomics; each
+// field is loaded atomically, so a snapshot taken mid-Record may be off
+// by the in-flight observation but is never torn.
+type histSnap struct {
+	count, sum, min, max int64
+	buckets              [histBuckets]int64
+}
+
+func (h *Histogram) snapshot() histSnap {
+	var s histSnap
+	s.count = h.count.Load()
+	s.sum = h.sum.Load()
+	s.min = h.min.Load()
+	s.max = h.max.Load()
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// bucketBounds returns the inclusive value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1)<<i - 1
+}
+
+func (s histSnap) quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based.
+	rank := int64(math.Ceil(q * float64(s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		n := s.buckets[i]
+		if n == 0 {
+			continue
+		}
+		if seen+n < rank {
+			seen += n
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		// Linear interpolation within the bucket by intra-bucket rank.
+		frac := float64(rank-seen-1) / float64(n)
+		v := float64(lo) + frac*float64(hi-lo)
+		// Clamp to the observed range: the first and last buckets are
+		// partially filled by definition.
+		if v < float64(s.min) {
+			v = float64(s.min)
+		}
+		if v > float64(s.max) {
+			v = float64(s.max)
+		}
+		return v
+	}
+	return float64(s.max)
+}
+
+// metricSnapshot renders the histogram as a MetricSnapshot.
+func (h *Histogram) metricSnapshot() MetricSnapshot {
+	s := h.snapshot()
+	ms := MetricSnapshot{Name: h.name, Kind: "histogram", Count: s.count, Sum: float64(s.sum)}
+	if s.count > 0 {
+		ms.Min = float64(s.min)
+		ms.Max = float64(s.max)
+		ms.P50 = s.quantile(0.50)
+		ms.P90 = s.quantile(0.90)
+		ms.P99 = s.quantile(0.99)
+	}
+	return ms
 }
 
 // Metrics snapshots every registered metric, sorted by name.
@@ -155,23 +296,5 @@ func (t *Tracer) Metrics() []MetricSnapshot {
 	if !t.Enabled() {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var out []MetricSnapshot
-	for name, c := range t.counters {
-		out = append(out, MetricSnapshot{Name: name, Kind: "counter", Value: float64(c.Value())})
-	}
-	for name, g := range t.gauges {
-		out = append(out, MetricSnapshot{Name: name, Kind: "gauge", Value: g.Value()})
-	}
-	for name, h := range t.hists {
-		h.mu.Lock()
-		out = append(out, MetricSnapshot{
-			Name: name, Kind: "histogram",
-			Count: h.n, Sum: h.sum, Min: h.min, Max: h.max,
-		})
-		h.mu.Unlock()
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return t.reg.Snapshot()
 }

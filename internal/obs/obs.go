@@ -20,7 +20,6 @@ package obs
 import (
 	"context"
 	"runtime/pprof"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -110,22 +109,39 @@ type Sink interface {
 // valid, fully disabled tracer.
 type Tracer struct {
 	sink   Sink
+	reg    *Registry
 	nextID atomic.Uint64
 	pprof  bool
-
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
 }
 
 // New returns a tracer delivering to sink. A nil sink yields a nil
 // (disabled) tracer.
 func New(sink Sink) *Tracer {
+	return NewWithRegistry(sink, nil)
+}
+
+// NewWithRegistry returns a tracer delivering to sink whose metric
+// namespace is reg, letting a sink built before the tracer (such as
+// SpanDurations) share the tracer's registry. A nil reg allocates a
+// fresh one; a nil sink yields a nil (disabled) tracer.
+func NewWithRegistry(sink Sink, reg *Registry) *Tracer {
 	if sink == nil {
 		return nil
 	}
-	return &Tracer{sink: sink}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Tracer{sink: sink, reg: reg}
+}
+
+// Registry returns the tracer's metric registry (nil for a disabled
+// tracer). It lets callers hand the metric namespace to components that
+// do not emit spans.
+func (t *Tracer) Registry() *Registry {
+	if !t.Enabled() {
+		return nil
+	}
+	return t.reg
 }
 
 // EnablePprofLabels makes every span tag the current goroutine's pprof

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling to <prefix>.cpu.pprof and returns
+// a stop function that finishes the CPU profile and writes
+// <prefix>.heap.pprof (live-object heap profile after a GC) and
+// <prefix>.allocs.pprof (cumulative allocation profile) — the three
+// artifacts the -pprof flag produces. The stop function reports the
+// first error encountered; partial output is left in place.
+func StartProfiles(prefix string) (stop func() error, err error) {
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		firstErr := cpu.Close()
+		// A GC before the heap profile makes "inuse" reflect live objects,
+		// not garbage awaiting collection.
+		runtime.GC()
+		for _, p := range []struct{ name, suffix string }{
+			{"heap", ".heap.pprof"},
+			{"allocs", ".allocs.pprof"},
+		} {
+			f, err := os.Create(prefix + p.suffix)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if err := pprof.Lookup(p.name).WriteTo(f, 0); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("write %s profile: %w", p.name, err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -186,6 +186,12 @@ func (j *JSONL) Metric(ms MetricSnapshot) {
 			b = appendJSONFloat(b, ms.Min)
 			b = append(b, `,"max":`...)
 			b = appendJSONFloat(b, ms.Max)
+			b = append(b, `,"p50":`...)
+			b = appendJSONFloat(b, ms.P50)
+			b = append(b, `,"p90":`...)
+			b = appendJSONFloat(b, ms.P90)
+			b = append(b, `,"p99":`...)
+			b = appendJSONFloat(b, ms.P99)
 		} else {
 			b = append(b, `,"value":`...)
 			b = appendJSONFloat(b, ms.Value)
@@ -320,13 +326,15 @@ type Progress struct {
 	w        io.Writer
 	interval time.Duration
 	last     time.Time
-	open     []openSpan // open spans in start order (concurrent spans interleave)
+	open     []openSpan     // open spans in start order; ended ones tombstoned in place
+	idx      map[uint64]int // span ID -> index in open
+	dead     int            // tombstones currently in open
 	lastLen  int
 }
 
 // openSpan tracks one live span by ID: with parallel sweeps several spans
 // of the same name are open at once, so removal must match the ID, not
-// the name.
+// the name. An ID of 0 marks a tombstone (real span IDs start at 1).
 type openSpan struct {
 	id   uint64
 	name string
@@ -335,7 +343,7 @@ type openSpan struct {
 // NewProgress returns a live progress sink repainting at most every
 // 100 ms.
 func NewProgress(w io.Writer) *Progress {
-	return &Progress{w: w, interval: 100 * time.Millisecond}
+	return &Progress{w: w, interval: 100 * time.Millisecond, idx: make(map[uint64]int)}
 }
 
 func (p *Progress) paint(tail string, force bool) {
@@ -345,8 +353,11 @@ func (p *Progress) paint(tail string, force bool) {
 	}
 	p.last = now
 	line := ""
-	for i, o := range p.open {
-		if i > 0 {
+	for _, o := range p.open {
+		if o.id == 0 {
+			continue
+		}
+		if line != "" {
 			line += ">"
 		}
 		line += o.name
@@ -368,22 +379,50 @@ func (p *Progress) paint(tail string, force bool) {
 // SpanStart implements Sink.
 func (p *Progress) SpanStart(sd SpanData) {
 	p.mu.Lock()
+	if p.idx == nil {
+		p.idx = make(map[uint64]int)
+	}
+	p.idx[sd.ID] = len(p.open)
 	p.open = append(p.open, openSpan{id: sd.ID, name: sd.Name})
 	p.paint("", true)
 	p.mu.Unlock()
 }
 
-// SpanEnd implements Sink.
+// SpanEnd implements Sink. Removal is O(1) amortized: the ended span is
+// found through the ID index and tombstoned in place (a linear delete
+// per completion made high-fan-out sweeps quadratic); trailing
+// tombstones are trimmed eagerly and interior ones compacted once they
+// outnumber live entries.
 func (p *Progress) SpanEnd(sd SpanData) {
 	p.mu.Lock()
-	for i := len(p.open) - 1; i >= 0; i-- {
-		if p.open[i].id == sd.ID {
-			p.open = append(p.open[:i], p.open[i+1:]...)
-			break
+	if i, ok := p.idx[sd.ID]; ok {
+		delete(p.idx, sd.ID)
+		p.open[i] = openSpan{}
+		p.dead++
+		for n := len(p.open); n > 0 && p.open[n-1].id == 0; n = len(p.open) {
+			p.open = p.open[:n-1]
+			p.dead--
+		}
+		if p.dead > len(p.open)-p.dead {
+			p.compact()
 		}
 	}
 	p.paint(fmt.Sprintf("(%s done in %v)", sd.Name, sd.Duration.Round(time.Millisecond)), true)
 	p.mu.Unlock()
+}
+
+// compact rewrites open without tombstones and rebuilds the ID index.
+// Called with p.mu held.
+func (p *Progress) compact() {
+	live := p.open[:0]
+	for _, o := range p.open {
+		if o.id != 0 {
+			p.idx[o.id] = len(live)
+			live = append(live, o)
+		}
+	}
+	p.open = live
+	p.dead = 0
 }
 
 // Event implements Sink.

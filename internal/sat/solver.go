@@ -13,6 +13,8 @@ package sat
 import (
 	"context"
 	"fmt"
+
+	"obfuslock/internal/obs"
 )
 
 // Lit is a literal: variable v as 2*v (positive) or 2*v+1 (negated).
@@ -173,6 +175,15 @@ type Solver struct {
 	progressFn    func(Progress)
 	progressEvery int64
 	progressNext  int64
+
+	// Telemetry histograms (see telemetry.go); nil when detached, which
+	// must keep the search loop alloc-free and branch-cheap.
+	hConflictDepth *obs.Histogram
+	hLBD           *obs.Histogram
+	hPropsPerDec   *obs.Histogram
+	lastDecProps   int64
+	lbdStamp       []uint32
+	lbdGen         uint32
 
 	// Simplification state (see simp.go). frozen vars are exempt from
 	// variable elimination; elim vars have been resolved away and their
@@ -621,6 +632,9 @@ func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
 		if confl != clauseNone {
 			s.stats.Conflicts++
 			conflictC++
+			if s.hConflictDepth != nil {
+				s.hConflictDepth.Record(int64(s.decisionLevel()))
+			}
 			if s.progressFn != nil && s.stats.Conflicts >= s.progressNext {
 				s.progressNext = s.stats.Conflicts + s.progressEvery
 				s.progressFn(Progress{Stats: s.stats, Vars: s.numVars, Clauses: s.NumClauses()})
@@ -637,6 +651,9 @@ func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			if s.hLBD != nil {
+				s.hLBD.Record(int64(s.lbd(learnt)))
+			}
 			// Backtracking may pop assumptions; the decision loop below
 			// re-places them, and an assumption found false there proves
 			// UNSAT under assumptions.
@@ -684,6 +701,10 @@ func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
 				return Sat // all variables assigned
 			}
 			s.stats.Decisions++
+			if s.hPropsPerDec != nil {
+				s.hPropsPerDec.Record(s.stats.Propagations - s.lastDecProps)
+				s.lastDecProps = s.stats.Propagations
+			}
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(next, clauseNone)

@@ -1,0 +1,102 @@
+package sat
+
+import (
+	"testing"
+
+	"obfuslock/internal/obs"
+)
+
+// phpClauses encodes the pigeonhole principle PHP(n+1, n): n+1 pigeons
+// into n holes, unsatisfiable and guaranteed to generate conflicts and
+// nontrivial learnt clauses.
+func phpClauses(s *Solver, holes int) {
+	pigeons := holes + 1
+	vars := make([][]int, pigeons)
+	for p := 0; p < pigeons; p++ {
+		vars[p] = make([]int, holes)
+		for h := 0; h < holes; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = MkLit(vars[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+			}
+		}
+	}
+}
+
+func TestSetTelemetryRecordsDistributions(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New()
+	s.SetTelemetry(reg)
+	phpClauses(s, 5)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(6,5) = %v, want UNSAT", st)
+	}
+	stats := s.Stats()
+	depth := reg.Histogram(MetricConflictDepth)
+	lbd := reg.Histogram(MetricLBD)
+	props := reg.Histogram(MetricPropsPerDecision)
+	if depth.Count() == 0 || lbd.Count() == 0 || props.Count() == 0 {
+		t.Fatalf("telemetry empty: depth=%d lbd=%d props=%d",
+			depth.Count(), lbd.Count(), props.Count())
+	}
+	if depth.Count() != stats.Conflicts {
+		t.Fatalf("conflict-depth count %d != conflicts %d", depth.Count(), stats.Conflicts)
+	}
+	if lbd.Count() != stats.Learnt {
+		t.Fatalf("lbd count %d != learnt %d", lbd.Count(), stats.Learnt)
+	}
+	if props.Count() > stats.Decisions {
+		t.Fatalf("props-per-decision count %d > decisions %d", props.Count(), stats.Decisions)
+	}
+	// LBD is at least 1 for any learnt clause and bounded by its length.
+	if ms := reg.Snapshot(); len(ms) == 0 {
+		t.Fatal("registry snapshot empty")
+	}
+	if lbd.Quantile(0) < 1 {
+		t.Fatalf("min lbd = %v, want >= 1", lbd.Quantile(0))
+	}
+}
+
+func TestSetTelemetryDetach(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New()
+	s.SetTelemetry(reg)
+	s.SetTelemetry(nil)
+	phpClauses(s, 4)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(5,4) = %v, want UNSAT", st)
+	}
+	if n := reg.Histogram(MetricConflictDepth).Count(); n != 0 {
+		t.Fatalf("detached solver still recorded %d conflicts", n)
+	}
+}
+
+// TestTelemetryDoesNotChangeSearch pins that attaching telemetry is
+// observation-only: identical solver work with and without it.
+func TestTelemetryDoesNotChangeSearch(t *testing.T) {
+	run := func(reg *obs.Registry) Stats {
+		s := New()
+		if reg != nil {
+			s.SetTelemetry(reg)
+		}
+		phpClauses(s, 5)
+		s.Solve()
+		return s.Stats()
+	}
+	plain := run(nil)
+	traced := run(obs.NewRegistry())
+	if plain != traced {
+		t.Fatalf("telemetry changed search: %+v vs %+v", plain, traced)
+	}
+}

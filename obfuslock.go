@@ -300,6 +300,14 @@ type TraceSink = obs.Sink
 // NewTracer returns a tracer delivering to sink (nil sink: nil tracer).
 func NewTracer(sink TraceSink) *Tracer { return obs.New(sink) }
 
+// NewTracerWithRegistry returns a tracer delivering to sink whose metric
+// namespace is reg — use it when a sink built before the tracer (such as
+// NewSpanDurationsSink) must share the tracer's registry. A nil reg
+// allocates a fresh one; a nil sink yields a nil tracer.
+func NewTracerWithRegistry(sink TraceSink, reg *MetricRegistry) *Tracer {
+	return obs.NewWithRegistry(sink, reg)
+}
+
 // NewJSONLSink returns a sink writing the stream as JSON Lines to w.
 func NewJSONLSink(w io.Writer) TraceSink { return obs.NewJSONL(w) }
 
@@ -339,3 +347,76 @@ func TraceBool(key string, v bool) TraceField { return obs.Bool(key, v) }
 
 // TraceDur builds a duration trace field (serialized as microseconds).
 func TraceDur(key string, d time.Duration) TraceField { return obs.Dur(key, d) }
+
+// Deep telemetry. Beyond the span stream, a tracer owns a metric
+// registry of counters, gauges and log-2 histograms (p50/p90/p99
+// snapshots); a flight recorder keeps the most recent spans/events for
+// post-mortems; a run ledger captures a whole invocation; and
+// ListenDebug serves /metrics, /flight and net/http/pprof live. See
+// DESIGN.md "Observability" for the full model.
+
+// MetricRegistry names counters, gauges and histograms and takes
+// deterministic (name-ordered) snapshots. Every enabled Tracer owns one,
+// reachable via its Registry method; standalone registries work too.
+type MetricRegistry = obs.Registry
+
+// Metric is one entry of an ordered metric snapshot: a counter or gauge
+// value, or a histogram's count/sum/min/max plus p50/p90/p99 estimates.
+type Metric = obs.MetricSnapshot
+
+// NewMetricRegistry returns an empty standalone metric registry.
+func NewMetricRegistry() *MetricRegistry { return obs.NewRegistry() }
+
+// FlightRecorder is a bounded ring buffer over the most recent spans and
+// events; it implements TraceSink. Dump it with WriteTo after a panic,
+// on SIGQUIT, or when an attack exhausts its budget, to see what the run
+// was doing at the end. A nil *FlightRecorder is valid and inert.
+type FlightRecorder = obs.Flight
+
+// DefaultFlightDepth is the flight-recorder ring depth used by the CLIs.
+const DefaultFlightDepth = obs.DefaultFlightDepth
+
+// NewFlightRecorder returns a flight recorder keeping the last depth
+// records (depth <= 0 selects DefaultFlightDepth).
+func NewFlightRecorder(depth int) *FlightRecorder { return obs.NewFlight(depth) }
+
+// RunLedger accumulates one CLI invocation's provenance — args, go
+// version, build revision, wall time, peak RSS and the final metric
+// snapshot — and serializes it as ledger.json.
+type RunLedger = obs.Ledger
+
+// LedgerSchema identifies the ledger.json layout.
+const LedgerSchema = obs.LedgerSchema
+
+// NewRunLedger starts a ledger for the named tool, stamping the start
+// time, command-line arguments and build info.
+func NewRunLedger(tool string) *RunLedger { return obs.NewLedger(tool) }
+
+// ListenDebug serves the live introspection endpoint on addr: /metrics
+// (ordered text, ?format=json), /flight (recorder dump as JSONL) and the
+// standard /debug/pprof mux. It returns the bound address (useful with
+// ":0") and never blocks; the listener lives until process exit.
+func ListenDebug(addr string, tr *Tracer, fl *FlightRecorder) (string, error) {
+	return obs.ListenDebug(addr, tr, fl)
+}
+
+// StartProfiles begins a CPU profile at <prefix>.cpu.pprof; the returned
+// stop function finishes it and writes <prefix>.heap.pprof and
+// <prefix>.allocs.pprof snapshots taken after a final GC.
+func StartProfiles(prefix string) (func() error, error) { return obs.StartProfiles(prefix) }
+
+// NewSpanDurationsSink bridges the span stream into reg: every completed
+// span records its latency into the histogram "span.<name>_us", giving
+// per-phase latency distributions with no extra instrumentation. Attach
+// it alongside a primary sink via MultiSink. A nil registry yields a nil
+// sink.
+func NewSpanDurationsSink(reg *MetricRegistry) TraceSink {
+	if sd := obs.NewSpanDurations(reg); sd != nil {
+		return sd
+	}
+	return nil
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's effectiveness,
+// available from Cache.Stats even when no tracer is attached.
+type CacheStats = memo.Stats
