@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -30,19 +31,33 @@ import (
 	"obfuslock/internal/techmap"
 )
 
-// benchRecord is one row of BENCH_sat.json: wall time per op plus the
-// cumulative SAT-solver work behind it, so a perf regression can be told
-// apart from a search-behavior change (same ns/op, different conflicts —
-// or vice versa).
+// benchRecord is one row of BENCH_sat.json: wall time per op, heap
+// allocations per op, plus the cumulative SAT-solver work behind it, so
+// a perf regression can be told apart from a search-behavior change
+// (same ns/op, different conflicts — or vice versa). AllocsPerOp guards
+// the solver's pooled hot paths: the arena clause store keeps it within
+// ~10k for the attack benchmarks, and CI fails a >10% regression.
 type benchRecord struct {
-	NsPerOp int64     `json:"ns_per_op"`
-	Solver  sat.Stats `json:"solver"`
+	NsPerOp     int64     `json:"ns_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+	Solver      sat.Stats `json:"solver"`
 }
 
 var (
 	benchRecMu sync.Mutex
 	benchRecs  = map[string]benchRecord{}
 )
+
+// mallocCount reads the process-wide cumulative allocation counter.
+// Snapshot it before and after a benchmark's b.N loop and hand the
+// delta to recordBench: the SAT-heavy benchmarks run no concurrent
+// goroutines, so the delta is the loop's own allocations (modulo
+// runtime noise well under CI's 10% regression threshold).
+func mallocCount() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
 
 // cacheBenchRecord is BENCH_cache.json: the same deterministic Table I
 // cell timed against a cold and a pre-warmed result cache, plus the memo
@@ -58,14 +73,16 @@ type cacheBenchRecord struct {
 
 var cacheBenchRec *cacheBenchRecord // written by BenchmarkTableICached
 
-// recordBench files the finished (sub-)benchmark's per-op time and solver
-// counters under its full name. Call after the b.N loop.
-func recordBench(b *testing.B, solver sat.Stats) {
+// recordBench files the finished (sub-)benchmark's per-op time, per-op
+// allocations (mallocs is the mallocCount delta across the b.N loop)
+// and solver counters under its full name. Call after the b.N loop.
+func recordBench(b *testing.B, solver sat.Stats, mallocs uint64) {
 	benchRecMu.Lock()
 	defer benchRecMu.Unlock()
 	benchRecs[b.Name()] = benchRecord{
-		NsPerOp: b.Elapsed().Nanoseconds() / int64(max(b.N, 1)),
-		Solver:  solver,
+		NsPerOp:     b.Elapsed().Nanoseconds() / int64(max(b.N, 1)),
+		AllocsPerOp: int64(mallocs) / int64(max(b.N, 1)),
+		Solver:      solver,
 	}
 }
 
@@ -141,6 +158,7 @@ func BenchmarkTableI(b *testing.B) {
 		for _, s := range benchSkews {
 			b.Run(fmt.Sprintf("%s/skew%g", bench.Name, s), func(b *testing.B) {
 				var solver sat.Stats
+				m0 := mallocCount()
 				for i := 0; i < b.N; i++ {
 					row, err := experiments.TableIEntry(context.Background(), bench, s, 1, benchBudget, nil)
 					if err != nil {
@@ -154,7 +172,7 @@ func BenchmarkTableI(b *testing.B) {
 						b.ReportMetric(row.LockTime.Seconds(), "lock-s")
 					}
 				}
-				recordBench(b, solver)
+				recordBench(b, solver, mallocCount()-m0)
 			})
 		}
 	}
@@ -424,6 +442,7 @@ func BenchmarkFraigCEC(b *testing.B) {
 			}
 			opt.SimWords = 0 // no pre-filter: measure the SAT paths
 			var solver sat.Stats
+			m0 := mallocCount()
 			for i := 0; i < b.N; i++ {
 				r, err := cec.Check(context.Background(), c, rw, opt)
 				if err != nil {
@@ -434,7 +453,7 @@ func BenchmarkFraigCEC(b *testing.B) {
 				}
 				solver = solver.Add(r.SolverStats)
 			}
-			recordBench(b, solver)
+			recordBench(b, solver, mallocCount()-m0)
 		})
 	}
 }
@@ -455,6 +474,7 @@ func BenchmarkSATAttackSimp(b *testing.B) {
 	for _, mode := range []string{"on", "off"} {
 		b.Run(mode, func(b *testing.B) {
 			var solver sat.Stats
+			m0 := mallocCount()
 			for i := 0; i < b.N; i++ {
 				opt := attacks.DefaultIOOptions()
 				opt.MaxIterations = 200 // > 2^6
@@ -467,7 +487,7 @@ func BenchmarkSATAttackSimp(b *testing.B) {
 				}
 				solver = solver.Add(r.SolverStats)
 			}
-			recordBench(b, solver)
+			recordBench(b, solver, mallocCount()-m0)
 		})
 	}
 }

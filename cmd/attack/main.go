@@ -491,9 +491,9 @@ func printSolverStats(verbose bool, st sat.Stats) {
 	if !verbose {
 		return
 	}
-	fmt.Printf("solver: decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d deleted=%d reductions=%d\n",
+	fmt.Printf("solver: decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d deleted=%d reductions=%d gcs=%d chrono=%d\n",
 		st.Decisions, st.Propagations, st.Conflicts, st.Restarts,
-		st.Learnt, st.Deleted, st.Reductions)
+		st.Learnt, st.Deleted, st.Reductions, st.GCs, st.Chrono)
 }
 
 func parseSkews(s string) []float64 {

@@ -9,8 +9,25 @@ import (
 	"obfuslock/internal/exec"
 	"obfuslock/internal/lockbase"
 	"obfuslock/internal/locking"
+	"obfuslock/internal/obs"
 	"obfuslock/internal/simp"
 )
+
+// cancelOnDIP is an obs.Sink that fires a CancelFunc on the attack's
+// first per-iteration "dip" event. The event is emitted synchronously
+// inside the DIP loop, right before its cancellation check, so the
+// cancellation is pinned mid-attack no matter how fast the solver
+// finishes — a wall-clock sleep would race attack completion.
+type cancelOnDIP struct{ cancel context.CancelFunc }
+
+func (c *cancelOnDIP) SpanStart(obs.SpanData) {}
+func (c *cancelOnDIP) SpanEnd(obs.SpanData)   {}
+func (c *cancelOnDIP) Event(_ uint64, name string, _ time.Time, _ []obs.Field) {
+	if name == "dip" {
+		c.cancel()
+	}
+}
+func (c *cancelOnDIP) Metric(obs.MetricSnapshot) {}
 
 // waitForGoroutines polls until the goroutine count drops back to at most
 // base (plus the runtime's own slack) or the deadline passes, and returns
@@ -29,8 +46,9 @@ func waitForGoroutines(base int, deadline time.Duration) int {
 }
 
 // Cancelling the context mid-attack must stop the SAT attack promptly
-// with a timeout-style result and leak no goroutines. SARLock at 14 bits
-// needs ~2^14 DIP iterations, far longer than the cancellation delay.
+// with a timeout-style result and leak no goroutines. The context is
+// cancelled from the first DIP iteration's trace event, so the attack is
+// provably mid-run when cancellation lands.
 func TestSATAttackPromptCancellation(t *testing.T) {
 	orig := smallCircuit()
 	l, err := lockbase.SARLock(orig, 14, 3)
@@ -39,12 +57,11 @@ func TestSATAttackPromptCancellation(t *testing.T) {
 	}
 	base := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(50 * time.Millisecond)
-		cancel()
-	}()
+	defer cancel()
+	opt := DefaultIOOptions()
+	opt.Trace = obs.New(&cancelOnDIP{cancel: cancel})
 	start := time.Now()
-	res := SATAttack(ctx, l, locking.NewOracle(orig), DefaultIOOptions())
+	res := SATAttack(ctx, l, locking.NewOracle(orig), opt)
 	elapsed := time.Since(start)
 	if !res.TimedOut {
 		t.Fatalf("cancelled attack did not report TimedOut: %+v", res)
@@ -134,6 +151,8 @@ func TestPortfolioWinsAndJoins(t *testing.T) {
 }
 
 // A cancelled portfolio has no winner and still joins every variant.
+// Cancellation fires from the first DIP iteration either variant
+// reaches, so no variant can have completed before it lands.
 func TestPortfolioCancelled(t *testing.T) {
 	orig := smallCircuit()
 	l, err := lockbase.SARLock(orig, 14, 7)
@@ -142,13 +161,12 @@ func TestPortfolioCancelled(t *testing.T) {
 	}
 	base := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(30 * time.Millisecond)
-		cancel()
-	}()
+	defer cancel()
+	opt := DefaultIOOptions()
+	opt.Trace = obs.New(&cancelOnDIP{cancel: cancel})
 	res := Portfolio(ctx, []PortfolioVariant{
-		{Name: "sat", Attack: "sat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: DefaultIOOptions()},
-		{Name: "appsat", Attack: "appsat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: DefaultIOOptions()},
+		{Name: "sat", Attack: "sat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: opt},
+		{Name: "appsat", Attack: "appsat", Locked: l, Oracle: locking.NewOracle(orig), Orig: orig, Opt: opt},
 	}, nil)
 	if res.Winner != "" || res.Key != nil {
 		t.Fatalf("cancelled portfolio produced a winner: %+v", res)

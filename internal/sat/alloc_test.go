@@ -1,0 +1,60 @@
+package sat
+
+import "testing"
+
+// The propagate hot path must be allocation-free once the solver's
+// buffers are warm: an implication chain solved under an assumption
+// exercises watcher traversal and trail growth over hundreds of
+// variables with zero conflicts.
+func TestPropagateAllocFree(t *testing.T) {
+	s := New()
+	const n = 400
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(i, true), MkLit(i+1, false))
+	}
+	a := MkLit(0, false)
+	if s.Solve(a) != Sat {
+		t.Fatal("chain should be SAT")
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if s.Solve(a) != Sat {
+			t.Fatal("chain should stay SAT")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("propagate-only solve allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// The analyze hot path (conflict analysis, learnt recording, clause
+// bumping, backtracking) must amortize to (near) zero allocations:
+// random decision polarities defeat phase saving, so every measured
+// solve replays genuine conflicts through the pooled analyze buffers
+// and the clause arena. A regression to per-conflict or per-learnt heap
+// allocation shows up as hundreds of allocations per run; the small
+// allowance covers amortized arena and learnt-index growth.
+func TestAnalyzeAllocAmortized(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7, 7) // satisfiable, but with real search effort
+	s.SetRandomPolarity(42)
+	solve := func() {
+		if s.Solve() != Sat {
+			t.Fatal("PHP(7,7) should be SAT")
+		}
+	}
+	// Warm every pool: scratch slices, arena headroom, watcher lists.
+	for i := 0; i < 6; i++ {
+		solve()
+	}
+	before := s.Stats()
+	avg := testing.AllocsPerRun(30, solve)
+	if d := s.Stats().Sub(before); d.Conflicts == 0 {
+		t.Fatalf("workout produced no conflicts; the guard is not measuring analyze")
+	}
+	if avg > 2 {
+		t.Errorf("conflict workout allocates %.1f times per run, want <= 2 amortized", avg)
+	}
+}

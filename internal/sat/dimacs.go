@@ -65,31 +65,48 @@ func ReadDimacs(r io.Reader) (*Solver, error) {
 	return s, nil
 }
 
-// WriteDimacs emits the solver's problem clauses (not learnt clauses) in
-// DIMACS CNF format. Unit facts implied at level 0 are emitted as unit
-// clauses so the formula round-trips.
-func (s *Solver) WriteDimacs(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	var problem [][]Lit
-	for i := range s.clauses {
-		c := &s.clauses[i]
-		if c.learnt || c.deleted {
+// forEachLiveProblem calls f with the arena reference of every live
+// problem clause, in database order. Deleted clauses (reduceDB,
+// Simplify) and clauses mid-relocation are skipped — the raw clause
+// index may contain both until the next compaction filters it.
+func (s *Solver) forEachLiveProblem(f func(c cref)) {
+	for _, c := range s.clauses {
+		if s.ar.deleted(c) || s.ar.reloc(c) {
 			continue
 		}
-		problem = append(problem, c.lits)
+		f(c)
 	}
-	var units []Lit
+}
+
+// WriteDimacs emits the solver's problem clauses (not learnt clauses) in
+// DIMACS CNF format. Unit facts implied at level 0 are emitted as unit
+// clauses so the formula round-trips; deleted and relocated arena slots
+// are skipped. Note that after Simplify with variable elimination the
+// emitted formula is equisatisfiable, not equivalent.
+func (s *Solver) WriteDimacs(w io.Writer) error {
+	bw := bufio.NewWriter(w)
 	if !s.ok {
 		// Formula already refuted: emit a trivially UNSAT pair.
 		fmt.Fprintf(bw, "p cnf 1 2\n1 0\n-1 0\n")
 		return bw.Flush()
 	}
-	for _, l := range s.trail {
-		units = append(units, l)
+	nClauses := 0
+	s.forEachLiveProblem(func(cref) { nClauses++ })
+	units := s.trail[:len(s.trail)]
+	if lim := len(s.trailLim); lim > 0 {
+		units = s.trail[:s.trailLim[0]] // root-level facts only
 	}
-	fmt.Fprintf(bw, "p cnf %d %d\n", s.numVars, len(problem)+len(units))
-	emit := func(lits []Lit) {
-		for _, l := range lits {
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.numVars, nClauses+len(units))
+	for _, l := range units {
+		v := l.Var() + 1
+		if l.Neg() {
+			v = -v
+		}
+		fmt.Fprintf(bw, "%d 0\n", v)
+	}
+	s.forEachLiveProblem(func(c cref) {
+		for _, w := range s.ar.lits(c) {
+			l := Lit(w)
 			v := l.Var() + 1
 			if l.Neg() {
 				v = -v
@@ -97,12 +114,6 @@ func (s *Solver) WriteDimacs(w io.Writer) error {
 			fmt.Fprintf(bw, "%d ", v)
 		}
 		fmt.Fprintln(bw, 0)
-	}
-	for _, l := range units {
-		emit([]Lit{l})
-	}
-	for _, c := range problem {
-		emit(c)
-	}
+	})
 	return bw.Flush()
 }

@@ -105,6 +105,54 @@ func TestWriteDimacsUnsat(t *testing.T) {
 	}
 }
 
+// Round trip over a solver whose clause index holds arena tombstones:
+// Simplify deletes and shrinks problem clauses in place, a solve plus a
+// forced reduceDB deletes learnts, and a forced garbageCollect compacts
+// and remaps every surviving reference. The writer must skip dead slots
+// and emit a formula with the same satisfiability as the original.
+func TestDimacsRoundTripAfterReduceAndSimplify(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		numVars := 4 + rng.Intn(6)
+		cnf := randomCNF(rng, numVars, 5+rng.Intn(30), 3)
+		s1 := New()
+		for i := 0; i < numVars; i++ {
+			s1.NewVar()
+		}
+		for _, cl := range cnf {
+			s1.AddClause(cl...)
+		}
+		want, _ := brute(numVars, cnf)
+
+		s1.Simplify(DefaultSimpOptions())
+		st := s1.Solve()
+		if (st == Sat) != want {
+			t.Fatalf("trial %d: solver %v, brute-force %v", trial, st, want)
+		}
+		if st == Sat {
+			// Exercise the learnt-deletion and compaction paths directly so
+			// the writer sees a database with tombstones regardless of how
+			// small the instance is. (Unsat solvers stop accepting work.)
+			s1.reduceDB()
+			s1.garbageCollect()
+			s1.Simplify(DefaultSimpOptions())
+		}
+
+		var buf bytes.Buffer
+		if err := s1.WriteDimacs(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ReadDimacs(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		if got := s2.Solve(); (got == Sat) != want {
+			t.Fatalf("trial %d: round trip changed satisfiability: %v, brute-force %v\n%s",
+				trial, got, want, buf.String())
+		}
+	}
+}
+
 func TestWriteDimacsAfterSolveKeepsLearntOut(t *testing.T) {
 	s := New()
 	pigeonhole(s, 5, 4)

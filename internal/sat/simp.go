@@ -6,6 +6,16 @@ package sat
 // lists with signature hashing, top-level unit/pure-literal reduction,
 // and clause vivification by unit propagation.
 //
+// The simplifier operates directly on the clause arena: clauses are
+// shrunk in place (arena.shrink) and deleted by marking
+// (Solver.deleteClause), never copied in or out. Because arena offsets
+// are unstable across compaction, the occurrence-list phases work over
+// dense clause ids — `refs` maps id -> cref, and occ/abst/inQueue are
+// id-indexed — and the arena GC is deferred to finish, after the
+// occurrence lists are dead. The simplifier struct itself is pooled on
+// the Solver (s.sp) so inprocessing every few DIP rounds reuses all of
+// its scratch instead of reallocating occurrence lists per pass.
+//
 // The simplifier works on the live incremental solver, so it must honor
 // two contracts the preprocessing literature can take for granted:
 //
@@ -19,9 +29,9 @@ package sat
 //     everything they read.
 //
 // All simplification is deterministic: occurrence lists and queues are
-// slices filled and drained in ascending clause-reference order,
-// candidate variables are sorted with explicit tie-breaks, and no map
-// is iterated anywhere on these paths.
+// slices filled and drained in ascending clause-id order, candidate
+// variables are sorted with explicit tie-breaks, and no map is iterated
+// anywhere on these paths.
 
 import "sort"
 
@@ -114,12 +124,16 @@ func (s SimpStats) Sub(prev SimpStats) SimpStats {
 }
 
 // elimRecord remembers the clauses removed when a variable was
-// eliminated, for model reconstruction. The literal slices are deep
-// copies: clause storage is mutated and nil'd as simplification
-// proceeds.
+// eliminated, for model reconstruction. The literals are deep copies
+// (the arena storage they came from is reclaimed by compaction), held
+// in the solver-wide append-only store s.elimLits/s.elimEnds: the
+// record owns the prefix-end window s.elimEnds[endLo:endHi], and clause
+// k's literals are s.elimLits[ends[k-1]:ends[k]] (with the record's
+// first clause starting at ends[endLo-1], or 0). One flat store means
+// eliminating a variable costs no allocation beyond amortized growth.
 type elimRecord struct {
-	v       int
-	clauses [][]Lit
+	v            int
+	endLo, endHi int32
 }
 
 // Freeze exempts a variable from elimination. Freeze every variable
@@ -154,12 +168,16 @@ func (s *Solver) Simplify(opt SimpOptions) bool {
 		return false
 	}
 	s.cancelUntil(0)
-	if s.propagate() != clauseNone {
+	if s.propagate() != crefUndef {
 		s.ok = false
 		return false
 	}
 	trailBase := len(s.trail)
-	sp := &simplifier{s: s, opt: opt}
+	if s.sp == nil {
+		s.sp = &simplifier{s: s}
+	}
+	sp := s.sp
+	sp.opt = opt
 	ok := sp.run()
 	if ok && opt.Vivify {
 		ok = sp.vivifyAll()
@@ -168,43 +186,139 @@ func (s *Solver) Simplify(opt SimpOptions) bool {
 	s.simpStats.FixedVars += int64(len(s.trail) - trailBase)
 	if !ok {
 		s.ok = false
+		return false
 	}
-	return ok
+	// Watermark for the next (incremental) pass: everything currently in
+	// the clause index and on the root trail has been processed.
+	s.simpMark = len(s.clauses)
+	s.simpTrailMark = len(s.trail)
+	return true
 }
 
-// simplifier is the per-Simplify working state.
+// simplifier is the Simplify working state, pooled on the Solver so
+// repeated inprocessing passes reuse every slice.
 type simplifier struct {
 	s   *Solver
 	opt SimpOptions
 
-	// occ maps each variable to the (live) clause refs containing it in
-	// either polarity, learnt clauses included. nil until buildOcc.
-	occ  [][]int32
-	abst []uint64 // per-clause variable signature
+	// refs maps dense clause ids to arena references for this pass
+	// (problem clauses first, then learnts, then resolvents as they are
+	// added). All other per-clause state below is id-indexed.
+	refs []cref
 
-	queue   []int32 // subsumption work queue (clause refs)
+	// occ maps each variable to the (live) clause ids containing it in
+	// either polarity, learnt clauses included. Valid while occLive.
+	occ     [][]int32
+	occLive bool
+	abst    []uint64 // per-clause variable signature
+
+	queue   []int32 // subsumption work queue (clause ids)
 	qh      int
 	inQueue []bool
 
 	markL   []bool  // literal-indexed scratch marks
 	scratch []int32 // occurrence-list iteration copy
-	resolv  []Lit   // resolvent scratch
+	keep    []Lit   // vivification scratch
+
+	// Incremental-pass state. A full pass (first Simplify on the solver)
+	// considers everything; later passes seed subsumption with the
+	// clauses added since the last pass and restrict elimination to
+	// touched variables — vars in new clauses, vars losing occurrences
+	// to deletion/strengthening, vars of fresh resolvents (SatELite's
+	// touch protocol).
+	full        bool
+	newStart    int32 // first new problem clause id this pass
+	problemEnd  int32 // ids below this are problem clauses
+	vivStart    int   // first s.clauses index vivifyAll should visit
+	touched     []bool
+	touchedList []int32
+
+	// Pooled elimination scratch.
+	cands   []int
+	pos     []int32
+	neg     []int32
+	lrnt    []int32
+	resBuf  []Lit // flattened resolvents of the current tryEliminate
+	resEnds []int32
+
+	// buildOcc pooling: per-var occurrence counts and the shared backing
+	// array the per-var lists are carved from.
+	occCnt  []int32
+	occBack []int32
 }
+
+// touch records that a variable's occurrence set changed, making it an
+// elimination candidate for the next round/pass.
+func (sp *simplifier) touch(v int) {
+	if !sp.touched[v] {
+		sp.touched[v] = true
+		sp.touchedList = append(sp.touchedList, int32(v))
+	}
+}
+
+func (sp *simplifier) cref(id int32) cref    { return sp.refs[id] }
+func (sp *simplifier) deleted(id int32) bool { return sp.s.ar.deleted(sp.refs[id]) }
 
 // run performs the occurrence-list phases (everything but vivification)
 // and leaves the solver in a consistent solving state: watches rebuilt,
-// learnts list filtered, propagation queue settled.
+// clause/learnt indices filtered, propagation queue settled, arena
+// compacted when due.
 func (sp *simplifier) run() bool {
 	s := sp.s
 	// Deferred-propagation protocol: from here until finish, units are
 	// enqueued at level 0 but never propagated through the watch lists
 	// (clause mutation would invalidate them). Clause/value consistency
 	// is restored by normalize's fixpoint scans instead.
+	sp.full = s.simpMark < 0
+	oldMark := s.simpMark
+	if sp.full {
+		oldMark = 0
+	}
+	sp.refs = sp.refs[:0]
+	sp.newStart = -1
+	for i, c := range s.clauses {
+		if s.ar.deleted(c) {
+			continue
+		}
+		if i >= oldMark && sp.newStart < 0 {
+			sp.newStart = int32(len(sp.refs))
+		}
+		sp.refs = append(sp.refs, c)
+	}
+	sp.problemEnd = int32(len(sp.refs))
+	if sp.newStart < 0 {
+		sp.newStart = sp.problemEnd
+	}
+	for _, c := range s.learnts {
+		if !s.ar.deleted(c) {
+			sp.refs = append(sp.refs, c)
+		}
+	}
+	sp.occLive = false
+	for len(sp.touched) < s.numVars {
+		sp.touched = append(sp.touched, false)
+	}
+	sp.touchedList = sp.touchedList[:0]
 	if !sp.normalize() {
 		return false
 	}
 	sp.buildOcc()
-	sp.markL = make([]bool, 2*s.numVars)
+	for len(sp.markL) < 2*s.numVars {
+		sp.markL = append(sp.markL, false)
+	}
+	// Seed the touched set for an incremental pass: every variable of a
+	// clause added since the last pass. (A full pass ignores the set and
+	// scans all variables.)
+	if !sp.full {
+		for id := sp.newStart; id < sp.problemEnd; id++ {
+			if sp.deleted(id) {
+				continue
+			}
+			for _, w := range s.ar.lits(sp.refs[id]) {
+				sp.touch(Lit(w).Var())
+			}
+		}
+	}
 	rounds := sp.opt.MaxRounds
 	if rounds <= 0 {
 		rounds = 1
@@ -212,7 +326,13 @@ func (sp *simplifier) run() bool {
 	for r := 0; r < rounds; r++ {
 		changed := 0
 		if sp.opt.Subsume {
-			sp.queueAll()
+			if sp.full {
+				sp.queueAll()
+			} else if r == 0 {
+				sp.queueNew()
+			}
+			// Incremental rounds > 0 drain whatever the previous round
+			// strengthened or resolved (enqueueSub keeps the queue fed).
 			n, ok := sp.subsumeAll()
 			if !ok {
 				return false
@@ -230,6 +350,11 @@ func (sp *simplifier) run() bool {
 			break
 		}
 	}
+	// Clear the touched flags for the next pass (the list is reset on
+	// entry, the flags must not leak).
+	for _, v := range sp.touchedList {
+		sp.touched[v] = false
+	}
 	return sp.finish()
 }
 
@@ -241,11 +366,11 @@ func (sp *simplifier) normalize() bool {
 	s := sp.s
 	for {
 		pre := len(s.trail)
-		for ci := range s.clauses {
-			if s.clauses[ci].deleted {
+		for id := int32(0); int(id) < len(sp.refs); id++ {
+			if sp.deleted(id) {
 				continue
 			}
-			if !sp.cleanClause(int32(ci)) {
+			if !sp.cleanClause(id) {
 				return false
 			}
 		}
@@ -259,66 +384,72 @@ func (sp *simplifier) normalize() bool {
 // if satisfied. A clause shrunk to a unit is deleted and its literal
 // enqueued (not propagated; see the deferred-propagation protocol). It
 // returns false on a root-level conflict.
-func (sp *simplifier) cleanClause(cref int32) bool {
+func (sp *simplifier) cleanClause(id int32) bool {
 	s := sp.s
-	c := &s.clauses[cref]
-	for _, l := range c.lits {
-		if s.valueLit(l) == lTrue {
-			sp.removeClause(cref)
+	c := sp.refs[id]
+	lits := s.ar.lits(c)
+	for _, w := range lits {
+		if s.valueLit(Lit(w)) == lTrue {
+			sp.removeClause(id)
 			return true
 		}
 	}
-	out := c.lits[:0]
-	for _, l := range c.lits {
+	j := 0
+	for _, w := range lits {
+		l := Lit(w)
 		if s.valueLit(l) == lFalse {
-			sp.occRemove(l.Var(), cref)
+			sp.occRemove(l.Var(), id)
+			sp.touch(l.Var())
 			continue
 		}
-		out = append(out, l)
+		lits[j] = w
+		j++
 	}
-	c.lits = out
-	switch len(out) {
+	if j == len(lits) {
+		return true
+	}
+	switch j {
 	case 0:
 		return false
 	case 1:
-		l := out[0]
-		sp.removeClause(cref)
+		l := Lit(lits[0])
+		sp.removeClause(id)
 		// l cannot be assigned here: true lits delete the clause above,
 		// false lits were just stripped.
-		s.uncheckedEnqueue(l, clauseNone)
+		s.uncheckedEnqueue(l, crefUndef)
 		return true
 	}
-	sp.updateAbst(cref)
+	s.ar.shrink(c, j)
+	sp.updateAbst(id)
 	return true
 }
 
-// removeClause deletes a clause and removes it from the occurrence
-// lists. The learnts index is filtered later, in finish.
-func (sp *simplifier) removeClause(cref int32) {
+// removeClause deletes a clause (arena mark + learnt bookkeeping via
+// Solver.deleteClause) and removes it from the occurrence lists. The
+// clause/learnt indices are filtered later, in finish.
+func (sp *simplifier) removeClause(id int32) {
 	s := sp.s
-	c := &s.clauses[cref]
-	if c.deleted {
+	c := sp.refs[id]
+	if s.ar.deleted(c) {
 		return
 	}
-	for _, l := range c.lits {
-		sp.occRemove(l.Var(), cref)
+	for _, w := range s.ar.lits(c) {
+		v := Lit(w).Var()
+		sp.occRemove(v, id)
+		sp.touch(v)
 	}
-	c.deleted = true
-	c.lits = nil
-	if c.learnt {
-		s.stats.Deleted++
-	}
+	s.deleteClause(c)
 }
 
-// occRemove drops one clause ref from a variable's occurrence list,
+// occRemove drops one clause id from a variable's occurrence list,
 // preserving order (determinism: later iterations see a stable order).
-func (sp *simplifier) occRemove(v int, cref int32) {
-	if sp.occ == nil {
+func (sp *simplifier) occRemove(v int, id int32) {
+	if !sp.occLive {
 		return
 	}
 	ws := sp.occ[v]
 	for i, w := range ws {
-		if w == cref {
+		if w == id {
 			copy(ws[i:], ws[i+1:])
 			sp.occ[v] = ws[:len(ws)-1]
 			return
@@ -326,55 +457,107 @@ func (sp *simplifier) occRemove(v int, cref int32) {
 	}
 }
 
+// buildOcc constructs the occurrence lists by counting first and then
+// carving exact-capacity per-var slices out of one backing array, so a
+// pass costs O(1) allocations instead of one growth chain per variable.
+// Appends after the carve (resolvents) fall out of the shared backing
+// into private storage automatically.
 func (sp *simplifier) buildOcc() {
 	s := sp.s
-	sp.occ = make([][]int32, s.numVars)
-	sp.abst = make([]uint64, len(s.clauses))
-	sp.inQueue = make([]bool, len(s.clauses))
-	for ci := range s.clauses {
-		c := &s.clauses[ci]
-		if c.deleted {
+	for len(sp.occ) < s.numVars {
+		sp.occ = append(sp.occ, nil)
+	}
+	for len(sp.occCnt) < s.numVars {
+		sp.occCnt = append(sp.occCnt, 0)
+	}
+	cnt := sp.occCnt[:s.numVars]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	sp.abst = sp.abst[:0]
+	sp.inQueue = sp.inQueue[:0]
+	total := 0
+	for id := int32(0); int(id) < len(sp.refs); id++ {
+		sp.abst = append(sp.abst, 0)
+		sp.inQueue = append(sp.inQueue, false)
+		if sp.deleted(id) {
 			continue
 		}
-		for _, l := range c.lits {
-			sp.occ[l.Var()] = append(sp.occ[l.Var()], int32(ci))
+		for _, w := range s.ar.lits(sp.refs[id]) {
+			cnt[Lit(w).Var()]++
+			total++
 		}
-		sp.updateAbst(int32(ci))
+	}
+	if cap(sp.occBack) < total {
+		sp.occBack = make([]int32, total)
+	}
+	back := sp.occBack[:total]
+	off := 0
+	for v := 0; v < s.numVars; v++ {
+		n := int(cnt[v])
+		sp.occ[v] = back[off : off : off+n]
+		off += n
+	}
+	sp.occLive = true
+	for id := int32(0); int(id) < len(sp.refs); id++ {
+		if sp.deleted(id) {
+			continue
+		}
+		for _, w := range s.ar.lits(sp.refs[id]) {
+			v := Lit(w).Var()
+			sp.occ[v] = append(sp.occ[v], id)
+		}
+		sp.updateAbst(id)
 	}
 }
 
 // updateAbst recomputes the clause's variable signature: a 64-bit
 // Bloom-style filter used to reject non-subset candidates cheaply.
-func (sp *simplifier) updateAbst(cref int32) {
-	if sp.abst == nil {
+func (sp *simplifier) updateAbst(id int32) {
+	if int(id) >= len(sp.abst) {
 		return
 	}
 	var a uint64
-	for _, l := range sp.s.clauses[cref].lits {
-		a |= 1 << (uint(l.Var()) & 63)
+	for _, w := range sp.s.ar.lits(sp.refs[id]) {
+		a |= 1 << (uint(Lit(w).Var()) & 63)
 	}
-	sp.abst[cref] = a
+	sp.abst[id] = a
 }
 
-func (sp *simplifier) enqueueSub(cref int32) {
-	if int(cref) < len(sp.inQueue) && !sp.inQueue[cref] {
-		sp.inQueue[cref] = true
-		sp.queue = append(sp.queue, cref)
+func (sp *simplifier) enqueueSub(id int32) {
+	if int(id) < len(sp.inQueue) && !sp.inQueue[id] {
+		sp.inQueue[id] = true
+		sp.queue = append(sp.queue, id)
 	}
 }
 
 // queueAll enqueues every live problem clause for backward subsumption,
-// in ascending clause-ref order.
+// in ascending clause-id order (full pass).
 func (sp *simplifier) queueAll() {
 	sp.queue = sp.queue[:0]
 	sp.qh = 0
-	for ci := range sp.s.clauses {
-		c := &sp.s.clauses[ci]
-		if c.deleted || c.learnt {
+	for id := int32(0); int(id) < len(sp.refs); id++ {
+		if sp.deleted(id) || sp.s.ar.learnt(sp.refs[id]) {
 			continue
 		}
-		sp.inQueue[ci] = true
-		sp.queue = append(sp.queue, int32(ci))
+		sp.inQueue[id] = true
+		sp.queue = append(sp.queue, id)
+	}
+}
+
+// queueNew seeds the subsumption queue with only the problem clauses
+// added since the last pass (incremental pass). Old-vs-old pairs were
+// already checked then; an old clause newly subsumed by another old
+// clause can only arise through strengthening, which requeues.
+func (sp *simplifier) queueNew() {
+	sp.queue = sp.queue[:0]
+	sp.qh = 0
+	for id := sp.newStart; id < sp.problemEnd; id++ {
+		if sp.deleted(id) {
+			continue
+		}
+		sp.inQueue[id] = true
+		sp.queue = append(sp.queue, id)
 	}
 }
 
@@ -389,47 +572,49 @@ func (sp *simplifier) subsumeAll() (int, bool) {
 	s := sp.s
 	changed := 0
 	for sp.qh < len(sp.queue) {
-		cref := sp.queue[sp.qh]
+		id := sp.queue[sp.qh]
 		sp.qh++
-		sp.inQueue[cref] = false
-		c := &s.clauses[cref]
-		if c.deleted || c.learnt {
+		sp.inQueue[id] = false
+		c := sp.refs[id]
+		if s.ar.deleted(c) || s.ar.learnt(c) {
 			continue
 		}
-		if !sp.cleanClause(cref) {
+		if !sp.cleanClause(id) {
 			return changed, false
 		}
-		if c.deleted {
+		if s.ar.deleted(c) {
 			continue
 		}
-		best := c.lits[0].Var()
-		for _, l := range c.lits[1:] {
-			if len(sp.occ[l.Var()]) < len(sp.occ[best]) {
-				best = l.Var()
+		clits := s.ar.lits(c)
+		best := Lit(clits[0]).Var()
+		for _, w := range clits[1:] {
+			if v := Lit(w).Var(); len(sp.occ[v]) < len(sp.occ[best]) {
+				best = v
 			}
 		}
-		for _, l := range c.lits {
-			sp.markL[l] = true
+		for _, w := range clits {
+			sp.markL[Lit(w)] = true
 		}
-		cl := len(c.lits)
-		ca := sp.abst[cref]
+		cl := len(clits)
+		ca := sp.abst[id]
 		ok := true
 		sp.scratch = append(sp.scratch[:0], sp.occ[best]...)
-		for _, dref := range sp.scratch {
-			if dref == cref {
+		for _, did := range sp.scratch {
+			if did == id {
 				continue
 			}
-			d := &s.clauses[dref]
-			if d.deleted || len(d.lits) < cl {
+			d := sp.refs[did]
+			if s.ar.deleted(d) || s.ar.size(d) < cl {
 				continue
 			}
-			if ca&^sp.abst[dref] != 0 {
+			if ca&^sp.abst[did] != 0 {
 				continue
 			}
 			cnt := 0
 			flips := 0
 			flip := LitUndef
-			for _, l := range d.lits {
+			for _, w := range s.ar.lits(d) {
+				l := Lit(w)
 				if sp.markL[l] {
 					cnt++
 				} else if sp.markL[l.Not()] {
@@ -438,11 +623,11 @@ func (sp *simplifier) subsumeAll() (int, bool) {
 				}
 			}
 			if cnt == cl {
-				sp.removeClause(dref)
+				sp.removeClause(did)
 				s.simpStats.SubsumedClauses++
 				changed++
 			} else if cnt == cl-1 && flips == 1 {
-				if !sp.strengthen(dref, flip) {
+				if !sp.strengthen(did, flip) {
 					ok = false
 					break
 				}
@@ -450,8 +635,8 @@ func (sp *simplifier) subsumeAll() (int, bool) {
 				changed++
 			}
 		}
-		for _, l := range c.lits {
-			sp.markL[l] = false
+		for _, w := range s.ar.lits(c) {
+			sp.markL[Lit(w)] = false
 		}
 		if !ok {
 			return changed, false
@@ -460,59 +645,78 @@ func (sp *simplifier) subsumeAll() (int, bool) {
 	return changed, true
 }
 
-// strengthen removes one literal from a clause (self-subsuming
-// resolution or vivification) and, for problem clauses only, requeues
-// it for subsumption — learnt clauses must never become the subsuming
-// side. It returns false on a root-level conflict.
-func (sp *simplifier) strengthen(cref int32, l Lit) bool {
+// strengthen removes one literal from a clause in place (self-subsuming
+// resolution) and, for problem clauses only, requeues it for
+// subsumption — learnt clauses must never become the subsuming side. It
+// returns false on a root-level conflict.
+func (sp *simplifier) strengthen(id int32, l Lit) bool {
 	s := sp.s
-	c := &s.clauses[cref]
-	out := c.lits[:0]
-	for _, q := range c.lits {
-		if q == l {
+	c := sp.refs[id]
+	lits := s.ar.lits(c)
+	j := 0
+	for _, w := range lits {
+		if Lit(w) == l {
 			continue
 		}
-		out = append(out, q)
+		lits[j] = w
+		j++
 	}
-	c.lits = out
-	sp.occRemove(l.Var(), cref)
-	switch len(out) {
+	sp.occRemove(l.Var(), id)
+	sp.touch(l.Var())
+	switch j {
 	case 0:
 		return false
 	case 1:
-		u := out[0]
-		sp.removeClause(cref)
+		u := Lit(lits[0])
+		sp.removeClause(id)
 		switch s.valueLit(u) {
 		case lTrue:
 			return true
 		case lFalse:
 			return false
 		}
-		s.uncheckedEnqueue(u, clauseNone)
+		s.uncheckedEnqueue(u, crefUndef)
 		return true
 	}
-	sp.updateAbst(cref)
-	if !c.learnt {
-		sp.enqueueSub(cref)
+	s.ar.shrink(c, j)
+	sp.updateAbst(id)
+	if !s.ar.learnt(c) {
+		sp.enqueueSub(id)
 	}
 	return true
 }
 
-// eliminateVars tries bounded variable elimination on every unfrozen,
-// unassigned variable, cheapest occurrence count first (ties by
-// variable index — deterministic).
+// eliminateVars tries bounded variable elimination, cheapest occurrence
+// count first (ties by variable index — deterministic). A full pass
+// scans every variable; an incremental pass consumes the touched set
+// (vars whose occurrence lists changed since the last pass or round),
+// which it resets so the try loop can accumulate touches for the next
+// round.
 func (sp *simplifier) eliminateVars() (int, bool) {
 	s := sp.s
-	var cands []int
-	for v := 0; v < s.numVars; v++ {
+	cands := sp.cands[:0]
+	consider := func(v int) {
 		if s.frozen[v] || s.elim[v] || s.assign[v] != lUndef {
-			continue
+			return
 		}
 		n := len(sp.occ[v])
 		if n == 0 || n > sp.opt.MaxOccur {
-			continue
+			return
 		}
 		cands = append(cands, v)
+	}
+	if sp.full {
+		for v := 0; v < s.numVars; v++ {
+			consider(v)
+		}
+	} else {
+		for _, v := range sp.touchedList {
+			consider(int(v))
+		}
+		for _, v := range sp.touchedList {
+			sp.touched[v] = false
+		}
+		sp.touchedList = sp.touchedList[:0]
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
@@ -528,12 +732,14 @@ func (sp *simplifier) eliminateVars() (int, bool) {
 		}
 		ok, did := sp.tryEliminate(v)
 		if !ok {
+			sp.cands = cands[:0]
 			return eliminated, false
 		}
 		if did {
 			eliminated++
 		}
 	}
+	sp.cands = cands[:0]
 	return eliminated, true
 }
 
@@ -546,34 +752,37 @@ func (sp *simplifier) eliminateVars() (int, bool) {
 // an eliminated variable).
 func (sp *simplifier) tryEliminate(v int) (ok, did bool) {
 	s := sp.s
-	var pos, neg, lrnt []int32
+	pos, neg, lrnt := sp.pos[:0], sp.neg[:0], sp.lrnt[:0]
+	defer func() {
+		sp.pos, sp.neg, sp.lrnt = pos[:0], neg[:0], lrnt[:0]
+	}()
 	sp.scratch = append(sp.scratch[:0], sp.occ[v]...)
-	for _, cref := range sp.scratch {
-		c := &s.clauses[cref]
-		if c.deleted {
+	for _, id := range sp.scratch {
+		c := sp.refs[id]
+		if s.ar.deleted(c) {
 			continue
 		}
-		if !sp.cleanClause(cref) {
+		if !sp.cleanClause(id) {
 			return false, false
 		}
-		if c.deleted {
+		if s.ar.deleted(c) {
 			continue
 		}
-		if c.learnt {
-			lrnt = append(lrnt, cref)
+		if s.ar.learnt(c) {
+			lrnt = append(lrnt, id)
 			continue
 		}
 		polNeg := false
-		for _, l := range c.lits {
-			if l.Var() == v {
+		for _, w := range s.ar.lits(c) {
+			if l := Lit(w); l.Var() == v {
 				polNeg = l.Neg()
 				break
 			}
 		}
 		if polNeg {
-			neg = append(neg, cref)
+			neg = append(neg, id)
 		} else {
-			pos = append(pos, cref)
+			pos = append(pos, id)
 		}
 	}
 	// Cleaning can enqueue a unit on v itself; elimination of an
@@ -582,20 +791,21 @@ func (sp *simplifier) tryEliminate(v int) (ok, did bool) {
 		return true, false
 	}
 	pure := len(pos) == 0 || len(neg) == 0
-	var resolvents [][]Lit
+	sp.resBuf = sp.resBuf[:0]
+	sp.resEnds = sp.resEnds[:0]
 	if !pure {
 		limit := len(pos) + len(neg) + sp.opt.MaxGrowth
 		for _, pc := range pos {
 			for _, nc := range neg {
-				lits, keep := sp.resolve(pc, nc, v)
+				n, keep := sp.resolve(pc, nc, v)
 				if !keep {
 					continue
 				}
-				if sp.opt.MaxResolventLen > 0 && len(lits) > sp.opt.MaxResolventLen {
+				if sp.opt.MaxResolventLen > 0 && n > sp.opt.MaxResolventLen {
 					return true, false
 				}
-				resolvents = append(resolvents, lits)
-				if len(resolvents) > limit {
+				sp.resEnds = append(sp.resEnds, int32(len(sp.resBuf)))
+				if len(sp.resEnds) > limit {
 					return true, false
 				}
 			}
@@ -603,28 +813,33 @@ func (sp *simplifier) tryEliminate(v int) (ok, did bool) {
 	}
 	// Commit: record removed problem clauses for reconstruction, drop
 	// everything touching v, add the resolvents.
-	rec := elimRecord{v: v}
+	rec := elimRecord{v: v, endLo: int32(len(s.elimEnds))}
 	for _, side := range [][]int32{pos, neg} {
-		for _, cref := range side {
-			rec.clauses = append(rec.clauses,
-				append([]Lit(nil), s.clauses[cref].lits...))
+		for _, id := range side {
+			for _, w := range s.ar.lits(sp.refs[id]) {
+				s.elimLits = append(s.elimLits, Lit(w))
+			}
+			s.elimEnds = append(s.elimEnds, int32(len(s.elimLits)))
 		}
 	}
+	rec.endHi = int32(len(s.elimEnds))
 	s.elimCl = append(s.elimCl, rec)
 	s.elim[v] = true
 	for _, side := range [][]int32{pos, neg} {
-		for _, cref := range side {
-			sp.removeClause(cref)
+		for _, id := range side {
+			sp.removeClause(id)
 			s.simpStats.RemovedClauses++
 		}
 	}
-	for _, cref := range lrnt {
-		sp.removeClause(cref)
+	for _, id := range lrnt {
+		sp.removeClause(id)
 	}
-	for _, lits := range resolvents {
-		if !sp.addSimpClause(lits) {
+	start := int32(0)
+	for _, end := range sp.resEnds {
+		if !sp.addSimpClause(sp.resBuf[start:end]) {
 			return false, true
 		}
+		start = end
 	}
 	s.simpStats.ElimVars++
 	if pure {
@@ -634,55 +849,63 @@ func (sp *simplifier) tryEliminate(v int) (ok, did bool) {
 }
 
 // resolve computes the resolvent of a positive and a negative clause of
-// v into fresh storage. keep is false when the resolvent is a
-// tautology or already satisfied at level 0.
-func (sp *simplifier) resolve(pc, nc int32, v int) (lits []Lit, keep bool) {
+// v, appending its literals to sp.resBuf (the caller records the
+// boundary). keep is false when the resolvent is a tautology or already
+// satisfied at level 0, in which case resBuf is rolled back; n is the
+// number of literals appended.
+func (sp *simplifier) resolve(pc, nc int32, v int) (n int, keep bool) {
 	s := sp.s
-	sp.resolv = sp.resolv[:0]
-	defer func() {
-		for _, l := range sp.resolv {
+	base := len(sp.resBuf)
+	add := func(l Lit) {
+		if !sp.markL[l] {
+			sp.markL[l] = true
+			sp.resBuf = append(sp.resBuf, l)
+		}
+	}
+	unmark := func() {
+		for _, l := range sp.resBuf[base:] {
 			sp.markL[l] = false
 		}
-	}()
-	for _, l := range s.clauses[pc].lits {
+	}
+	for _, w := range s.ar.lits(sp.refs[pc]) {
+		l := Lit(w)
 		if l.Var() == v {
 			continue
 		}
 		switch s.valueLit(l) {
 		case lTrue:
-			return nil, false
+			unmark()
+			sp.resBuf = sp.resBuf[:base]
+			return 0, false
 		case lFalse:
 			continue
 		}
-		if !sp.markL[l] {
-			sp.markL[l] = true
-			sp.resolv = append(sp.resolv, l)
-		}
+		add(l)
 	}
-	for _, l := range s.clauses[nc].lits {
+	for _, w := range s.ar.lits(sp.refs[nc]) {
+		l := Lit(w)
 		if l.Var() == v {
 			continue
 		}
-		switch s.valueLit(l) {
-		case lTrue:
-			return nil, false
-		case lFalse:
+		sat := s.valueLit(l) == lTrue
+		if sat || sp.markL[l.Not()] {
+			unmark()
+			sp.resBuf = sp.resBuf[:base]
+			return 0, false // satisfied or tautology
+		}
+		if s.valueLit(l) == lFalse {
 			continue
 		}
-		if sp.markL[l.Not()] {
-			return nil, false // tautology
-		}
-		if !sp.markL[l] {
-			sp.markL[l] = true
-			sp.resolv = append(sp.resolv, l)
-		}
+		add(l)
 	}
-	return append([]Lit(nil), sp.resolv...), true
+	unmark()
+	return len(sp.resBuf) - base, true
 }
 
 // addSimpClause inserts a resolvent as a problem clause mid-
 // simplification: values are re-checked (units may have fired since the
-// resolvent was built), occurrence lists and signatures are extended,
+// resolvent was built), the clause is packed into the arena and indexed
+// under a fresh dense id, occurrence lists and signatures are extended,
 // and the clause is queued for subsumption. Watches are not touched;
 // finish rebuilds them. It returns false on a root-level conflict.
 func (sp *simplifier) addSimpClause(lits []Lit) bool {
@@ -701,59 +924,79 @@ func (sp *simplifier) addSimpClause(lits []Lit) bool {
 	case 0:
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], clauseNone)
+		s.uncheckedEnqueue(out[0], crefUndef)
 		return true
 	}
-	cref := int32(len(s.clauses))
-	s.clauses = append(s.clauses, clause{lits: out})
+	c := s.ar.alloc(out, false, 0)
+	s.clauses = append(s.clauses, c)
+	id := int32(len(sp.refs))
+	sp.refs = append(sp.refs, c)
 	sp.abst = append(sp.abst, 0)
 	sp.inQueue = append(sp.inQueue, false)
 	for _, l := range out {
-		sp.occ[l.Var()] = append(sp.occ[l.Var()], cref)
+		sp.occ[l.Var()] = append(sp.occ[l.Var()], id)
+		sp.touch(l.Var())
 	}
-	sp.updateAbst(cref)
-	sp.enqueueSub(cref)
+	sp.updateAbst(id)
+	sp.enqueueSub(id)
 	s.simpStats.ResolventsAdded++
 	return true
 }
 
 // finish restores the solver to a consistent solving state after the
 // occurrence-list phases: a final normalize fixpoint (so no surviving
-// clause mentions an assigned variable), the learnts index filtered of
-// deleted refs (reduceDB dereferences lits[0] of every indexed learnt),
-// stale level-0 reasons cleared, all watch lists rebuilt from scratch,
-// and the propagation queue settled at the trail head.
+// clause mentions an assigned variable), the clause/learnt indices
+// filtered of deleted refs, stale level-0 reasons cleared, all watch
+// lists rebuilt from scratch, the propagation queue settled at the
+// trail head, and the arena compacted if the pass freed enough words.
 func (sp *simplifier) finish() bool {
 	s := sp.s
 	if !sp.normalize() {
 		return false
 	}
-	kept := s.learnts[:0]
-	for _, ci := range s.learnts {
-		if !s.clauses[ci].deleted {
-			kept = append(kept, ci)
+	sp.occLive = false
+	oldMark := s.simpMark
+	if oldMark < 0 {
+		oldMark = 0
+	}
+	kept := s.clauses[:0]
+	sp.vivStart = 0
+	for i, c := range s.clauses {
+		if !s.ar.deleted(c) {
+			if i < oldMark {
+				sp.vivStart++ // clauses vivified by an earlier pass
+			}
+			kept = append(kept, c)
 		}
 	}
-	s.learnts = kept
+	s.clauses = kept
+	keptL := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !s.ar.deleted(c) {
+			keptL = append(keptL, c)
+		}
+	}
+	s.learnts = keptL
 	for _, l := range s.trail {
-		s.reason[l.Var()] = clauseNone
+		s.reason[l.Var()] = crefUndef
 	}
 	for i := range s.watches {
 		s.watches[i] = s.watches[i][:0]
 	}
-	for ci := range s.clauses {
-		c := &s.clauses[ci]
-		if c.deleted {
-			continue
-		}
-		s.watch(c.lits[0], int32(ci), c.lits[1])
-		s.watch(c.lits[1], int32(ci), c.lits[0])
+	for _, c := range s.clauses {
+		s.watch(s.ar.litAt(c, 0), c, s.ar.litAt(c, 1))
+		s.watch(s.ar.litAt(c, 1), c, s.ar.litAt(c, 0))
+	}
+	for _, c := range s.learnts {
+		s.watch(s.ar.litAt(c, 0), c, s.ar.litAt(c, 1))
+		s.watch(s.ar.litAt(c, 1), c, s.ar.litAt(c, 0))
 	}
 	// Every root assignment's consequences are already structural
 	// (satisfied clauses deleted, false literals stripped), so there is
 	// nothing left to propagate.
 	s.qhead = len(s.trail)
-	sp.occ = nil
+	// The occurrence lists are dead now, so crefs may move.
+	s.maybeGC()
 	return true
 }
 
@@ -777,20 +1020,26 @@ func (sp *simplifier) vivifyAll() bool {
 		maxLen = 24
 	}
 	start := s.stats.Propagations
-	var keep []Lit
-	for ci := 0; ci < len(s.clauses); ci++ {
+	// An incremental pass only vivifies clauses added since the last
+	// pass (earlier clauses already had their turn; strengthened forms
+	// of them are cheap enough to leave to the search).
+	for ci := sp.vivStart; ci < len(s.clauses); ci++ {
 		if s.stats.Propagations-start >= budget {
 			break
 		}
-		c := &s.clauses[ci]
-		if c.deleted || c.learnt || len(c.lits) < 2 || len(c.lits) > maxLen {
+		c := s.clauses[ci]
+		if s.ar.deleted(c) {
+			continue
+		}
+		size := s.ar.size(c)
+		if size < 2 || size > maxLen {
 			continue
 		}
 		// Skip clauses touched by units discovered earlier in this
 		// pass; the next Simplify round cleans them.
 		touched := false
-		for _, l := range c.lits {
-			if s.valueLit(l) != lUndef {
+		for _, w := range s.ar.lits(c) {
+			if s.valueLit(Lit(w)) != lUndef {
 				touched = true
 				break
 			}
@@ -799,25 +1048,26 @@ func (sp *simplifier) vivifyAll() bool {
 			continue
 		}
 		// Detach: the clause must not propagate against itself.
-		sp.unwatch(c.lits[0], int32(ci))
-		sp.unwatch(c.lits[1], int32(ci))
-		keep = keep[:0]
+		sp.unwatch(s.ar.litAt(c, 0), c)
+		sp.unwatch(s.ar.litAt(c, 1), c)
+		keep := sp.keep[:0]
 		shortened := false
 		done := false
-		for _, l := range c.lits {
+		for _, w := range s.ar.lits(c) {
+			l := Lit(w)
 			switch s.valueLit(l) {
 			case lTrue:
 				keep = append(keep, l)
-				shortened = len(keep) < len(c.lits)
+				shortened = len(keep) < size
 				done = true
 			case lFalse:
 				shortened = true
 			default:
 				keep = append(keep, l)
 				s.trailLim = append(s.trailLim, len(s.trail))
-				s.uncheckedEnqueue(l.Not(), clauseNone)
-				if s.propagate() != clauseNone {
-					shortened = len(keep) < len(c.lits)
+				s.uncheckedEnqueue(l.Not(), crefUndef)
+				if s.propagate() != crefUndef {
+					shortened = len(keep) < size
 					done = true
 				}
 			}
@@ -826,37 +1076,41 @@ func (sp *simplifier) vivifyAll() bool {
 			}
 		}
 		s.cancelUntil(0)
-		if !shortened || len(keep) >= len(c.lits) {
-			s.watch(c.lits[0], int32(ci), c.lits[1])
-			s.watch(c.lits[1], int32(ci), c.lits[0])
+		sp.keep = keep[:0]
+		if !shortened || len(keep) >= size {
+			s.watch(s.ar.litAt(c, 0), c, s.ar.litAt(c, 1))
+			s.watch(s.ar.litAt(c, 1), c, s.ar.litAt(c, 0))
 			continue
 		}
-		s.simpStats.VivifiedLits += int64(len(c.lits) - len(keep))
+		s.simpStats.VivifiedLits += int64(size - len(keep))
 		if len(keep) == 1 {
 			u := keep[0]
-			c.deleted = true
-			c.lits = nil
+			s.deleteClause(c)
 			if s.valueLit(u) == lUndef {
-				s.uncheckedEnqueue(u, clauseNone)
+				s.uncheckedEnqueue(u, crefUndef)
 			}
-			if s.valueLit(u) == lFalse || s.propagate() != clauseNone {
+			if s.valueLit(u) == lFalse || s.propagate() != crefUndef {
 				return false
 			}
 			continue
 		}
-		c.lits = append(c.lits[:0], keep...)
-		s.watch(c.lits[0], int32(ci), c.lits[1])
-		s.watch(c.lits[1], int32(ci), c.lits[0])
+		lits := s.ar.lits(c)
+		for i, l := range keep {
+			lits[i] = uint32(l)
+		}
+		s.ar.shrink(c, len(keep))
+		s.watch(s.ar.litAt(c, 0), c, s.ar.litAt(c, 1))
+		s.watch(s.ar.litAt(c, 1), c, s.ar.litAt(c, 0))
 	}
 	return true
 }
 
 // unwatch removes one clause's watcher from a literal's watch list,
 // preserving order.
-func (sp *simplifier) unwatch(l Lit, cref int32) {
+func (sp *simplifier) unwatch(l Lit, c cref) {
 	ws := sp.s.watches[l]
 	for i := range ws {
-		if ws[i].cref == cref {
+		if ws[i].cref == c {
 			copy(ws[i:], ws[i+1:])
 			sp.s.watches[l] = ws[:len(ws)-1]
 			return
@@ -885,7 +1139,13 @@ func (s *Solver) extendModel() {
 	for i := len(s.elimCl) - 1; i >= 0; i-- {
 		rec := &s.elimCl[i]
 		s.model[rec.v] = lFalse
-		for _, cl := range rec.clauses {
+		start := int32(0)
+		if rec.endLo > 0 {
+			start = s.elimEnds[rec.endLo-1]
+		}
+		for _, end := range s.elimEnds[rec.endLo:rec.endHi] {
+			cl := s.elimLits[start:end]
+			start = end
 			needs := true
 			positive := false
 			for _, l := range cl {

@@ -1,8 +1,10 @@
 // Package sat implements a CDCL (conflict-driven clause learning) SAT
-// solver in pure Go, in the MiniSat lineage: two-literal watching with
-// blockers, first-UIP conflict analysis with basic clause minimization,
-// VSIDS variable ordering, phase saving, Luby restarts and activity-based
-// learnt-clause database reduction.
+// solver in pure Go, in the MiniSat/glucose lineage: clauses packed
+// into a flat arena (see arena.go), two-literal watching with blockers,
+// first-UIP conflict analysis with basic clause minimization, VSIDS
+// variable ordering, phase saving, Luby restarts, LBD-tiered
+// learnt-clause management and chronological backtracking for
+// long-distance backjumps.
 //
 // The solver is incremental: clauses can be added between calls to Solve,
 // and Solve accepts assumption literals. Conflict budgets, a stop
@@ -13,6 +15,7 @@ package sat
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"obfuslock/internal/obs"
 )
@@ -74,17 +77,14 @@ const (
 	lFalse int8 = -1
 )
 
-const clauseNone int32 = -1
-
-type clause struct {
-	lits    []Lit
-	act     float32
-	learnt  bool
-	deleted bool
-}
+// chronoLim is the backjump distance beyond which the solver backtracks
+// chronologically (one level) instead of jumping to the assertion
+// level, keeping the still-valid trail segment alive (Nadel & Ryvchin,
+// SAT'18 — the conservative assign-at-current-level variant).
+const chronoLim = 32
 
 type watcher struct {
-	cref    int32
+	cref    cref
 	blocker Lit
 }
 
@@ -100,6 +100,12 @@ type Stats struct {
 	Deleted int64
 	// Reductions counts learnt-database reduction passes.
 	Reductions int64
+	// GCs counts arena compaction passes (garbage collection of the
+	// flat clause store).
+	GCs int64
+	// Chrono counts chronological backtracks: conflicts where the
+	// solver retreated one level instead of backjumping far.
+	Chrono int64
 }
 
 // Sub returns the per-interval delta s - prev (all counters).
@@ -112,6 +118,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		Learnt:       s.Learnt - prev.Learnt,
 		Deleted:      s.Deleted - prev.Deleted,
 		Reductions:   s.Reductions - prev.Reductions,
+		GCs:          s.GCs - prev.GCs,
+		Chrono:       s.Chrono - prev.Chrono,
 	}
 }
 
@@ -126,6 +134,8 @@ func (s Stats) Add(o Stats) Stats {
 		Learnt:       s.Learnt + o.Learnt,
 		Deleted:      s.Deleted + o.Deleted,
 		Reductions:   s.Reductions + o.Reductions,
+		GCs:          s.GCs + o.GCs,
+		Chrono:       s.Chrono + o.Chrono,
 	}
 }
 
@@ -139,13 +149,15 @@ type Progress struct {
 
 // Solver is a CDCL SAT solver. Create with New.
 type Solver struct {
-	clauses []clause
-	learnts []int32 // indices into clauses
-	watches [][]watcher
+	ar       arena
+	clauses  []cref // problem clauses, creation order (may contain deleted until GC)
+	learnts  []cref // learnt clauses (may contain deleted until reduce/GC)
+	numLocal int    // live learnts in tierLocal, reduceDB's trigger
+	watches  [][]watcher
 
 	assign   []int8
 	level    []int32
-	reason   []int32
+	reason   []cref
 	polarity []bool // saved phases
 	activity []float64
 	seen     []bool
@@ -176,6 +188,15 @@ type Solver struct {
 	progressEvery int64
 	progressNext  int64
 
+	// Reused hot-path scratch: the learnt-clause builder and seen-list
+	// of analyze, AddClause's normalization buffer and reduceDB's sort
+	// slice. Keeping these on the solver makes the conflict loop
+	// allocation-free in steady state (pinned by the alloc guard test).
+	learntBuf  []Lit
+	clearBuf   []int32
+	addBuf     []Lit
+	redScratch []cref
+
 	// Telemetry histograms (see telemetry.go); nil when detached, which
 	// must keep the search loop alloc-free and branch-cheap.
 	hConflictDepth *obs.Histogram
@@ -188,15 +209,30 @@ type Solver struct {
 	// Simplification state (see simp.go). frozen vars are exempt from
 	// variable elimination; elim vars have been resolved away and their
 	// model values are reconstructed from elimCl after each Sat answer.
-	frozen    []bool
-	elim      []bool
-	elimCl    []elimRecord
-	simpStats SimpStats
+	// sp is the pooled simplifier scratch, reused across Simplify calls.
+	frozen []bool
+	elim   []bool
+	// elimCl/elimLits/elimEnds are the flattened store of clauses
+	// removed by variable elimination (see elimRecord); modelDirty marks
+	// a fresh model whose eliminated vars have not been reconstructed.
+	elimCl     []elimRecord
+	elimLits   []Lit
+	elimEnds   []int32
+	modelDirty bool
+	simpStats  SimpStats
+	sp         *simplifier
+	// Incremental-simplification watermarks: problem clauses at index >=
+	// simpMark and root assignments at trail index >= simpTrailMark are
+	// new since the last Simplify finished. simpMark < 0 means no pass
+	// has run yet (the next one is a full pass). garbageCollect keeps
+	// simpMark consistent when it filters the clause index.
+	simpMark      int
+	simpTrailMark int
 }
 
 // New returns an empty solver.
 func New() *Solver {
-	s := &Solver{ok: true, varInc: 1, claInc: 1}
+	s := &Solver{ok: true, varInc: 1, claInc: 1, simpMark: -1}
 	s.order.s = s
 	return s
 }
@@ -207,8 +243,13 @@ func (s *Solver) NumVars() int { return s.numVars }
 // NumClauses returns the number of live problem clauses plus learnts.
 func (s *Solver) NumClauses() int {
 	n := 0
-	for i := range s.clauses {
-		if !s.clauses[i].deleted {
+	for _, c := range s.clauses {
+		if !s.ar.deleted(c) {
+			n++
+		}
+	}
+	for _, c := range s.learnts {
+		if !s.ar.deleted(c) {
 			n++
 		}
 	}
@@ -284,7 +325,7 @@ func (s *Solver) NewVar() int {
 	s.numVars++
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, clauseNone)
+	s.reason = append(s.reason, crefUndef)
 	s.polarity = append(s.polarity, true) // default phase: false (negated)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
@@ -317,7 +358,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	}
 	s.cancelUntil(0)
 	// Sort-free simplification: dedupe, drop false, detect taut/sat.
-	out := lits[:0:0]
+	out := s.addBuf[:0]
 	for _, l := range lits {
 		if l.Var() >= s.numVars {
 			panic("sat: literal references unknown variable")
@@ -345,38 +386,72 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 			out = append(out, l)
 		}
 	}
+	s.addBuf = out[:0]
 	switch len(out) {
 	case 0:
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], clauseNone)
-		if s.propagate() != clauseNone {
+		s.uncheckedEnqueue(out[0], crefUndef)
+		if s.propagate() != crefUndef {
 			s.ok = false
 			return false
 		}
 		return true
 	}
-	s.attachNew(out, false)
+	s.attachProblem(out)
 	return true
 }
 
-func (s *Solver) attachNew(lits []Lit, learnt bool) int32 {
-	cref := int32(len(s.clauses))
-	s.clauses = append(s.clauses, clause{lits: lits, learnt: learnt})
-	if learnt {
-		s.learnts = append(s.learnts, cref)
+// attachProblem packs a problem clause into the arena and watches it.
+func (s *Solver) attachProblem(lits []Lit) cref {
+	c := s.ar.alloc(lits, false, 0)
+	s.clauses = append(s.clauses, c)
+	s.watch(lits[0], c, lits[1])
+	s.watch(lits[1], c, lits[0])
+	return c
+}
+
+// attachLearnt packs a learnt clause into the arena, tiers it by LBD
+// and watches it.
+func (s *Solver) attachLearnt(lits []Lit, lbd int) cref {
+	c := s.ar.alloc(lits, true, lbd)
+	s.learnts = append(s.learnts, c)
+	if s.ar.tier(c) == tierLocal {
+		s.numLocal++
 	}
-	s.watch(lits[0], cref, lits[1])
-	s.watch(lits[1], cref, lits[0])
-	return cref
+	s.watch(lits[0], c, lits[1])
+	s.watch(lits[1], c, lits[0])
+	return c
 }
 
-func (s *Solver) watch(l Lit, cref int32, blocker Lit) {
-	s.watches[l] = append(s.watches[l], watcher{cref, blocker})
+func (s *Solver) watch(l Lit, c cref, blocker Lit) {
+	s.watches[l] = append(s.watches[l], watcher{c, blocker})
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from int32) {
+// deleteClause marks a clause dead in the arena, maintaining the learnt
+// counters. Watcher entries are dropped lazily (propagate) or at the
+// next GC; callers must never delete a locked (reason) clause.
+func (s *Solver) deleteClause(c cref) {
+	if s.ar.deleted(c) {
+		return
+	}
+	if s.ar.learnt(c) {
+		if s.ar.tier(c) == tierLocal {
+			s.numLocal--
+		}
+		s.stats.Deleted++
+	}
+	s.ar.del(c)
+}
+
+// locked reports whether the clause is the reason of its first literal.
+func (s *Solver) locked(c cref) bool {
+	l := s.ar.litAt(c, 0)
+	return s.reason[l.Var()] == c && s.valueLit(l) == lTrue
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from cref) {
 	v := l.Var()
 	if l.Neg() {
 		s.assign[v] = lFalse
@@ -388,9 +463,9 @@ func (s *Solver) uncheckedEnqueue(l Lit, from int32) {
 	s.trail = append(s.trail, l)
 }
 
-// propagate performs unit propagation; it returns the index of a
-// conflicting clause or clauseNone.
-func (s *Solver) propagate() int32 {
+// propagate performs unit propagation; it returns the reference of a
+// conflicting clause or crefUndef.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -406,25 +481,24 @@ func (s *Solver) propagate() int32 {
 				j++
 				continue
 			}
-			c := &s.clauses[w.cref]
-			if c.deleted {
-				continue
+			if s.ar.deleted(w.cref) {
+				continue // lazy watcher cleanup
 			}
-			lits := c.lits
-			if lits[0] == falseLit {
+			lits := s.ar.lits(w.cref)
+			if Lit(lits[0]) == falseLit {
 				lits[0], lits[1] = lits[1], lits[0]
 			}
 			// Invariant now: lits[1] == falseLit.
-			first := lits[0]
+			first := Lit(lits[0])
 			if first != w.blocker && s.valueLit(first) == lTrue {
 				ws[j] = watcher{w.cref, first}
 				j++
 				continue
 			}
 			for k := 2; k < len(lits); k++ {
-				if s.valueLit(lits[k]) != lFalse {
+				if s.valueLit(Lit(lits[k])) != lFalse {
 					lits[1], lits[k] = lits[k], lits[1]
-					s.watch(lits[1], w.cref, first)
+					s.watch(Lit(lits[1]), w.cref, first)
 					continue nextWatch
 				}
 			}
@@ -445,7 +519,7 @@ func (s *Solver) propagate() int32 {
 		}
 		s.watches[falseLit] = ws[:j]
 	}
-	return clauseNone
+	return crefUndef
 }
 
 func (s *Solver) cancelUntil(lvl int) {
@@ -457,7 +531,7 @@ func (s *Solver) cancelUntil(lvl int) {
 		v := s.trail[i].Var()
 		s.polarity[v] = s.assign[v] == lFalse
 		s.assign[v] = lUndef
-		s.reason[v] = clauseNone
+		s.reason[v] = crefUndef
 		s.order.insert(v)
 	}
 	s.trail = s.trail[:bound]
@@ -476,41 +550,63 @@ func (s *Solver) bumpVar(v int) {
 	s.order.update(v)
 }
 
-func (s *Solver) bumpClause(cref int32) {
-	c := &s.clauses[cref]
-	c.act += float32(s.claInc)
-	if c.act > 1e20 {
+// bumpLearnt is the per-antecedent upkeep of conflict analysis: bump
+// the clause's activity, mark it used (tier2 retention signal), and
+// re-evaluate its LBD against the current trail — a clause whose LBD
+// improved is promoted toward core and escapes future reductions.
+func (s *Solver) bumpLearnt(c cref) {
+	act := s.ar.act(c) + float32(s.claInc)
+	s.ar.setAct(c, act)
+	if act > 1e20 {
 		for _, ci := range s.learnts {
-			s.clauses[ci].act *= 1e-20
+			if !s.ar.deleted(ci) {
+				s.ar.setAct(ci, s.ar.act(ci)*1e-20)
+			}
 		}
 		s.claInc *= 1e-20
+	}
+	s.ar.setUsed(c, true)
+	if t := s.ar.tier(c); t != tierCore {
+		nl := s.lbdOfClause(c)
+		if nl < s.ar.lbd(c) {
+			s.ar.setLBD(c, nl)
+			if nt := tierFor(nl); nt > t {
+				if t == tierLocal {
+					s.numLocal--
+				}
+				s.ar.setTier(c, nt)
+			}
+		}
 	}
 }
 
 // analyze computes a first-UIP learnt clause from a conflict, returning the
-// clause (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl int32) ([]Lit, int) {
-	learnt := []Lit{LitUndef}
+// clause (asserting literal first) and the backtrack level. The returned
+// slice aliases the solver's reusable buffer; it is valid until the next
+// analyze call.
+func (s *Solver) analyze(confl cref) ([]Lit, int) {
+	learnt := append(s.learntBuf[:0], LitUndef)
+	toClear := s.clearBuf[:0]
 	pathC := 0
 	p := LitUndef
 	index := len(s.trail) - 1
-	var toClear []int
 
 	for {
-		c := &s.clauses[confl]
-		if c.learnt {
-			s.bumpClause(confl)
+		if s.ar.learnt(confl) {
+			s.bumpLearnt(confl)
 		}
+		lits := s.ar.lits(confl)
 		start := 0
 		if p != LitUndef {
 			start = 1
 		}
-		for _, q := range c.lits[start:] {
+		for _, w := range lits[start:] {
+			q := Lit(w)
 			v := q.Var()
 			if !s.seen[v] && s.level[v] > 0 {
 				s.bumpVar(v)
 				s.seen[v] = true
-				toClear = append(toClear, v)
+				toClear = append(toClear, int32(v))
 				if int(s.level[v]) >= s.decisionLevel() {
 					pathC++
 				} else {
@@ -536,7 +632,7 @@ func (s *Solver) analyze(confl int32) ([]Lit, int) {
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		v := learnt[i].Var()
-		if s.reason[v] == clauseNone || !s.litRedundant(learnt[i]) {
+		if s.reason[v] == crefUndef || !s.litRedundant(learnt[i]) {
 			learnt[j] = learnt[i]
 			j++
 		}
@@ -558,6 +654,8 @@ func (s *Solver) analyze(confl int32) ([]Lit, int) {
 	for _, v := range toClear {
 		s.seen[v] = false
 	}
+	s.learntBuf = learnt
+	s.clearBuf = toClear[:0]
 	return learnt, btLevel
 }
 
@@ -565,9 +663,9 @@ func (s *Solver) analyze(confl int32) ([]Lit, int) {
 // redundant when every literal of its reason clause is either seen (already
 // in the learnt clause) or assigned at level 0.
 func (s *Solver) litRedundant(l Lit) bool {
-	c := &s.clauses[s.reason[l.Var()]]
-	for _, q := range c.lits[1:] {
-		v := q.Var()
+	lits := s.ar.lits(s.reason[l.Var()])
+	for _, w := range lits[1:] {
+		v := Lit(w).Var()
 		if !s.seen[v] && s.level[v] > 0 {
 			return false
 		}
@@ -629,7 +727,7 @@ func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
 	conflictC := int64(0)
 	for {
 		confl := s.propagate()
-		if confl != clauseNone {
+		if confl != crefUndef {
 			s.stats.Conflicts++
 			conflictC++
 			if s.hConflictDepth != nil {
@@ -651,8 +749,17 @@ func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			lbd := s.lbd(learnt)
 			if s.hLBD != nil {
-				s.hLBD.Record(int64(s.lbd(learnt)))
+				s.hLBD.Record(int64(lbd))
+			}
+			// A backjump that would discard a long trail segment is
+			// replaced by a single chronological step: the learnt clause
+			// is still asserting at the previous level (its non-UIP
+			// literals are false at or below the assertion level).
+			if len(learnt) > 1 && s.decisionLevel()-btLevel > chronoLim {
+				btLevel = s.decisionLevel() - 1
+				s.stats.Chrono++
 			}
 			// Backtracking may pop assumptions; the decision loop below
 			// re-places them, and an assumption found false there proves
@@ -660,10 +767,10 @@ func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
 			s.cancelUntil(btLevel)
 			s.stats.Learnt++
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], clauseNone)
+				s.uncheckedEnqueue(learnt[0], crefUndef)
 			} else {
-				cref := s.attachNew(learnt, true)
-				s.uncheckedEnqueue(learnt[0], cref)
+				c := s.attachLearnt(learnt, lbd)
+				s.uncheckedEnqueue(learnt[0], c)
 			}
 			s.varInc /= 0.95
 			s.claInc /= 0.999
@@ -676,7 +783,7 @@ func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
 			s.exhausted = true
 			return Unknown
 		}
-		if len(s.learnts) > 4000+int(s.stats.Conflicts/10) {
+		if s.numLocal > 2000+int(s.stats.Conflicts/10) {
 			s.reduceDB()
 		}
 		// Place assumptions, then decide.
@@ -707,62 +814,70 @@ func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
 			}
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(next, clauseNone)
+		s.uncheckedEnqueue(next, crefUndef)
 	}
 }
 
-// reduceDB removes roughly half of the learnt clauses, keeping binary,
-// locked (reason) and high-activity clauses, then rebuilds the watch lists.
+// reduceDB trims the learnt database by tier: core clauses (LBD <= 3)
+// are permanent; tier2 clauses survive while conflict analysis keeps
+// using them and are demoted to local otherwise; the local tier is
+// halved, dropping high-LBD low-activity clauses first. Deleted clauses
+// are only marked — watcher entries disappear lazily in propagate and
+// the storage is reclaimed by the arena GC, replacing the old
+// full-watch-list rebuild per reduction.
 func (s *Solver) reduceDB() {
-	if len(s.learnts) == 0 {
-		return
-	}
-	// Sort learnt refs by activity ascending (simple insertion-friendly
-	// approach: selection by median-of-activity threshold).
-	acts := make([]float32, 0, len(s.learnts))
-	for _, ci := range s.learnts {
-		acts = append(acts, s.clauses[ci].act)
-	}
-	med := quickMedian(acts)
-	kept := s.learnts[:0]
-	for _, ci := range s.learnts {
-		c := &s.clauses[ci]
-		locked := false
-		if v := c.lits[0].Var(); s.reason[v] == ci && s.valueLit(c.lits[0]) == lTrue {
-			locked = true
+	s.stats.Reductions++
+	locals := s.redScratch[:0]
+	for _, c := range s.learnts {
+		if s.ar.deleted(c) {
+			continue
 		}
-		if len(c.lits) <= 2 || locked || c.act >= med {
-			kept = append(kept, ci)
-		} else {
-			c.deleted = true
-			c.lits = nil
-			s.stats.Deleted++
+		switch s.ar.tier(c) {
+		case tierCore:
+			continue
+		case tierMid:
+			if s.ar.used(c) {
+				s.ar.setUsed(c, false)
+				continue
+			}
+			s.ar.setTier(c, tierLocal)
+			s.numLocal++
+		}
+		locals = append(locals, c)
+	}
+	// Worst-first: high LBD, then low activity, then youngest (full
+	// tie-break keeps the pass deterministic).
+	sort.Slice(locals, func(i, j int) bool {
+		ci, cj := locals[i], locals[j]
+		if li, lj := s.ar.lbd(ci), s.ar.lbd(cj); li != lj {
+			return li > lj
+		}
+		if ai, aj := s.ar.act(ci), s.ar.act(cj); ai != aj {
+			return ai < aj
+		}
+		return ci > cj
+	})
+	target := len(locals) / 2
+	removed := 0
+	for _, c := range locals {
+		if removed >= target {
+			break
+		}
+		if s.ar.size(c) <= 2 || s.locked(c) {
+			continue
+		}
+		s.deleteClause(c)
+		removed++
+	}
+	s.redScratch = locals[:0]
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !s.ar.deleted(c) {
+			kept = append(kept, c)
 		}
 	}
 	s.learnts = kept
-	s.stats.Reductions++
-	// Rebuild watches to drop deleted clauses.
-	for i := range s.watches {
-		ws := s.watches[i][:0]
-		for _, w := range s.watches[i] {
-			if !s.clauses[w.cref].deleted {
-				ws = append(ws, w)
-			}
-		}
-		s.watches[i] = ws
-	}
-}
-
-func quickMedian(v []float32) float32 {
-	if len(v) == 0 {
-		return 0
-	}
-	// Average is a fine threshold for halving by activity.
-	var sum float64
-	for _, x := range v {
-		sum += float64(x)
-	}
-	return float32(sum / float64(len(v)))
+	s.maybeGC()
 }
 
 // Solve runs the solver under the given assumptions. It returns Sat, Unsat,
@@ -782,7 +897,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 		return Unknown
 	}
 	s.cancelUntil(0)
-	if s.propagate() != clauseNone {
+	if s.propagate() != crefUndef {
 		s.ok = false
 		return Unsat
 	}
@@ -808,7 +923,11 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 				s.model[i] = lFalse
 			}
 		}
-		s.extendModel()
+		// Eliminated-variable reconstruction is deferred until a read
+		// actually needs it: frozen variables (the only ones most
+		// callers read) are never eliminated, so attack loops that poll
+		// ModelValue on interface literals skip the replay entirely.
+		s.modelDirty = len(s.elimCl) > 0
 	}
 	s.cancelUntil(0)
 	return status
@@ -816,6 +935,10 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 
 // ModelValue returns the value of a literal in the last satisfying model.
 func (s *Solver) ModelValue(l Lit) bool {
+	if s.modelDirty && s.elim[l.Var()] {
+		s.extendModel()
+		s.modelDirty = false
+	}
 	v := s.model[l.Var()] == lTrue
 	if l.Neg() {
 		return !v
@@ -825,6 +948,10 @@ func (s *Solver) ModelValue(l Lit) bool {
 
 // Model returns the last satisfying assignment as a bool slice per variable.
 func (s *Solver) Model() []bool {
+	if s.modelDirty {
+		s.extendModel()
+		s.modelDirty = false
+	}
 	m := make([]bool, s.numVars)
 	for i := range m {
 		m[i] = i < len(s.model) && s.model[i] == lTrue

@@ -20,7 +20,8 @@ const (
 // the registry's shared histograms (several solvers aggregate into one
 // distribution; the histograms are lock-free). A nil registry detaches
 // telemetry; with it detached the search loop pays only a nil check per
-// conflict, and LBD is never computed.
+// conflict. (LBD itself is always computed — the tiered learnt database
+// needs it — telemetry only records the value.)
 func (s *Solver) SetTelemetry(reg *obs.Registry) {
 	if reg == nil {
 		s.hConflictDepth, s.hLBD, s.hPropsPerDec = nil, nil, nil
@@ -47,6 +48,28 @@ func (s *Solver) lbd(learnt []Lit) int {
 	n := 0
 	for _, l := range learnt {
 		lv := s.level[l.Var()]
+		if s.lbdStamp[lv] != s.lbdGen {
+			s.lbdStamp[lv] = s.lbdGen
+			n++
+		}
+	}
+	return n
+}
+
+// lbdOfClause is lbd over an arena clause's current assignment levels,
+// used to re-score learnt antecedents during conflict analysis (every
+// literal of a reason/conflict clause is assigned there).
+func (s *Solver) lbdOfClause(c cref) int {
+	need := len(s.trailLim) + 1
+	if len(s.lbdStamp) < need {
+		grown := make([]uint32, s.numVars+1)
+		copy(grown, s.lbdStamp)
+		s.lbdStamp = grown
+	}
+	s.lbdGen++
+	n := 0
+	for _, w := range s.ar.lits(c) {
+		lv := s.level[Lit(w).Var()]
 		if s.lbdStamp[lv] != s.lbdGen {
 			s.lbdStamp[lv] = s.lbdGen
 			n++
