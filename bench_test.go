@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"obfuslock/internal/attacks"
+	"obfuslock/internal/bench"
 	"obfuslock/internal/cec"
 	"obfuslock/internal/core"
 	"obfuslock/internal/experiments"
@@ -31,21 +32,19 @@ import (
 	"obfuslock/internal/techmap"
 )
 
-// benchRecord is one row of BENCH_sat.json: wall time per op, heap
+// Every BENCH_*.json row is a bench.Record — wall time per op, heap
 // allocations per op, plus the cumulative SAT-solver work behind it, so
 // a perf regression can be told apart from a search-behavior change
 // (same ns/op, different conflicts — or vice versa). AllocsPerOp guards
 // the solver's pooled hot paths: the arena clause store keeps it within
 // ~10k for the attack benchmarks, and CI fails a >10% regression.
-type benchRecord struct {
-	NsPerOp     int64     `json:"ns_per_op"`
-	AllocsPerOp int64     `json:"allocs_per_op"`
-	Solver      sat.Stats `json:"solver"`
-}
-
 var (
 	benchRecMu sync.Mutex
-	benchRecs  = map[string]benchRecord{}
+	benchRecs  = map[string]bench.Record{}
+	// attackBenchRecs feeds BENCH_attack.json: the serial/batched
+	// head-to-head of BenchmarkSATAttackBatched, with query counts so the
+	// speedup claim can be checked for equal oracle work.
+	attackBenchRecs = map[string]bench.Record{}
 )
 
 // mallocCount reads the process-wide cumulative allocation counter.
@@ -79,7 +78,7 @@ var cacheBenchRec *cacheBenchRecord // written by BenchmarkTableICached
 func recordBench(b *testing.B, solver sat.Stats, mallocs uint64) {
 	benchRecMu.Lock()
 	defer benchRecMu.Unlock()
-	benchRecs[b.Name()] = benchRecord{
+	benchRecs[b.Name()] = bench.Record{
 		NsPerOp:     b.Elapsed().Nanoseconds() / int64(max(b.N, 1)),
 		AllocsPerOp: int64(mallocs) / int64(max(b.N, 1)),
 		Solver:      solver,
@@ -99,6 +98,26 @@ func TestMain(m *testing.M) {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "BENCH_sat.json:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if len(attackBenchRecs) > 0 {
+		out := make(map[string]any, len(attackBenchRecs)+2)
+		for k, v := range attackBenchRecs {
+			out[k] = v
+		}
+		if s, bt := attackBenchRecs["serial"], attackBenchRecs["batched"]; s.NsPerOp > 0 && bt.NsPerOp > 0 {
+			out["speedup"] = float64(s.NsPerOp) / float64(bt.NsPerOp)
+			out["equal_queries"] = s.Queries == bt.Queries
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_attack.json", append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_attack.json:", err)
 			if code == 0 {
 				code = 1
 			}
@@ -139,10 +158,10 @@ var benchSkews = []float64{8, 12}
 // cmd/attack.
 func suiteByName(names ...string) []netlistgen.Benchmark {
 	var out []netlistgen.Benchmark
-	for _, bench := range netlistgen.SmallSuite() {
+	for _, bm := range netlistgen.SmallSuite() {
 		for _, n := range names {
-			if bench.Name == n {
-				out = append(out, bench)
+			if bm.Name == n {
+				out = append(out, bm)
 			}
 		}
 	}
@@ -154,13 +173,13 @@ func suiteByName(names ...string) []netlistgen.Benchmark {
 // strategies) on the reduced suite.
 func BenchmarkTableI(b *testing.B) {
 	fmt.Fprintln(os.Stderr, experiments.TableIHeader)
-	for _, bench := range suiteByName("c7552-s", "max-s", "b14-s") {
+	for _, bm := range suiteByName("c7552-s", "max-s", "b14-s") {
 		for _, s := range benchSkews {
-			b.Run(fmt.Sprintf("%s/skew%g", bench.Name, s), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/skew%g", bm.Name, s), func(b *testing.B) {
 				var solver sat.Stats
 				m0 := mallocCount()
 				for i := 0; i < b.N; i++ {
-					row, err := experiments.TableIEntry(context.Background(), bench, s, 1, benchBudget, nil)
+					row, err := experiments.TableIEntry(context.Background(), bm, s, 1, benchBudget, nil)
 					if err != nil {
 						b.Skip(err) // e.g. too few inputs for the skew target
 					}
@@ -252,8 +271,8 @@ func BenchmarkTableICached(b *testing.B) {
 // s9234-class circuit: before structural transformation the critical node
 // is discoverable; after it is eliminated.
 func BenchmarkFig4(b *testing.B) {
-	bench := netlistgen.SmallSuite()[0] // s9234-s
-	c := bench.Build()
+	bm := netlistgen.SmallSuite()[0] // s9234-s
+	c := bm.Build()
 	for i := 0; i < b.N; i++ {
 		before, after, err := experiments.Fig4(context.Background(), c, 10, 1, 0, nil)
 		if err != nil {
@@ -261,9 +280,9 @@ func BenchmarkFig4(b *testing.B) {
 		}
 		if i == 0 {
 			fmt.Fprintf(os.Stderr, "Fig4 %s before: skew-hist=%v key-hist=%v critical-visible=%v\n",
-				bench.Name, before.SkewHist, before.KeyHist, before.CriticalVisible)
+				bm.Name, before.SkewHist, before.KeyHist, before.CriticalVisible)
 			fmt.Fprintf(os.Stderr, "Fig4 %s after:  skew-hist=%v key-hist=%v critical-visible=%v\n",
-				bench.Name, after.SkewHist, after.KeyHist, after.CriticalVisible)
+				bm.Name, after.SkewHist, after.KeyHist, after.CriticalVisible)
 			if !before.CriticalVisible {
 				b.Error("naive double-flip should expose the critical node")
 			}
@@ -315,13 +334,13 @@ func BenchmarkStructuralAttacks(b *testing.B) {
 // BenchmarkLockRuntime measures the "Run." column of Table I in isolation:
 // ObfusLock encryption time per benchmark and skewness level.
 func BenchmarkLockRuntime(b *testing.B) {
-	for _, bench := range suiteByName("c7552-s", "max-s") {
-		c := bench.Build()
+	for _, bm := range suiteByName("c7552-s", "max-s") {
+		c := bm.Build()
 		for _, s := range benchSkews {
 			if float64(c.NumInputs()) < s+4 {
 				continue
 			}
-			b.Run(fmt.Sprintf("%s/skew%g", bench.Name, s), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/skew%g", bm.Name, s), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					opt := core.DefaultOptions()
 					opt.TargetSkewBits = s
@@ -458,6 +477,55 @@ func BenchmarkFraigCEC(b *testing.B) {
 	}
 }
 
+// BenchmarkSATAttackBatched measures the batched-DIP-pipeline tentpole
+// head-to-head: the classic serial loop (DIPBatch=1) versus the batched
+// default on the same SARLock cell. A 12-bit SARLock forces one DIP per
+// wrong key (~2^12 iterations) — the worst case the batching targets.
+// The protected width equals the input count, so no two patterns share
+// a wrong key and both modes need exactly the same DIP set: TestMain
+// asserts the speedup was measured at equal oracle work before writing
+// BENCH_attack.json; CI gates on speedup >= 2 with equal_queries true.
+func BenchmarkSATAttackBatched(b *testing.B) {
+	orig := netlistgen.Multiplier(6)
+	l, err := lockbase.SARLock(orig, 12, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{{"serial", 1}, {"batched", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var solver sat.Stats
+			var queries, iters int
+			m0 := mallocCount()
+			for i := 0; i < b.N; i++ {
+				opt := attacks.DefaultIOOptions()
+				opt.MaxIterations = 8000 // > 2^12
+				opt.DIPBatch = mode.batch
+				oracle := locking.NewOracle(orig)
+				r := attacks.SATAttack(context.Background(), l, oracle, opt)
+				if !r.Exact {
+					b.Fatalf("attack must finish the 12-bit SARLock: %+v", r)
+				}
+				solver = solver.Add(r.SolverStats)
+				queries, iters = r.Queries, r.Iterations
+			}
+			mallocs := mallocCount() - m0
+			benchRecMu.Lock()
+			attackBenchRecs[mode.name] = bench.Record{
+				NsPerOp:     b.Elapsed().Nanoseconds() / int64(max(b.N, 1)),
+				AllocsPerOp: int64(mallocs) / int64(max(b.N, 1)),
+				Queries:     queries,
+				Iterations:  iters,
+				Solver:      solver,
+			}
+			benchRecMu.Unlock()
+			b.ReportMetric(float64(queries), "queries")
+		})
+	}
+}
+
 // BenchmarkSATAttackSimp measures the preprocessing tentpole where it
 // matters most: the incremental DIP loop of the SAT attack, whose miter
 // grows by two oracle copies per iteration. A 6-bit SARLock forces ~2^6
@@ -478,6 +546,12 @@ func BenchmarkSATAttackSimp(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt := attacks.DefaultIOOptions()
 				opt.MaxIterations = 200 // > 2^6
+				// Pin the classic serial DIP loop: this benchmark isolates
+				// the simp on/off delta, and the protected width (6) is
+				// narrower than the input count (8), so batched enumeration
+				// would burn iterations on DIPs that collide on the
+				// protected bits.
+				opt.DIPBatch = 1
 				if mode == "off" {
 					opt.Simp = simp.Off()
 				}

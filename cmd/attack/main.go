@@ -75,6 +75,7 @@ func main() {
 	attackName := flag.String("attack", "sat", "attack: sat, appsat, portfolio, sensitization, sps, removal, bypass, valkyrie, spi")
 	timeout := flag.Duration("timeout", time.Minute, "attack timeout")
 	maxIter := flag.Int("maxiter", 2048, "DIP iteration cap")
+	dipBatch := flag.Int("dip-batch", 0, "DIPs enumerated per solver round and answered in one bit-parallel oracle pass (0: default width, 1: classic serial loop)")
 	seed := flag.Int64("seed", 1, "attack randomness seed")
 
 	table1 := flag.Bool("table1", false, "regenerate Table I on the full suite")
@@ -164,6 +165,7 @@ func main() {
 		Workers:       *workers,
 		Deterministic: *det,
 		Simp:          sopt,
+		DIPBatch:      *dipBatch,
 		Trace:         tracer,
 		Cache:         cache,
 	}
@@ -227,6 +229,8 @@ func main() {
 	aopt.Seed = *seed
 	aopt.Trace = tracer
 	aopt.Simp = sopt
+	aopt.DIPBatch = *dipBatch
+	aopt.Cache = cache
 
 	// report prints the outcome and returns false when no key came back —
 	// the caller exits non-zero so sweep scripts can branch on it.

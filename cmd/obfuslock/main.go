@@ -12,6 +12,11 @@
 // DESIGN.md "Equivalence checking & SAT sweeping"); -sweep=false forces
 // the monolithic miter.
 //
+// With -resilience <duration> the tool additionally attacks its own
+// output: the oracle-guided SAT attack runs for that long as a
+// self-check that the lock resists what it claims to resist (-dip-batch
+// sets the attack's DIP batching width).
+//
 // Observability (see DESIGN.md "Observability"): -trace out.jsonl records
 // every lock phase as a JSON-Lines span/event stream, -progress paints a
 // live status line on stderr, -pprof prefix writes <prefix>.cpu.pprof
@@ -46,6 +51,8 @@ func main() {
 	output := flag.Int("po", -1, "protected output index (-1: deepest cone)")
 	noRewrite := flag.Bool("norewrite", false, "skip the final functional-rewriting pass")
 	verify := flag.Bool("verify", true, "prove key correctness by SAT equivalence checking")
+	resilience := flag.Duration("resilience", 0, "after locking, self-check resilience by running the SAT attack with this time budget (0: skip)")
+	dipBatch := flag.Int("dip-batch", 0, "DIPs per solver round of the -resilience self-check, answered in one bit-parallel oracle pass (0: default width, 1: serial)")
 	sweep := flag.Bool("sweep", true, "use SAT sweeping (fraig) for the -verify equivalence proof")
 	sweepWords := flag.Int("sweep-words", 8, "64-pattern signature words seeding the sweep's equivalence classes")
 	useSimp := flag.Bool("simp", true, "SatELite-style CNF preprocessing/inprocessing in every SAT solver")
@@ -164,6 +171,29 @@ func main() {
 		}
 		vsp.End()
 		fmt.Println("verified: correct key restores the original function")
+	}
+
+	if *resilience > 0 {
+		rsp := tracer.Span("resilience", obfuslock.TraceDur("budget", *resilience))
+		aopt := obfuslock.DefaultAttackOptions()
+		aopt.Timeout = *resilience
+		aopt.Seed = *seed
+		aopt.Trace = tracer
+		aopt.Simp = sopt
+		aopt.DIPBatch = *dipBatch
+		aopt.Cache = cache
+		a, _ := obfuslock.AttackNamed("sat")
+		r := a.Run(ctx, res.Locked, obfuslock.NewOracle(c), aopt)
+		rsp.End(obfuslock.TraceBool("key_found", r.Key != nil),
+			obfuslock.TraceInt("iterations", int64(r.Iterations)),
+			obfuslock.TraceInt("queries", int64(r.Queries)))
+		if r.Key != nil {
+			fmt.Printf("resilience: BROKEN — SAT attack recovered a key in %v (%d iterations, %d queries)\n",
+				r.Runtime, r.Iterations, r.Queries)
+		} else {
+			fmt.Printf("resilience: survived a %v SAT attack (%d iterations, %d queries)\n",
+				*resilience, r.Iterations, r.Queries)
+		}
 	}
 
 	of, err := os.Create(*out)

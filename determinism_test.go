@@ -3,9 +3,15 @@ package obfuslock
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 
+	"obfuslock/internal/attacks"
+	"obfuslock/internal/exec"
 	"obfuslock/internal/experiments"
+	"obfuslock/internal/lockbase"
+	"obfuslock/internal/locking"
+	"obfuslock/internal/netlistgen"
 )
 
 // lockBench locks the small adder/comparator at a fixed seed and returns
@@ -78,6 +84,90 @@ func TestAttackTranscriptDeterministic(t *testing.T) {
 	}
 	if got := len(col.EventsNamed("dip")); got != r3.Iterations {
 		t.Fatalf("%d dip events for %d iterations", got, r3.Iterations)
+	}
+}
+
+// batchedKeysAt attacks 50 random lock instances at the given worker
+// count, each once with the classic serial loop (DIPBatch=1) and once
+// with the batched default, and returns the recovered keys. It fails
+// the test if any attack is inexact or any instance's serial and
+// batched keys differ.
+func batchedKeysAt(t *testing.T, workers int) [][]bool {
+	t.Helper()
+	const instances = 50
+	keys := make([][]bool, instances)
+	fail := make([]error, instances)
+	exec.Collect(context.Background(), workers, instances,
+		func(ctx context.Context, i int) []bool {
+			// Alternate schemes; every instance gets its own seed, so the
+			// 50 locks (key values, inserted gates) are all distinct.
+			var orig = netlistgen.Multiplier(3) // 6 inputs
+			var l *locking.Locked
+			var err error
+			if i%2 == 0 {
+				l, err = lockbase.RLL(orig, 10, int64(i+1))
+			} else {
+				l, err = lockbase.SARLock(orig, 6, int64(i+1))
+			}
+			if err != nil {
+				fail[i] = err
+				return nil
+			}
+			run := func(batch int) []bool {
+				opt := attacks.DefaultIOOptions()
+				opt.MaxIterations = 200 // > 2^6 SARLock DIPs
+				opt.DIPBatch = batch
+				r := attacks.SATAttack(ctx, l, locking.NewOracle(orig), opt)
+				if !r.Exact {
+					fail[i] = fmt.Errorf("instance %d batch=%d: not exact: %+v", i, batch, r)
+					return nil
+				}
+				return r.Key
+			}
+			serial, batched := run(1), run(0)
+			if fail[i] == nil && !equalBools(serial, batched) {
+				fail[i] = fmt.Errorf("instance %d: serial key %v != batched key %v", i, serial, batched)
+			}
+			return batched
+		},
+		func(i int, k []bool) { keys[i] = k })
+	for _, err := range fail {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchedKeysByteIdentical pins the batched-oracle determinism
+// contract: on 50 random lock instances (alternating RLL and SARLock)
+// the batched DIP pipeline recovers exactly the key the classic serial
+// loop recovers, and the whole sweep is byte-identical at 1 and 4
+// workers. Canonical key extraction makes the key a property of the
+// locked circuit alone, so neither the enumeration width nor the
+// scheduling of concurrent attacks may leak into the result.
+func TestBatchedKeysByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-instance attack sweep")
+	}
+	k1 := batchedKeysAt(t, 1)
+	k4 := batchedKeysAt(t, 4)
+	for i := range k1 {
+		if !equalBools(k1[i], k4[i]) {
+			t.Fatalf("instance %d: key differs between 1 and 4 workers: %v vs %v", i, k1[i], k4[i])
+		}
 	}
 }
 

@@ -1,9 +1,3 @@
-// Package attacks implements the attack suite ObfusLock is evaluated
-// against: the oracle-guided SAT attack and AppSAT (I/O attacks), the
-// sensitization attack, and the structural attacks — SPS, removal, bypass,
-// Valkyrie-style perturb/restore search, a structural-feature classifier
-// standing in for the published ML attacks, and an SPI-style synthesis
-// attack.
 package attacks
 
 import (
@@ -14,6 +8,7 @@ import (
 	"obfuslock/internal/cnf"
 	"obfuslock/internal/exec"
 	"obfuslock/internal/locking"
+	"obfuslock/internal/memo"
 	"obfuslock/internal/obs"
 	"obfuslock/internal/sat"
 	"obfuslock/internal/simp"
@@ -34,13 +29,32 @@ type IOOptions struct {
 	ReinforceEvery int
 	// RandomQueries per reinforcement round (AppSAT only).
 	RandomQueries int
+	// DIPBatch caps how many candidate DIPs one solve round enumerates
+	// (via activation-guarded blocking clauses) and answers in a single
+	// bit-parallel oracle pass. 0 selects the default width
+	// (defaultDIPBatch); 1 is the classic serial loop. Rounds ramp up to
+	// the cap (1, 2, 4, ...), so easy instances never enumerate a full
+	// redundant batch. Any width recovers the same canonical key on
+	// exact termination — batching changes wall clock, not answers.
+	DIPBatch int
 	// Simp controls CNF preprocessing of the miter before the first DIP
 	// solve and inprocessing between iterations (zero value: enabled
 	// with inprocessing every 16 DIPs; simp.Off() disables; set
 	// InprocessEvery < 0 to preprocess once and never inprocess).
 	Simp simp.Options
+	// Cache, when non-nil, memoizes miter construction as a replayable
+	// solver image keyed on the locked circuit's fingerprint: repeated
+	// attacks on the same circuit skip encoding and go straight to the
+	// DIP loop, with bit-identical search behavior.
+	Cache *memo.Cache
+	// Queue, when non-nil, shares answered I/O pairs with concurrent
+	// attacks on the same locked circuit (see DIPQueue). Drained pairs
+	// add constraints but never count as this attack's iterations or
+	// queries. Arrival order is scheduling-dependent, so deterministic
+	// paths leave Queue nil; Portfolio wires it automatically.
+	Queue *DIPSub
 	// Trace receives an attack.sat / attack.appsat span with one dip
-	// event per DIP iteration (elapsed time, oracle queries, solver
+	// event per DIP (elapsed time, oracle queries, per-round solver
 	// conflict/learnt deltas), AppSAT reinforce events, and periodic
 	// solver.progress events every ProgressConflicts conflicts. A nil
 	// tracer costs nothing and never changes attack behavior.
@@ -59,6 +73,29 @@ func DefaultIOOptions() IOOptions {
 // when IOOptions.Simp.InprocessEvery is 0.
 const inprocessDefault = 16
 
+// batchWidth normalizes the configured DIP batch width.
+func (o IOOptions) batchWidth() int {
+	if o.DIPBatch <= 0 {
+		return defaultDIPBatch
+	}
+	return o.DIPBatch
+}
+
+// rampWidth is the enumeration width of 0-based round r: it doubles
+// from 1 up to the configured batch width. Easy instances that
+// terminate within a handful of DIPs therefore never spend a
+// full-width round enumerating redundant patterns — iteration budgets
+// calibrated for the serial loop keep their meaning — while long hunts
+// reach the full width within log2(K) rounds, which is noise against
+// the hundreds of rounds they run.
+func (o IOOptions) rampWidth(r int) int {
+	w := o.batchWidth()
+	if r < 31 && 1<<r < w {
+		return 1 << r
+	}
+	return w
+}
+
 // IOResult reports an I/O attack outcome.
 type IOResult struct {
 	// Key is the returned key (nil when none could be extracted).
@@ -73,6 +110,10 @@ type IOResult struct {
 	Iterations int
 	// Queries counts oracle queries.
 	Queries int
+	// Shared counts I/O constraints imported from a portfolio DIP queue
+	// (answered by other variants; included in neither Iterations nor
+	// Queries).
+	Shared int
 	// Runtime of the attack.
 	Runtime time.Duration
 	// SolverStats are the miter solver's cumulative work counters.
@@ -89,58 +130,60 @@ type attackState struct {
 	k2Lits  []sat.Lit
 	actDiff sat.Lit // activation literal for the difference miter
 	stopped func() bool
-	// Per-DIP scratch, pooled so addIOConstraint's allocations do not
-	// scale with the circuit size on every iteration.
-	spec    *aig.AIG
-	specEnc *cnf.Encoder
-	// hDIP is the per-DIP solve+oracle+constrain latency histogram
-	// (attack.dip_us); nil with telemetry off, and the loops then never
-	// read the clock for it.
-	hDIP *obs.Histogram
+	queue   *DIPSub
+	// cone amortizes I/O-constraint folding across a batch: one
+	// bit-parallel pass over the locked circuit per batch instead of a
+	// full-graph constant fold per DIP.
+	cone *locking.KeyCone
+	// Per-DIP scratch, pooled so addIOConstraint's and blockDIP's
+	// allocations do not scale with the circuit size on every iteration.
+	spec     *aig.AIG
+	specEnc  *cnf.Encoder
+	blockBuf []sat.Lit
+	// Pipeline histograms; all nil with telemetry off, and the loops
+	// then never read the clock for them.
+	hDIP    *obs.Histogram // per-round latency (attack.dip_us)
+	hBatch  *obs.Histogram // answered batch sizes (attack.batch_size)
+	hOracle *obs.Histogram // batched oracle latency (attack.oracle_us)
+	hDPS    *obs.Histogram // DIPs enumerated per solve round (attack.dips_per_solve)
 }
 
-// MetricDIPLatency is the per-DIP iteration latency histogram
-// (microseconds: miter solve + oracle query + constraint add).
-const MetricDIPLatency = "attack.dip_us"
+// Histogram names of the batched DIP pipeline. All are record-only:
+// detaching the tracer never changes attack behavior.
+const (
+	// MetricDIPLatency is the per-round pipeline latency histogram
+	// (microseconds: miter solve + DIP enumeration + batched oracle
+	// query + bulk constraint add).
+	MetricDIPLatency = "attack.dip_us"
+	// MetricBatchSize is the histogram of answered oracle batch sizes.
+	MetricBatchSize = "attack.batch_size"
+	// MetricOracleLatency is the batched oracle query latency histogram
+	// (microseconds per QueryBatch call).
+	MetricOracleLatency = "attack.oracle_us"
+	// MetricDIPsPerSolve is the histogram of DIPs enumerated per solve
+	// round (how much each round's blocking-clause enumeration yields).
+	MetricDIPsPerSolve = "attack.dips_per_solve"
+)
 
-func newAttackState(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, tr *obs.Tracer, sp *obs.Span, progressEvery int64) *attackState {
-	s := sat.New()
-	e1 := cnf.NewEncoder(l.Enc, s)
-	e2 := cnf.NewEncoder(l.Enc, s)
-	xLits := make([]sat.Lit, l.NumInputs)
-	for i := range xLits {
-		xLits[i] = e1.InputLit(i)
-		e2.TieInput(i, xLits[i])
-	}
-	k1 := make([]sat.Lit, l.KeyBits)
-	k2 := make([]sat.Lit, l.KeyBits)
-	for i := 0; i < l.KeyBits; i++ {
-		k1[i] = e1.InputLit(l.NumInputs + i)
-		k2[i] = e2.InputLit(l.NumInputs + i)
-	}
-	o1 := e1.Encode()
-	o2 := e2.Encode()
-	diffs := make([]sat.Lit, len(o1))
-	for i := range o1 {
-		diffs[i] = cnf.XorLit(s, o1[i], o2[i])
-	}
-	diff := cnf.OrLit(s, diffs...)
-	act := sat.MkLit(s.NewVar(), false)
-	// act -> diff: the miter is active only under assumption act. The
-	// activation literal is assumed both ways later, so it must survive
-	// preprocessing.
-	s.FreezeLit(act)
-	s.AddClause(diff, act.Not())
+func newAttackState(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt IOOptions, sp *obs.Span) *attackState {
+	s, xLits, k1, k2, act := cachedMiter(opt.Cache, l)
+	tr := opt.Trace
 	st := &attackState{
 		l: l, oracle: oracle, s: s,
 		xLits: xLits, k1Lits: k1, k2Lits: k2, actDiff: act,
 		stopped: func() bool { return ctx.Err() != nil },
+		queue:   opt.Queue,
+		cone:    locking.NewKeyCone(l.Enc, l.NumInputs),
 		spec:    aig.New(),
 		hDIP:    tr.Histogram(MetricDIPLatency),
+		hBatch:  tr.Histogram(MetricBatchSize),
+		hOracle: tr.Histogram(MetricOracleLatency),
+		hDPS:    tr.Histogram(MetricDIPsPerSolve),
 	}
 	s.SetContext(ctx)
 	s.SetTelemetry(tr.Registry())
 	if sp.Enabled() {
+		progressEvery := opt.ProgressConflicts
 		if progressEvery == 0 {
 			progressEvery = 10000
 		}
@@ -167,7 +210,35 @@ func newAttackState(ctx context.Context, l *locking.Locked, oracle *locking.Orac
 // mention frozen key literals and fresh solver variables, so they remain
 // sound after any earlier variable elimination.
 func (st *attackState) addIOConstraint(x, y []bool) {
-	spec := locking.BindInputsInto(st.spec, st.l.Enc, st.l.NumInputs, x)
+	st.encodeSpec(locking.BindInputsInto(st.spec, st.l.Enc, st.l.NumInputs, x), y)
+}
+
+// addIOConstraints asserts enc(x, k) == y for a whole answered batch.
+// One bit-parallel simulation pass over the locked circuit replaces the
+// per-pattern full-graph constant fold of addIOConstraint; the bound
+// cones (and therefore the emitted clauses) are identical.
+func (st *attackState) addIOConstraints(xs, ys [][]bool, perDIP func(j int)) {
+	if len(xs) == 1 {
+		// A single pattern (the classic serial loop) folds directly; the
+		// simulation pass only pays off amortized across a batch.
+		st.addIOConstraint(xs[0], ys[0])
+		if perDIP != nil {
+			perDIP(0)
+		}
+		return
+	}
+	v := st.cone.Simulate(xs)
+	for j := range xs {
+		st.encodeSpec(st.cone.BindInto(st.spec, v, j), ys[j])
+		if perDIP != nil {
+			perDIP(j)
+		}
+	}
+}
+
+// encodeSpec asserts the key-only cone spec's outputs equal y for both
+// key copies of the miter.
+func (st *attackState) encodeSpec(spec *aig.AIG, y []bool) {
 	for _, kLits := range [][]sat.Lit{st.k1Lits, st.k2Lits} {
 		if st.specEnc == nil {
 			st.specEnc = cnf.NewEncoder(spec, st.s)
@@ -189,23 +260,37 @@ func (st *attackState) addIOConstraint(x, y []bool) {
 	}
 }
 
-// extractKey solves with the miter deactivated; any model's k1 satisfies
-// every recorded I/O constraint.
-func (st *attackState) extractKey() []bool {
-	if st.s.Solve(st.actDiff.Not()) != sat.Sat {
-		return nil
+// drainQueue imports I/O pairs answered by other portfolio variants
+// since the last round. Imported pairs become constraints immediately
+// but are accounted separately from the attack's own work.
+func (st *attackState) drainQueue(res *IOResult) {
+	if st.queue == nil {
+		return
 	}
-	key := make([]bool, st.l.KeyBits)
-	for i, kl := range st.k1Lits {
-		key[i] = st.s.ModelValue(kl)
+	res.Shared += st.queue.Drain(func(x, y []bool) { st.addIOConstraint(x, y) })
+}
+
+// inprocessDue reports whether the serial inprocessing cadence fires
+// anywhere in the iteration span (lo, hi] that one batched round just
+// covered; the pass then runs once for the whole round.
+func inprocessDue(o simp.Options, lo, hi int) bool {
+	for it := lo + 1; it <= hi; it++ {
+		if o.InprocessDue(it, inprocessDefault) {
+			return true
+		}
 	}
-	return key
+	return false
 }
 
 // SATAttack runs the oracle-guided SAT attack (Subramanyan et al.): find a
 // distinguishing input pattern, query the oracle, constrain both key
-// copies, repeat until no DIP remains; then any consistent key is correct.
-// Cancelling ctx stops the attack promptly with a TimedOut result.
+// copies, repeat until no DIP remains; then any consistent key is correct
+// and the canonical (lexicographically smallest) one is returned. The DIP
+// loop runs in batched rounds — up to IOOptions.DIPBatch patterns are
+// enumerated per solve and answered by one bit-parallel oracle pass —
+// which changes wall clock but neither the recovered key nor the oracle
+// query accounting. Cancelling ctx stops the attack promptly with a
+// TimedOut result.
 func SATAttack(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
 	start := time.Now()
 	ctx, cancel := exec.WithTimeout(opt.Timeout).Bind(ctx)
@@ -213,55 +298,62 @@ func SATAttack(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, o
 	sp := opt.Trace.Span("attack.sat",
 		obs.Int("inputs", int64(l.NumInputs)),
 		obs.Int("key_bits", int64(l.KeyBits)),
-		obs.Int("enc_nodes", int64(l.Enc.NumNodes())))
-	st := newAttackState(ctx, l, oracle, opt.Trace, sp, opt.ProgressConflicts)
+		obs.Int("enc_nodes", int64(l.Enc.NumNodes())),
+		obs.Int("dip_batch", int64(opt.batchWidth())))
+	st := newAttackState(ctx, l, oracle, opt, sp)
 	// Preprocess the miter once up front. All interface literals (inputs,
 	// both key copies, the activation literal) are frozen, so full
 	// variable elimination is sound here and for every later constraint.
 	simp.Apply(st.s, opt.Simp, opt.Trace)
 	res := IOResult{}
-	for {
+	for round := 0; ; round++ {
 		if opt.MaxIterations > 0 && res.Iterations >= opt.MaxIterations {
 			res.TimedOut = true
 			break
 		}
-		var iterStart time.Time
+		width := opt.rampWidth(round)
+		if opt.MaxIterations > 0 && res.Iterations+width > opt.MaxIterations {
+			width = opt.MaxIterations - res.Iterations
+		}
+		st.drainQueue(&res)
+		var roundStart time.Time
 		if st.hDIP != nil {
-			iterStart = time.Now()
+			roundStart = time.Now()
 		}
 		prev := st.s.Stats()
-		status := st.s.Solve(st.actDiff)
+		status, dips := st.dipRound(width)
 		if status == sat.Unknown {
 			res.TimedOut = true
 			break
 		}
 		if status == sat.Unsat {
-			// No DIP remains: extract a correct key.
+			// No DIP remains: extract the canonical correct key.
 			res.Key = st.extractKey()
 			res.Exact = res.Key != nil
 			break
 		}
-		dip := make([]bool, l.NumInputs)
-		for i, xl := range st.xLits {
-			dip[i] = st.s.ModelValue(xl)
+		ys := st.answerBatch(dips)
+		d := st.s.Stats().Sub(prev)
+		st.addIOConstraints(dips, ys, func(j int) {
+			res.Iterations++
+			if sp.Enabled() {
+				sp.Event("dip",
+					obs.Int("iter", int64(res.Iterations)),
+					obs.Dur("elapsed", time.Since(start)),
+					obs.Int("queries", int64(oracle.Queries)),
+					obs.Int("batch", int64(len(dips))),
+					obs.Int("conflicts_delta", d.Conflicts),
+					obs.Int("learnt_delta", d.Learnt),
+					obs.Int("decisions_delta", d.Decisions))
+			}
+		})
+		if st.queue != nil {
+			st.queue.Publish(dips, ys)
 		}
-		y := oracle.Query(dip)
-		st.addIOConstraint(dip, y)
-		res.Iterations++
 		if st.hDIP != nil {
-			st.hDIP.RecordDuration(time.Since(iterStart))
+			st.hDIP.RecordDuration(time.Since(roundStart))
 		}
-		if sp.Enabled() {
-			d := st.s.Stats().Sub(prev)
-			sp.Event("dip",
-				obs.Int("iter", int64(res.Iterations)),
-				obs.Dur("elapsed", time.Since(start)),
-				obs.Int("queries", int64(oracle.Queries)),
-				obs.Int("conflicts_delta", d.Conflicts),
-				obs.Int("learnt_delta", d.Learnt),
-				obs.Int("decisions_delta", d.Decisions))
-		}
-		if opt.Simp.InprocessDue(res.Iterations, inprocessDefault) {
+		if inprocessDue(opt.Simp, res.Iterations-len(dips), res.Iterations) {
 			simp.Apply(st.s, opt.Simp, opt.Trace)
 		}
 		if st.stopped() {
@@ -278,6 +370,7 @@ func SATAttack(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, o
 	sp.End(
 		obs.Int("iterations", int64(res.Iterations)),
 		obs.Int("queries", int64(res.Queries)),
+		obs.Int("shared", int64(res.Shared)),
 		obs.Bool("exact", res.Exact),
 		obs.Bool("timed_out", res.TimedOut),
 		obs.Bool("key_found", res.Key != nil),
@@ -287,8 +380,11 @@ func SATAttack(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, o
 
 // AppSAT runs the approximate SAT attack (Shamsi et al.): the DIP loop is
 // augmented with random-query reinforcement and cut off after a fixed
-// iteration budget, returning a key not yet proved incorrect. Cancelling
-// ctx stops the attack promptly with a TimedOut result.
+// iteration budget, returning a key not yet proved incorrect. The loop
+// runs in the same batched rounds as SATAttack; reinforcement rounds owed
+// by the iterations a batch covered run right after it, drawing the same
+// pattern stream as the serial loop. Cancelling ctx stops the attack
+// promptly with a TimedOut result.
 func AppSAT(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt IOOptions) IOResult {
 	start := time.Now()
 	ctx, cancel := exec.WithTimeout(opt.Timeout).Bind(ctx)
@@ -305,18 +401,25 @@ func AppSAT(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt 
 	sp := opt.Trace.Span("attack.appsat",
 		obs.Int("inputs", int64(l.NumInputs)),
 		obs.Int("key_bits", int64(l.KeyBits)),
-		obs.Int("max_iterations", int64(opt.MaxIterations)))
-	st := newAttackState(ctx, l, oracle, opt.Trace, sp, opt.ProgressConflicts)
+		obs.Int("max_iterations", int64(opt.MaxIterations)),
+		obs.Int("dip_batch", int64(opt.batchWidth())))
+	st := newAttackState(ctx, l, oracle, opt, sp)
 	simp.Apply(st.s, opt.Simp, opt.Trace)
 	rng := newSplitMix(opt.Seed)
 	res := IOResult{}
-	for res.Iterations < opt.MaxIterations {
-		var iterStart time.Time
+	reinforced := 0
+	for round := 0; res.Iterations < opt.MaxIterations; round++ {
+		width := opt.rampWidth(round)
+		if res.Iterations+width > opt.MaxIterations {
+			width = opt.MaxIterations - res.Iterations
+		}
+		st.drainQueue(&res)
+		var roundStart time.Time
 		if st.hDIP != nil {
-			iterStart = time.Now()
+			roundStart = time.Now()
 		}
 		prev := st.s.Stats()
-		status := st.s.Solve(st.actDiff)
+		status, dips := st.dipRound(width)
 		if status == sat.Unknown {
 			res.TimedOut = true
 			break
@@ -326,41 +429,49 @@ func AppSAT(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt 
 			res.Exact = res.Key != nil
 			break
 		}
-		dip := make([]bool, l.NumInputs)
-		for i, xl := range st.xLits {
-			dip[i] = st.s.ModelValue(xl)
+		ys := st.answerBatch(dips)
+		d := st.s.Stats().Sub(prev)
+		st.addIOConstraints(dips, ys, func(j int) {
+			res.Iterations++
+			if sp.Enabled() {
+				sp.Event("dip",
+					obs.Int("iter", int64(res.Iterations)),
+					obs.Dur("elapsed", time.Since(start)),
+					obs.Int("queries", int64(oracle.Queries)),
+					obs.Int("batch", int64(len(dips))),
+					obs.Int("conflicts_delta", d.Conflicts),
+					obs.Int("learnt_delta", d.Learnt),
+					obs.Int("decisions_delta", d.Decisions))
+			}
+		})
+		if st.queue != nil {
+			st.queue.Publish(dips, ys)
 		}
-		st.addIOConstraint(dip, oracle.Query(dip))
-		res.Iterations++
 		if st.hDIP != nil {
-			st.hDIP.RecordDuration(time.Since(iterStart))
+			st.hDIP.RecordDuration(time.Since(roundStart))
 		}
-		if sp.Enabled() {
-			d := st.s.Stats().Sub(prev)
-			sp.Event("dip",
-				obs.Int("iter", int64(res.Iterations)),
-				obs.Dur("elapsed", time.Since(start)),
-				obs.Int("queries", int64(oracle.Queries)),
-				obs.Int("conflicts_delta", d.Conflicts),
-				obs.Int("learnt_delta", d.Learnt),
-				obs.Int("decisions_delta", d.Decisions))
-		}
-		if res.Iterations%opt.ReinforceEvery == 0 {
-			for q := 0; q < opt.RandomQueries; q++ {
+		// Run the reinforcement rounds the batch's iterations owe,
+		// drawing random patterns in the same order as the serial loop
+		// and answering each round with one bit-parallel oracle pass.
+		for owed := res.Iterations / opt.ReinforceEvery; reinforced < owed; reinforced++ {
+			xs := make([][]bool, opt.RandomQueries)
+			for q := range xs {
 				x := make([]bool, l.NumInputs)
 				for i := range x {
 					x[i] = rng.next()&1 == 1
 				}
-				st.addIOConstraint(x, oracle.Query(x))
+				xs[q] = x
 			}
+			rys := oracle.QueryBatch(xs)
+			st.addIOConstraints(xs, rys, nil)
 			if sp.Enabled() {
 				sp.Event("reinforce",
-					obs.Int("round", int64(res.Iterations/opt.ReinforceEvery)),
+					obs.Int("round", int64(reinforced+1)),
 					obs.Int("random_queries", int64(opt.RandomQueries)),
 					obs.Int("queries", int64(oracle.Queries)))
 			}
 		}
-		if opt.Simp.InprocessDue(res.Iterations, inprocessDefault) {
+		if inprocessDue(opt.Simp, res.Iterations-len(dips), res.Iterations) {
 			simp.Apply(st.s, opt.Simp, opt.Trace)
 		}
 		if st.stopped() {
@@ -377,6 +488,7 @@ func AppSAT(ctx context.Context, l *locking.Locked, oracle *locking.Oracle, opt 
 	sp.End(
 		obs.Int("iterations", int64(res.Iterations)),
 		obs.Int("queries", int64(res.Queries)),
+		obs.Int("shared", int64(res.Shared)),
 		obs.Bool("exact", res.Exact),
 		obs.Bool("timed_out", res.TimedOut),
 		obs.Bool("key_found", res.Key != nil),

@@ -60,6 +60,13 @@ type PortfolioResult struct {
 // SAT-whole and AppSAT have wildly different runtimes per circuit, and
 // the attacker only needs the fastest one.
 //
+// Variants that attack the same locked circuit (same Locked value and
+// same underlying oracle circuit) are wired to a shared DIPQueue: each
+// publishes the I/O pairs it answers and drains the others' between
+// rounds, so the racers cooperate on shrinking the key space while still
+// competing on strategy. A variant whose Opt.Queue is already set keeps
+// the caller's wiring.
+//
 // Every variant goroutine is joined before Portfolio returns — no
 // goroutines outlive the call. Which variant wins can depend on
 // scheduling; use the deterministic sweep paths when byte-stable output
@@ -70,6 +77,7 @@ func Portfolio(ctx context.Context, variants []PortfolioVariant, tr *obs.Tracer)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	subs := wireQueues(variants)
 	res := PortfolioResult{Outcomes: make([]PortfolioOutcome, len(variants))}
 	wins := make(chan int, len(variants))
 	var wg sync.WaitGroup
@@ -78,6 +86,9 @@ func Portfolio(ctx context.Context, variants []PortfolioVariant, tr *obs.Tracer)
 		go func(i int) {
 			defer wg.Done()
 			v := variants[i]
+			if v.Opt.Queue == nil {
+				v.Opt.Queue = subs[i]
+			}
 			var r IOResult
 			switch v.Attack {
 			case "appsat":
@@ -111,4 +122,43 @@ func Portfolio(ctx context.Context, variants []PortfolioVariant, tr *obs.Tracer)
 		obs.Bool("key_found", res.Key != nil),
 		obs.Dur("runtime", res.Runtime))
 	return res
+}
+
+// wireQueues builds one shared DIPQueue per group of variants racing the
+// same locked circuit against the same oracle circuit, and returns a
+// per-variant subscription (nil for variants with no group partner).
+// I/O pairs are ground truth for the shared circuit, so cross-feeding
+// them between the group's members is sound for every strategy.
+func wireQueues(variants []PortfolioVariant) []*DIPSub {
+	type groupKey struct {
+		l *locking.Locked
+		g *aig.AIG
+	}
+	counts := make(map[groupKey]int, len(variants))
+	for i := range variants {
+		v := &variants[i]
+		if v.Locked == nil || v.Oracle == nil {
+			continue
+		}
+		counts[groupKey{v.Locked, v.Oracle.Circuit()}]++
+	}
+	queues := make(map[groupKey]*DIPQueue)
+	subs := make([]*DIPSub, len(variants))
+	for i := range variants {
+		v := &variants[i]
+		if v.Locked == nil || v.Oracle == nil {
+			continue
+		}
+		k := groupKey{v.Locked, v.Oracle.Circuit()}
+		if counts[k] < 2 {
+			continue
+		}
+		q := queues[k]
+		if q == nil {
+			q = NewDIPQueue()
+			queues[k] = q
+		}
+		subs[i] = q.Join()
+	}
+	return subs
 }

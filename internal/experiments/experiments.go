@@ -55,6 +55,11 @@ type Budget struct {
 	// and attacks of every sweep cell (zero value: enabled; simp.Off()
 	// for the CLIs' -simp=false).
 	Simp simp.Options
+	// DIPBatch is the per-round DIP enumeration width of the sweep's I/O
+	// attacks (0: the attacks' default; 1: the classic serial loop).
+	// Exact attack outcomes are identical at any width; iteration-count
+	// cells can differ between widths but are deterministic per width.
+	DIPBatch int
 	// Trace, when non-nil, receives lock and attack spans for every
 	// sweep cell plus table1.cell wrapper spans.
 	Trace *obs.Tracer
@@ -191,6 +196,8 @@ func TableIEntry(ctx context.Context, b netlistgen.Benchmark, skewBits float64, 
 	aopt.Seed = seed
 	aopt.Trace = budget.Trace
 	aopt.Simp = budget.Simp
+	aopt.DIPBatch = budget.DIPBatch
+	aopt.Cache = budget.Cache
 	if budget.Deterministic {
 		// Deterministic cells are bounded by iteration count only; a
 		// wall-clock cutoff would decide cells differently between runs.

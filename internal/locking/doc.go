@@ -1,0 +1,29 @@
+// Package locking defines the conventions shared by every locking scheme
+// and attack in this repository: how key inputs are represented, how keys
+// are applied, and how oracles are queried.
+//
+// # The locked-circuit convention
+//
+// A locked circuit is an AIG whose primary inputs are the m original
+// inputs followed by KeyBits key inputs (named k0, k1, ...). Binding the
+// key inputs to the correct key restores the original function. Locked
+// bundles the encrypted netlist with that interface split; FromNetlist
+// recovers the split from the key-input naming convention, which is the
+// attacker's view of a netlist leaked without its key.
+//
+// # Oracles and the batching contract
+//
+// Oracle models the attacker's working chip: query-only access to the
+// original function, with a query counter. It answers one pattern at a
+// time (Query) or a whole batch in one 64-way bit-parallel simulation
+// pass (QueryBatch). The two are bit-exact for the same patterns, and
+// both charge one query per pattern, so serial and batched attacks are
+// always compared at equal oracle query counts. Batching only changes
+// how fast answers arrive, never what they are — the batched SAT-attack
+// pipeline in internal/attacks leans on this to stay byte-identical
+// with its serial counterpart.
+//
+// Oracles are not safe for concurrent use (the query counter is
+// unsynchronized); racing attack variants each wrap their own Oracle
+// around the shared circuit (Circuit).
+package locking

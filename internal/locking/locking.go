@@ -1,10 +1,3 @@
-// Package locking defines the conventions shared by every locking scheme
-// and attack in this repository: how key inputs are represented, how keys
-// are applied, and how oracles are queried.
-//
-// A locked circuit is an AIG whose primary inputs are the m original
-// inputs followed by KeyBits key inputs (named k0, k1, ...). Binding the
-// key inputs to the correct key restores the original function.
 package locking
 
 import (
@@ -13,6 +6,7 @@ import (
 
 	"obfuslock/internal/aig"
 	"obfuslock/internal/cec"
+	"obfuslock/internal/sim"
 )
 
 // Locked is a key-protected circuit.
@@ -105,6 +99,106 @@ func BindInputsInto(dst, enc *aig.AIG, m int, x []bool) *aig.AIG {
 	return ng
 }
 
+// KeyCone is the precomputed key-dependent skeleton of a locked
+// circuit, the batched counterpart of BindInputs. Binding an input
+// pattern folds every key-independent node to a constant, which costs a
+// full-graph walk per pattern; a KeyCone amortizes that across a DIP
+// batch: Simulate evaluates all key-independent nodes for up to 64
+// patterns in one bit-parallel pass, and BindInto then walks only the
+// (usually tiny) key-dependent cone per pattern. The bound cone is
+// byte-identical to BindInputsInto's for the same pattern. A KeyCone is
+// not safe for concurrent use: it reuses internal scratch across calls.
+type KeyCone struct {
+	enc  *aig.AIG
+	m    int
+	vars []uint32  // key-dependent non-input vars in output TFI, topological
+	dep  []bool    // per var: depends on at least one key input
+	mp   []aig.Lit // scratch: enc var -> bound lit, rewritten per BindInto
+}
+
+// NewKeyCone precomputes the key-dependent cone of enc, whose first m
+// inputs are original inputs and whose remaining inputs are key inputs.
+func NewKeyCone(enc *aig.AIG, m int) *KeyCone {
+	dep := make([]bool, enc.MaxVar()+1)
+	for i := m; i < enc.NumInputs(); i++ {
+		dep[enc.InputVar(i)] = true
+	}
+	tfi := enc.TFI(enc.Outputs()...)
+	var vars []uint32
+	for v := uint32(1); v <= enc.MaxVar(); v++ {
+		if enc.Op(v) == aig.OpInput {
+			continue
+		}
+		for _, f := range enc.Fanins(v) {
+			if dep[f.Var()] {
+				dep[v] = true
+				break
+			}
+		}
+		if dep[v] && tfi[v] {
+			vars = append(vars, v)
+		}
+	}
+	return &KeyCone{enc: enc, m: m, vars: vars, dep: dep,
+		mp: make([]aig.Lit, enc.MaxVar()+1)}
+}
+
+// Simulate evaluates the locked circuit on a batch of original-input
+// patterns in one bit-parallel pass. Key inputs are driven with zero,
+// which is irrelevant for the key-independent nodes BindInto reads.
+func (kc *KeyCone) Simulate(xs [][]bool) *sim.Vectors {
+	full := make([][]bool, len(xs))
+	for j, x := range xs {
+		if len(x) != kc.m {
+			panic("locking: KeyCone pattern width mismatch")
+		}
+		p := make([]bool, kc.enc.NumInputs())
+		copy(p, x)
+		full[j] = p
+	}
+	return sim.Run(kc.enc, sim.Pack(full, kc.enc.NumInputs()))
+}
+
+// BindInto rebuilds dst (Reset first) as the key-only constraint cone of
+// pattern j of a Simulate batch — the same graph BindInputsInto builds
+// for that pattern, at cone-sized instead of circuit-sized cost.
+func (kc *KeyCone) BindInto(dst *aig.AIG, v *sim.Vectors, j int) *aig.AIG {
+	ng := dst
+	ng.Reset()
+	enc := kc.enc
+	word, bit := j/64, uint(j)%64
+	m := kc.mp
+	for i := kc.m; i < enc.NumInputs(); i++ {
+		m[enc.InputVar(i)] = ng.AddInput(enc.InputName(i))
+	}
+	// mf maps an enc literal: key-dependent vars were bound earlier in
+	// the topological walk; everything else is a simulated constant.
+	mf := func(l aig.Lit) aig.Lit {
+		if kc.dep[l.Var()] {
+			return m[l.Var()].NotIf(l.IsCompl())
+		}
+		if v.Node(l.Var())[word]>>bit&1 == 1 != l.IsCompl() {
+			return aig.ConstTrue
+		}
+		return aig.ConstFalse
+	}
+	for _, nv := range kc.vars {
+		fan := enc.Fanins(nv)
+		switch enc.Op(nv) {
+		case aig.OpAnd:
+			m[nv] = ng.And(mf(fan[0]), mf(fan[1]))
+		case aig.OpXor:
+			m[nv] = ng.Xor(mf(fan[0]), mf(fan[1]))
+		case aig.OpMaj:
+			m[nv] = ng.Maj(mf(fan[0]), mf(fan[1]), mf(fan[2]))
+		}
+	}
+	for i, o := range enc.Outputs() {
+		ng.AddOutput(mf(o), enc.OutputName(i))
+	}
+	return ng
+}
+
 // VerifyKey checks by SAT whether key restores orig exactly. The proof
 // runs unbounded; use VerifyKeyContext to make it cancellable.
 func (l *Locked) VerifyKey(orig *aig.AIG, key []bool) (bool, error) {
@@ -182,6 +276,37 @@ func NewOracle(g *aig.AIG) *Oracle { return &Oracle{g: g} }
 func (o *Oracle) Query(x []bool) []bool {
 	o.Queries++
 	return o.g.Eval(x)
+}
+
+// QueryBatch answers a whole batch of input patterns in one bit-parallel
+// simulation pass: the patterns are packed 64 to a word (sim.Pack) and
+// the circuit is walked once, instead of once per pattern as with
+// repeated Query calls. The result is positionally aligned with xs and
+// bit-exact with serial Query answers.
+//
+// Queries grows by len(xs): a batched query is charged exactly like
+// len(xs) serial queries, so batched and serial attacks are compared at
+// equal oracle query counts.
+func (o *Oracle) QueryBatch(xs [][]bool) [][]bool {
+	o.Queries += len(xs)
+	if len(xs) == 0 {
+		return nil
+	}
+	if len(xs) == 1 {
+		return [][]bool{o.g.Eval(xs[0])}
+	}
+	v := sim.Run(o.g, sim.Pack(xs, o.g.NumInputs()))
+	ys := make([][]bool, len(xs))
+	for j := range ys {
+		ys[j] = make([]bool, o.g.NumOutputs())
+	}
+	for i := 0; i < o.g.NumOutputs(); i++ {
+		w := v.Output(i)
+		for j := range xs {
+			ys[j][i] = w[j/64]>>(uint(j)%64)&1 == 1
+		}
+	}
+	return ys
 }
 
 // Circuit returns the wrapped original circuit. Attack portfolios use it

@@ -1,0 +1,191 @@
+package sat
+
+// Image is a replayable snapshot of a solver taken before any search or
+// simplification has run: the variable count, the arena-packed problem
+// clauses, the level-0 trail with its reasons, the watcher lists and the
+// frozen marks, all captured verbatim. NewFromImage reconstructs a
+// solver whose observable state — and therefore whose subsequent search
+// — is bit-identical to the snapshot source. That exactness is the
+// point: the SAT attack memoizes miter construction through an Image,
+// and the replayed attack must stay byte-identical with a cache-off run
+// (the CI determinism sweeps diff the two).
+//
+// The fields are exported with JSON tags so an Image survives a round
+// trip through the memo disk spill unchanged; treat a stored Image as
+// immutable (NewFromImage deep-copies everything it installs).
+type Image struct {
+	NumVars int      `json:"num_vars"`
+	Ok      bool     `json:"ok"`
+	Arena   []uint32 `json:"arena"`
+	Wasted  int      `json:"wasted"`
+	Clauses []uint32 `json:"clauses"`
+	// WatchRefs/WatchBlockers are the flattened watcher table in list
+	// order: WatchLen[l] consecutive entries belong to literal index l.
+	// List order matters — level-0 propagation appends and reorders
+	// watchers, and replaying them in a different order would change the
+	// propagation order of the rebuilt solver.
+	WatchRefs     []uint32 `json:"watch_refs"`
+	WatchBlockers []int32  `json:"watch_blockers"`
+	WatchLen      []int32  `json:"watch_len"`
+	Assign        []int8   `json:"assign"`
+	Level         []int32  `json:"level"`
+	Reason        []uint32 `json:"reason"`
+	Trail         []int32  `json:"trail"`
+	Qhead         int      `json:"qhead"`
+	Polarity      []bool   `json:"polarity"`
+	Frozen        []bool   `json:"frozen"`
+	Stats         Stats    `json:"stats"`
+}
+
+// Export snapshots the solver into an Image. It is only valid before
+// search or simplification: no decisions on the trail, no learnt
+// clauses, no conflicts, no Simplify pass — Export panics otherwise.
+// (After any of those the state also holds activity scores, learnt
+// metadata and elimination records, which an Image deliberately does not
+// model.) Clause additions and the level-0 propagation they trigger are
+// fine, which is exactly the state of a freshly built attack miter.
+func (s *Solver) Export() *Image {
+	if len(s.trailLim) != 0 || len(s.learnts) != 0 || s.stats.Conflicts != 0 {
+		panic("sat: Export after search started")
+	}
+	if s.simpMark >= 0 {
+		panic("sat: Export after Simplify")
+	}
+	img := &Image{
+		NumVars:  s.numVars,
+		Ok:       s.ok,
+		Arena:    append([]uint32(nil), s.ar.data...),
+		Wasted:   s.ar.wasted,
+		Qhead:    s.qhead,
+		Assign:   append([]int8(nil), s.assign...),
+		Level:    append([]int32(nil), s.level...),
+		Polarity: append([]bool(nil), s.polarity...),
+		Frozen:   append([]bool(nil), s.frozen...),
+		Stats:    s.stats,
+	}
+	img.Clauses = make([]uint32, len(s.clauses))
+	for i, c := range s.clauses {
+		img.Clauses[i] = uint32(c)
+	}
+	img.WatchLen = make([]int32, len(s.watches))
+	total := 0
+	for _, ws := range s.watches {
+		total += len(ws)
+	}
+	img.WatchRefs = make([]uint32, 0, total)
+	img.WatchBlockers = make([]int32, 0, total)
+	for l, ws := range s.watches {
+		img.WatchLen[l] = int32(len(ws))
+		for _, w := range ws {
+			img.WatchRefs = append(img.WatchRefs, uint32(w.cref))
+			img.WatchBlockers = append(img.WatchBlockers, int32(w.blocker))
+		}
+	}
+	img.Reason = make([]uint32, len(s.reason))
+	for i, r := range s.reason {
+		img.Reason[i] = uint32(r)
+	}
+	img.Trail = make([]int32, len(s.trail))
+	for i, l := range s.trail {
+		img.Trail[i] = int32(l)
+	}
+	return img
+}
+
+// Valid reports whether the image is structurally consistent: slice
+// lengths line up with NumVars, watcher counts match the flattened
+// table, and every clause reference and trail literal is in range. An
+// Image decoded from a truncated or foreign spill file fails this check;
+// callers should then rebuild the solver from scratch instead of
+// replaying it.
+func (img *Image) Valid() bool {
+	if img == nil || img.NumVars < 0 {
+		return false
+	}
+	n := img.NumVars
+	if len(img.Assign) != n || len(img.Level) != n || len(img.Reason) != n ||
+		len(img.Polarity) != n || len(img.Frozen) != n || len(img.WatchLen) != 2*n {
+		return false
+	}
+	total := 0
+	for _, c := range img.WatchLen {
+		if c < 0 {
+			return false
+		}
+		total += int(c)
+	}
+	if len(img.WatchRefs) != total || len(img.WatchBlockers) != total {
+		return false
+	}
+	if img.Qhead < 0 || img.Qhead > len(img.Trail) {
+		return false
+	}
+	for _, c := range img.Clauses {
+		if int(c) >= len(img.Arena) {
+			return false
+		}
+	}
+	for _, w := range img.WatchRefs {
+		if int(w) >= len(img.Arena) {
+			return false
+		}
+	}
+	for _, l := range img.Trail {
+		if l < 0 || Lit(l).Var() >= n {
+			return false
+		}
+	}
+	return true
+}
+
+// NewFromImage rebuilds a solver from a snapshot. The returned solver is
+// independent of the image (everything is copied) and behaves exactly
+// like the solver Export was called on: same clause arena layout, same
+// watcher order, same trail, same counters — so the same sequence of
+// AddClause/Solve calls yields the same answers, models and statistics.
+// Runtime hooks (context, budget, progress, telemetry) are not part of
+// an Image; install them on the returned solver as needed. NewFromImage
+// returns nil when the image fails Valid.
+func NewFromImage(img *Image) *Solver {
+	if !img.Valid() {
+		return nil
+	}
+	s := New()
+	for i := 0; i < img.NumVars; i++ {
+		s.NewVar()
+	}
+	s.ok = img.Ok
+	s.ar.data = append([]uint32(nil), img.Arena...)
+	s.ar.wasted = img.Wasted
+	s.clauses = make([]cref, len(img.Clauses))
+	for i, c := range img.Clauses {
+		s.clauses[i] = cref(c)
+	}
+	off := 0
+	for l := range s.watches {
+		n := int(img.WatchLen[l])
+		if n == 0 {
+			continue
+		}
+		ws := make([]watcher, n)
+		for k := 0; k < n; k++ {
+			ws[k] = watcher{cref(img.WatchRefs[off]), Lit(img.WatchBlockers[off])}
+			off++
+		}
+		s.watches[l] = ws
+	}
+	copy(s.assign, img.Assign)
+	copy(s.level, img.Level)
+	for i, r := range img.Reason {
+		s.reason[i] = cref(r)
+	}
+	s.trail = make([]Lit, 0, len(img.Trail))
+	for _, l := range img.Trail {
+		s.trail = append(s.trail, Lit(l))
+	}
+	s.qhead = img.Qhead
+	copy(s.polarity, img.Polarity)
+	copy(s.frozen, img.Frozen)
+	s.stats = img.Stats
+	return s
+}

@@ -206,8 +206,14 @@ type simplifier struct {
 	// added). All other per-clause state below is id-indexed.
 	refs []cref
 
-	// occ maps each variable to the (live) clause ids containing it in
-	// either polarity, learnt clauses included. Valid while occLive.
+	// occ maps each variable to the clause ids containing it in either
+	// polarity, learnt clauses included. Valid while occLive. Lists are
+	// tombstoned, not compacted: deleting a clause or stripping a
+	// literal leaves stale entries behind (occDrop just decrements the
+	// live count), and every reader re-verifies an entry against the
+	// arena — deleted clauses by the deleted bit, stripped literals by
+	// scanning the clause. occCnt holds the exact live occurrence count
+	// per variable, so heuristics keyed on list length are unaffected.
 	occ     [][]int32
 	occLive bool
 	abst    []uint64 // per-clause variable signature
@@ -241,8 +247,9 @@ type simplifier struct {
 	resBuf  []Lit // flattened resolvents of the current tryEliminate
 	resEnds []int32
 
-	// buildOcc pooling: per-var occurrence counts and the shared backing
-	// array the per-var lists are carved from.
+	// occCnt is the exact live occurrence count per variable (buildOcc
+	// seeds it, occDrop/addSimpClause maintain it); occBack is the
+	// shared backing array the per-var occ lists are carved from.
 	occCnt  []int32
 	occBack []int32
 }
@@ -398,7 +405,7 @@ func (sp *simplifier) cleanClause(id int32) bool {
 	for _, w := range lits {
 		l := Lit(w)
 		if s.valueLit(l) == lFalse {
-			sp.occRemove(l.Var(), id)
+			sp.occDrop(l.Var())
 			sp.touch(l.Var())
 			continue
 		}
@@ -435,25 +442,21 @@ func (sp *simplifier) removeClause(id int32) {
 	}
 	for _, w := range s.ar.lits(c) {
 		v := Lit(w).Var()
-		sp.occRemove(v, id)
+		sp.occDrop(v)
 		sp.touch(v)
 	}
 	s.deleteClause(c)
 }
 
-// occRemove drops one clause id from a variable's occurrence list,
-// preserving order (determinism: later iterations see a stable order).
-func (sp *simplifier) occRemove(v int, id int32) {
-	if !sp.occLive {
-		return
-	}
-	ws := sp.occ[v]
-	for i, w := range ws {
-		if w == id {
-			copy(ws[i:], ws[i+1:])
-			sp.occ[v] = ws[:len(ws)-1]
-			return
-		}
+// occDrop notes that a variable lost one live occurrence. The entry
+// itself stays in the occurrence list as a tombstone — compacting the
+// list would cost a linear scan per removal, which dominated
+// simplification on cone-heavy instances. Readers filter tombstones
+// against the arena instead; iteration order stays append order, so
+// determinism is unaffected.
+func (sp *simplifier) occDrop(v int) {
+	if sp.occLive {
+		sp.occCnt[v]--
 	}
 }
 
@@ -588,7 +591,7 @@ func (sp *simplifier) subsumeAll() (int, bool) {
 		clits := s.ar.lits(c)
 		best := Lit(clits[0]).Var()
 		for _, w := range clits[1:] {
-			if v := Lit(w).Var(); len(sp.occ[v]) < len(sp.occ[best]) {
+			if v := Lit(w).Var(); sp.occCnt[v] < sp.occCnt[best] {
 				best = v
 			}
 		}
@@ -661,7 +664,7 @@ func (sp *simplifier) strengthen(id int32, l Lit) bool {
 		lits[j] = w
 		j++
 	}
-	sp.occRemove(l.Var(), id)
+	sp.occDrop(l.Var())
 	sp.touch(l.Var())
 	switch j {
 	case 0:
@@ -699,7 +702,7 @@ func (sp *simplifier) eliminateVars() (int, bool) {
 		if s.frozen[v] || s.elim[v] || s.assign[v] != lUndef {
 			return
 		}
-		n := len(sp.occ[v])
+		n := int(sp.occCnt[v])
 		if n == 0 || n > sp.opt.MaxOccur {
 			return
 		}
@@ -720,7 +723,7 @@ func (sp *simplifier) eliminateVars() (int, bool) {
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
-		if la, lb := len(sp.occ[a]), len(sp.occ[b]); la != lb {
+		if la, lb := sp.occCnt[a], sp.occCnt[b]; la != lb {
 			return la < lb
 		}
 		return a < b
@@ -772,12 +775,20 @@ func (sp *simplifier) tryEliminate(v int) (ok, did bool) {
 			lrnt = append(lrnt, id)
 			continue
 		}
+		found := false
 		polNeg := false
 		for _, w := range s.ar.lits(c) {
 			if l := Lit(w); l.Var() == v {
+				found = true
 				polNeg = l.Neg()
 				break
 			}
+		}
+		if !found {
+			// Tombstone: v was stripped from this still-live clause by
+			// strengthening or level-0 cleaning. It neither resolves on
+			// v nor may be removed here.
+			continue
 		}
 		if polNeg {
 			neg = append(neg, id)
@@ -935,6 +946,7 @@ func (sp *simplifier) addSimpClause(lits []Lit) bool {
 	sp.inQueue = append(sp.inQueue, false)
 	for _, l := range out {
 		sp.occ[l.Var()] = append(sp.occ[l.Var()], id)
+		sp.occCnt[l.Var()]++
 		sp.touch(l.Var())
 	}
 	sp.updateAbst(id)

@@ -185,6 +185,32 @@ func (v *Vectors) Distinguishes(a, b aig.Lit) (int, bool) {
 	return 0, false
 }
 
+// Pack transposes a batch of input patterns (each of width n) into
+// per-input simulation words suitable for Run: bit j of word w of input
+// i carries patterns[w*64+j][i]. Unused high bits of the last word are
+// zero. Pack is the inverse of Pattern and is what lets the batched
+// oracle answer up to 64 distinguishing input patterns in one
+// bit-parallel pass.
+func Pack(patterns [][]bool, n int) [][]uint64 {
+	words := (len(patterns) + 63) / 64
+	in := make([][]uint64, n)
+	for i := range in {
+		in[i] = make([]uint64, words)
+	}
+	for j, p := range patterns {
+		if len(p) != n {
+			panic("sim: Pack pattern width mismatch")
+		}
+		w, bit := j/64, uint(j%64)
+		for i, v := range p {
+			if v {
+				in[i][w] |= 1 << bit
+			}
+		}
+	}
+	return in
+}
+
 // Pattern reconstructs input pattern idx from the input words.
 func Pattern(inputs [][]uint64, idx int) []bool {
 	p := make([]bool, len(inputs))
