@@ -76,6 +76,7 @@ func main() {
 	timeout := flag.Duration("timeout", time.Minute, "attack timeout")
 	maxIter := flag.Int("maxiter", 2048, "DIP iteration cap")
 	dipBatch := flag.Int("dip-batch", 0, "DIPs enumerated per solver round and answered in one bit-parallel oracle pass (0: default width, 1: classic serial loop)")
+	satWorkers := flag.Int("sat-workers", 1, "parallel SAT portfolio width per solve; results are byte-identical at any width (1: sequential, 0: GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "attack randomness seed")
 
 	table1 := flag.Bool("table1", false, "regenerate Table I on the full suite")
@@ -166,6 +167,7 @@ func main() {
 		Deterministic: *det,
 		Simp:          sopt,
 		DIPBatch:      *dipBatch,
+		SatWorkers:    satWorkersArg(*satWorkers),
 		Trace:         tracer,
 		Cache:         cache,
 	}
@@ -230,6 +232,7 @@ func main() {
 	aopt.Trace = tracer
 	aopt.Simp = sopt
 	aopt.DIPBatch = *dipBatch
+	aopt.SatWorkers = satWorkersArg(*satWorkers)
 	aopt.Cache = cache
 
 	// report prints the outcome and returns false when no key came back —
@@ -281,7 +284,7 @@ func main() {
 		}
 	case "removal":
 		sps := attacks.SPS(l, 256, *seed, 10)
-		r := attacks.Removal(ctx, l, orig, sps.Candidates, cecOptions(*sweepCEC, *sweepWords, *seed, tracer, sopt, cache))
+		r := attacks.Removal(ctx, l, orig, sps.Candidates, cecOptions(*sweepCEC, *sweepWords, *seed, satWorkersArg(*satWorkers), tracer, sopt, cache))
 		fmt.Printf("removal: success=%v tried=%d runtime=%v\n", r.Success, r.Tried, r.Runtime)
 	case "bypass":
 		wrong := make([]bool, l.KeyBits)
@@ -289,7 +292,7 @@ func main() {
 		fmt.Printf("bypass: success=%v patterns=%d exhausted=%v runtime=%v\n",
 			r.Success, r.Patterns, r.Exhausted, r.Runtime)
 	case "valkyrie":
-		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cecOptions(*sweepCEC, *sweepWords, *seed, tracer, sopt, cache))
+		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cecOptions(*sweepCEC, *sweepWords, *seed, satWorkersArg(*satWorkers), tracer, sopt, cache))
 		fmt.Printf("valkyrie: found-pair=%v restore-only=%v pairs-tried=%d runtime=%v\n",
 			r.FoundPair, r.RestoreOnly, r.PairsTried, r.Runtime)
 	case "spi":
@@ -306,17 +309,28 @@ func main() {
 
 // cecOptions builds the equivalence-check configuration for the attacks
 // that prove candidate modifications equivalent to the oracle.
-func cecOptions(sweep bool, sweepWords int, seed int64, tracer *obs.Tracer, sopt simp.Options, cache *memo.Cache) cec.Options {
+func cecOptions(sweep bool, sweepWords int, seed int64, satWorkers int, tracer *obs.Tracer, sopt simp.Options, cache *memo.Cache) cec.Options {
 	opt := cec.DefaultOptions()
 	if sweep {
 		opt = cec.SweepOptions()
 		opt.SweepWords = sweepWords
 	}
 	opt.Seed = seed
+	opt.Budget.SatWorkers = satWorkers
 	opt.Trace = tracer
 	opt.Simp = sopt
 	opt.Cache = cache
 	return opt
+}
+
+// satWorkersArg maps the CLI's -sat-workers convention (0 means "all
+// cores") onto the internal exec.SatWorkers one (negative means "all
+// cores", 0 means sequential).
+func satWorkersArg(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
 }
 
 // validateCacheFlags enforces the cache flag contract: -cache-mb must be a

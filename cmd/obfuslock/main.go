@@ -53,6 +53,7 @@ func main() {
 	verify := flag.Bool("verify", true, "prove key correctness by SAT equivalence checking")
 	resilience := flag.Duration("resilience", 0, "after locking, self-check resilience by running the SAT attack with this time budget (0: skip)")
 	dipBatch := flag.Int("dip-batch", 0, "DIPs per solver round of the -resilience self-check, answered in one bit-parallel oracle pass (0: default width, 1: serial)")
+	satWorkers := flag.Int("sat-workers", 1, "parallel SAT portfolio width per -verify/-resilience solve; results are byte-identical at any width (1: sequential, 0: GOMAXPROCS)")
 	sweep := flag.Bool("sweep", true, "use SAT sweeping (fraig) for the -verify equivalence proof")
 	sweepWords := flag.Int("sweep-words", 8, "64-pattern signature words seeding the sweep's equivalence classes")
 	useSimp := flag.Bool("simp", true, "SatELite-style CNF preprocessing/inprocessing in every SAT solver")
@@ -161,6 +162,7 @@ func main() {
 			copt.SweepWords = *sweepWords
 		}
 		copt.Seed = *seed
+		copt.Budget.SatWorkers = satWorkersArg(*satWorkers)
 		copt.Trace = tracer
 		copt.Simp = sopt
 		copt.Cache = cache
@@ -181,6 +183,7 @@ func main() {
 		aopt.Trace = tracer
 		aopt.Simp = sopt
 		aopt.DIPBatch = *dipBatch
+		aopt.SatWorkers = satWorkersArg(*satWorkers)
 		aopt.Cache = cache
 		a, _ := obfuslock.AttackNamed("sat")
 		r := a.Run(ctx, res.Locked, obfuslock.NewOracle(c), aopt)
@@ -368,6 +371,16 @@ func setupCache(enabled bool, dir string, mb int, tracer *obfuslock.Tracer) *obf
 		os.Exit(2)
 	}
 	return c
+}
+
+// satWorkersArg maps the CLI's -sat-workers convention (0 means "all
+// cores") onto the internal exec.SatWorkers one (negative means "all
+// cores", 0 means sequential).
+func satWorkersArg(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
 }
 
 func fatal(err error) {

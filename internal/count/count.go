@@ -68,11 +68,21 @@ type problem struct {
 }
 
 // enumerateUpTo counts models over the projection literals, stopping at
-// limit+1. Returns count and whether the solver stayed decisive.
-func enumerateUpTo(s *sat.Solver, proj []sat.Lit, limit int) (int, bool) {
+// limit+1. Returns count and whether the solver stayed decisive. With
+// workers > 1 each solve rides the deterministic parallel portfolio
+// (sound here: every Sat model is the portfolio parent's own, and the
+// terminating Unsat is the enumeration's last solve), though the
+// default conflict-capped budget keeps the solver sequential anyway.
+func enumerateUpTo(ctx context.Context, s *sat.Solver, workers int, proj []sat.Lit, limit int) (int, bool) {
+	solve := s.Solve
+	if workers > 1 {
+		solve = func(assumps ...sat.Lit) sat.Status {
+			return s.SolveParallel(ctx, workers, assumps...)
+		}
+	}
 	count := 0
 	for count <= limit {
-		switch s.Solve() {
+		switch solve() {
 		case sat.Sat:
 			count++
 			block := make([]sat.Lit, len(proj))
@@ -112,7 +122,7 @@ func approxTraced(ctx context.Context, p problem, opt Options, sp *obs.Span) Res
 	s.SetBudget(opt.Budget.ConflictCap())
 	s.SetContext(ctx)
 	freezeAndSimp(s, proj, opt)
-	n, ok := enumerateUpTo(s, proj, opt.Pivot)
+	n, ok := enumerateUpTo(ctx, s, opt.Budget.SatWorkerCount(), proj, opt.Pivot)
 	if !ok {
 		return Result{Decided: false}
 	}
@@ -149,7 +159,7 @@ func approxTraced(ctx context.Context, p problem, opt Options, sp *obs.Span) Res
 			// Simplify after the parity constraints so the XOR chain
 			// variables are eliminable too.
 			freezeAndSimp(s, proj, opt)
-			return enumerateUpTo(s, proj, opt.Pivot)
+			return enumerateUpTo(ctx, s, opt.Budget.SatWorkerCount(), proj, opt.Pivot)
 		}
 		probes := 0
 		lastCell := 0

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"reflect"
@@ -120,6 +121,75 @@ func TestImageReplayIndependent(t *testing.T) {
 	r2 := NewFromImage(img)
 	fresh := NewFromImage(img)
 	driveIdentically(t, fresh, r2, n, 11)
+}
+
+// TestImageRestoredSolversConcurrent proves two solvers restored from
+// the same image share no mutable state: driven concurrently with
+// different workloads (one of them a parallel portfolio solve), each
+// must produce exactly the answers a serially-driven twin produces.
+// Run under -race this also guards the clone path SolveParallel
+// depends on.
+func TestImageRestoredSolversConcurrent(t *testing.T) {
+	s, n := randomPreSearchSolver(t, 17)
+	img := s.Export()
+
+	type outcome struct {
+		st    Status
+		model []bool
+	}
+	drive := func(r *Solver, extra Lit, parallel bool) []outcome {
+		var outs []outcome
+		for step := 0; step < 4; step++ {
+			var st Status
+			if parallel {
+				st = r.SolveParallel(context.Background(), 3, extra)
+			} else {
+				st = r.Solve(extra)
+			}
+			o := outcome{st: st}
+			if st == Sat {
+				o.model = r.Model()
+				var block []Lit
+				for v := 0; v < n; v++ {
+					block = append(block, MkLit(v, o.model[v]))
+				}
+				r.AddClause(block...)
+			}
+			outs = append(outs, o)
+			if st != Sat {
+				break
+			}
+		}
+		return outs
+	}
+
+	litA, litB := MkLit(0, false), MkLit(1, true)
+	// Serial references first.
+	wantA := drive(NewFromImage(img), litA, false)
+	wantB := drive(NewFromImage(img), litB, false)
+
+	ra, rb := NewFromImage(img), NewFromImage(img)
+	done := make(chan []outcome, 2)
+	go func() { done <- drive(ra, litA, false) }()
+	go func() { done <- drive(rb, litB, true) }()
+	got1, got2 := <-done, <-done
+	match := func(got, want []outcome) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].st != want[i].st || !reflect.DeepEqual(got[i].model, want[i].model) {
+				return false
+			}
+		}
+		return true
+	}
+	okA := match(got1, wantA) || match(got2, wantA)
+	okB := match(got1, wantB) || match(got2, wantB)
+	if !okA || !okB {
+		t.Fatalf("concurrently driven restored solvers diverged from serial twins:\nA want %+v\nB want %+v\ngot %+v / %+v",
+			wantA, wantB, got1, got2)
+	}
 }
 
 func TestImageInvalid(t *testing.T) {

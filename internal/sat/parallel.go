@@ -1,0 +1,521 @@
+package sat
+
+import (
+	"context"
+	"time"
+
+	"obfuslock/internal/exec"
+)
+
+// Parallel portfolio solving. SolveParallel races the solver's own
+// search (worker 0, the "parent") against workers-1 diversified clones,
+// synchronizing at conflict-counted epochs where low-LBD learnts are
+// exchanged in fixed worker-index order. Everything the caller can
+// observe — status, model, and therefore every artifact derived from
+// them downstream — is byte-identical at any worker count on any
+// machine:
+//
+//   - The parent runs the exact search Solve would run: epoch slicing
+//     resumes its restart schedule mid-round (see parRun), and the
+//     parent exports learnts but never imports any, so its trajectory —
+//     and in particular any model it finds — is the sequential one.
+//   - Helpers can only win with Unsat, which carries no witness:
+//     adopting a helper's refutation changes when the call returns,
+//     never what it returns. A helper that answers Sat simply retires;
+//     the parent keeps searching for the canonical model.
+//   - Which clauses a helper imports at epoch k depends only on the
+//     formula and the worker count (every worker's epoch-(k-1) exports,
+//     merged by worker index), never on goroutine scheduling.
+//
+// The practical consequence: parallelism accelerates refutations (the
+// hard-miter UNSAT proofs that dominate attack termination, CEC and
+// fraiging) and leaves satisfiable answers bit-for-bit identical to the
+// sequential solver at a modest clone cost.
+
+const (
+	// parEpochConflicts is the per-worker conflict quantum between
+	// barriers: long enough to amortize synchronization, short enough
+	// that an early helper refutation is adopted promptly.
+	parEpochConflicts = 2048
+	// parShareLBD caps the quality of exported learnts ("glue" clauses,
+	// in glucose terms).
+	parShareLBD = 3
+	// parShareCap bounds one worker's exports per epoch; overflow is
+	// dropped deterministically (export order is search order).
+	parShareCap = 512
+	// parMinClauses is the formula size floor below which the clone and
+	// barrier overhead cannot pay off and SolveParallel degrades to
+	// Solve.
+	parMinClauses = 256
+	// parSeedMaster derives each helper's polarity noise via
+	// exec.DeriveSeed(parSeedMaster, workerIndex); a compile-time
+	// constant, so diversification is a property of the worker index
+	// alone.
+	parSeedMaster = 0x0b5f510c
+)
+
+// shareBuf collects the clauses a worker exports during one epoch. The
+// solver's search loop appends into it at learn time (solver.go); the
+// coordinator swaps it out at each barrier via take.
+type shareBuf struct {
+	maxLBD  int
+	cap     int
+	lits    []Lit
+	lens    []int32
+	lbds    []int32
+	dropped int64
+}
+
+func (b *shareBuf) add(lits []Lit, lbd int) {
+	if lbd > b.maxLBD {
+		return
+	}
+	if len(b.lens) >= b.cap {
+		b.dropped++
+		return
+	}
+	b.lits = append(b.lits, lits...)
+	b.lens = append(b.lens, int32(len(lits)))
+	b.lbds = append(b.lbds, int32(lbd))
+}
+
+// take hands the accumulated exports to the coordinator and resets the
+// buffer for the next epoch.
+func (b *shareBuf) take() shareSnap {
+	snap := shareSnap{lits: b.lits, lens: b.lens, lbds: b.lbds}
+	b.lits, b.lens, b.lbds = nil, nil, nil
+	return snap
+}
+
+// shareSnap is one worker's frozen epoch exports.
+type shareSnap struct {
+	lits []Lit
+	lens []int32
+	lbds []int32
+}
+
+func (sn shareSnap) count() int { return len(sn.lens) }
+
+// parRun resumes a restart schedule across epoch slices. Solve's loop
+// is `search(quota(round))` with a restart between rounds; parRun runs
+// the same schedule but can pause at an epoch boundary mid-round and
+// continue later. The stopping points match the unsliced run exactly:
+// search only returns at propagation-fixpoint no-conflict states, and a
+// round sliced as c1+c2+… ends at the first fixpoint whose cumulative
+// conflict count reaches the round quota — the same fixpoint the single
+// search(quota) call stops at.
+type parRun struct {
+	s       *Solver
+	assumps []Lit
+	round   int64
+	quota   int64 // conflicts left in the current round
+	lubyU   int64 // Luby restart unit (0: geometric)
+	geom    int64 // next geometric quota (0: Luby)
+}
+
+// newParRun wraps a solver in the parent schedule (Luby, unit 100 —
+// exactly Solve's).
+func newParRun(s *Solver, assumps []Lit) *parRun {
+	return &parRun{s: s, assumps: assumps, lubyU: 100}
+}
+
+func (r *parRun) nextQuota() int64 {
+	r.round++
+	if r.geom > 0 {
+		q := r.geom
+		r.geom += r.geom / 2
+		return q
+	}
+	return r.lubyU * luby(r.round)
+}
+
+// step advances the schedule by up to budget conflicts. Unknown with
+// s.exhausted unset means the epoch slice completed and the run can be
+// resumed; any other outcome is final for this worker.
+func (r *parRun) step(budget int64) Status {
+	s := r.s
+	used := int64(0)
+	for {
+		if r.quota <= 0 {
+			if r.round > 0 {
+				s.stats.Restarts++
+				s.cancelUntil(0)
+			}
+			r.quota = r.nextQuota()
+		}
+		c := r.quota
+		if rem := budget - used; rem < c {
+			c = rem
+		}
+		before := s.stats.Conflicts
+		st := s.search(c, r.assumps)
+		d := s.stats.Conflicts - before
+		used += d
+		r.quota -= d
+		if st != Unknown {
+			return st
+		}
+		if s.exhausted {
+			return Unknown
+		}
+		if s.cancelled() {
+			s.exhausted = true
+			return Unknown
+		}
+		if used >= budget {
+			return Unknown
+		}
+	}
+}
+
+// parProfile diversifies one helper: optional random branching
+// polarity, a restart policy (fast/slow Luby or geometric) and a
+// learnt-database reduction aggressiveness. All parameters derive from
+// the worker index alone.
+type parProfile struct {
+	seed   int64 // random-polarity seed; 0 keeps saved phases
+	lubyU  int64
+	geom   int64
+	reduce int
+}
+
+func parProfileFor(idx int) parProfile {
+	p := parProfile{seed: exec.DeriveSeed(parSeedMaster, idx)}
+	switch (idx - 1) % 4 {
+	case 0:
+		p.lubyU, p.reduce = 32, 1500
+		if idx == 1 {
+			// One helper keeps saved phases: pure restart-policy
+			// diversity against the parent.
+			p.seed = 0
+		}
+	case 1:
+		p.geom, p.reduce = 100, 2500
+	case 2:
+		p.lubyU, p.reduce = 256, 1000
+	default:
+		p.geom, p.reduce = 64, 3000
+	}
+	return p
+}
+
+// cloneForWorker deep-copies the solver's search state for a portfolio
+// helper. The clone shares only state that search never writes: the
+// frozen/eliminated maps and the eliminated-clause store (helpers never
+// Simplify, AddClause or NewVar). Stats start at zero so helper work is
+// accounted separately (see Solver.Stats).
+func (s *Solver) cloneForWorker() *Solver {
+	c := &Solver{
+		clauses:       append([]cref(nil), s.clauses...),
+		learnts:       append([]cref(nil), s.learnts...),
+		numLocal:      s.numLocal,
+		assign:        append([]int8(nil), s.assign...),
+		level:         append([]int32(nil), s.level...),
+		reason:        append([]cref(nil), s.reason...),
+		polarity:      append([]bool(nil), s.polarity...),
+		activity:      append([]float64(nil), s.activity...),
+		seen:          make([]bool, len(s.seen)),
+		trail:         append([]Lit(nil), s.trail...),
+		trailLim:      append([]int(nil), s.trailLim...),
+		qhead:         s.qhead,
+		varInc:        s.varInc,
+		claInc:        s.claInc,
+		ok:            s.ok,
+		numVars:       s.numVars,
+		reduceBase:    s.reduceBase,
+		frozen:        s.frozen,
+		elim:          s.elim,
+		elimCl:        s.elimCl,
+		elimLits:      s.elimLits,
+		elimEnds:      s.elimEnds,
+		simpMark:      s.simpMark,
+		simpTrailMark: s.simpTrailMark,
+	}
+	c.ar.data = append([]uint32(nil), s.ar.data...)
+	c.ar.wasted = s.ar.wasted
+	c.watches = make([][]watcher, len(s.watches))
+	for i, ws := range s.watches {
+		if len(ws) > 0 {
+			c.watches[i] = append([]watcher(nil), ws...)
+		}
+	}
+	c.order.s = c
+	c.order.heap = append([]int(nil), s.order.heap...)
+	c.order.indices = append([]int(nil), s.order.indices...)
+	return c
+}
+
+// importShared adds one foreign learnt clause at root level. CDCL
+// learnts are implied by the clause database alone (assumptions enter
+// search as decisions, never as facts), so importing across workers
+// with different assumptions-in-flight is sound. The clause is
+// normalized against the importer's root assignment first.
+func (s *Solver) importShared(lits []Lit, lbd int) {
+	if !s.ok {
+		return
+	}
+	out := s.addBuf[:0]
+	for _, l := range lits {
+		switch s.valueLit(l) {
+		case lTrue:
+			s.addBuf = out[:0]
+			return
+		case lFalse:
+			continue
+		}
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+	case 1:
+		s.uncheckedEnqueue(out[0], crefUndef)
+		if s.propagate() != crefUndef {
+			s.ok = false
+		}
+	default:
+		if lbd > len(out) {
+			lbd = len(out)
+		}
+		s.attachLearnt(out, lbd)
+	}
+	s.addBuf = out[:0]
+}
+
+// parReport is one helper's barrier message.
+type parReport struct {
+	status    Status
+	exhausted bool
+	rootUnsat bool // s.ok turned false: refutation independent of assumptions
+	out       shareSnap
+}
+
+// parHelper is one diversified clone plus its coordination channels.
+// The helper goroutine owns its solver exclusively between a start send
+// and the matching report receive; the channel pair establishes the
+// happens-before edges that let the coordinator read helper state at
+// barriers.
+type parHelper struct {
+	idx   int
+	s     *Solver
+	run   *parRun
+	start chan []shareSnap
+	rep   chan parReport
+	done  bool
+}
+
+func (h *parHelper) loop() {
+	for snaps := range h.start {
+		h.s.cancelUntil(0)
+		for _, sn := range snaps {
+			off := 0
+			for i, n := range sn.lens {
+				h.s.importShared(sn.lits[off:off+int(n)], int(sn.lbds[i]))
+				off += int(n)
+			}
+		}
+		var st Status
+		if !h.s.ok {
+			st = Unsat
+		} else {
+			st = h.run.step(parEpochConflicts)
+		}
+		h.rep <- parReport{
+			status:    st,
+			exhausted: st == Unknown && h.s.exhausted,
+			rootUnsat: !h.s.ok,
+			out:       h.s.parShare.take(),
+		}
+		if st != Unknown || h.s.exhausted {
+			return
+		}
+	}
+}
+
+// SolveParallel runs the solver under the given assumptions on a
+// deterministic clause-sharing portfolio of the given width. workers <=
+// 1 (and every configuration parallelism cannot serve: a conflict
+// budget in force, a formula below the size floor, an already-broken
+// database) is byte-for-byte Solve. The ctx bounds the portfolio in
+// addition to any SetContext hook already installed; a pre-cancelled
+// ctx returns Unknown immediately.
+//
+// The status and (on Sat) the model are identical to Solve's at every
+// worker count — see the package commentary at the top of this file for
+// the argument. Only the wall-clock and the work counters (Stats
+// includes helper effort) vary with workers.
+func (s *Solver) SolveParallel(ctx context.Context, workers int, assumps ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	if workers <= 1 || s.limited || len(s.clauses) < parMinClauses {
+		return s.Solve(assumps...)
+	}
+	for _, a := range assumps {
+		if s.elim[a.Var()] {
+			panic("sat: assumption over eliminated variable (freeze it before Simplify)")
+		}
+	}
+	if s.cancelled() || (ctx != nil && ctx.Err() != nil) {
+		s.exhausted = true
+		return Unknown
+	}
+	s.cancelUntil(0)
+	if s.propagate() != crefUndef {
+		s.ok = false
+		return Unsat
+	}
+	s.exhausted = false
+
+	helpers := make([]*parHelper, workers-1)
+	for i := range helpers {
+		idx := i + 1
+		hs := s.cloneForWorker()
+		p := parProfileFor(idx)
+		if p.seed != 0 {
+			hs.SetRandomPolarity(p.seed)
+		}
+		hs.reduceBase = p.reduce
+		hs.SetContext(ctx)
+		hs.parShare = &shareBuf{maxLBD: parShareLBD, cap: parShareCap}
+		run := newParRun(hs, assumps)
+		run.lubyU, run.geom = p.lubyU, p.geom
+		helpers[i] = &parHelper{
+			idx:   idx,
+			s:     hs,
+			run:   run,
+			start: make(chan []shareSnap, 1),
+			rep:   make(chan parReport, 1),
+		}
+		go helpers[i].loop()
+	}
+	defer func() {
+		for _, h := range helpers {
+			if !h.done {
+				s.parStats = s.parStats.Add(h.s.stats)
+			}
+			close(h.start)
+		}
+	}()
+
+	s.parShare = &shareBuf{maxLBD: parShareLBD, cap: parShareCap}
+	defer func() { s.parShare = nil }()
+	prun := newParRun(s, assumps)
+
+	retire := func(h *parHelper) {
+		h.done = true
+		s.parStats = s.parStats.Add(h.s.stats)
+	}
+
+	result := Unknown
+	winner := -1
+	rootUnsat := false
+	prev := make([]shareSnap, workers)
+	for result == Unknown {
+		nActive := 0
+		for _, h := range helpers {
+			if h.done {
+				continue
+			}
+			var snaps []shareSnap
+			for w := 0; w < workers; w++ {
+				if w != h.idx && prev[w].count() > 0 {
+					snaps = append(snaps, prev[w])
+				}
+			}
+			h.start <- snaps
+			nActive++
+		}
+		if nActive == 0 {
+			// Every helper has retired: the portfolio degenerates to the
+			// parent, which now just finishes its sequential search.
+			pst := prun.step(1 << 62)
+			result, winner = pst, 0
+			break
+		}
+		var t0 time.Time
+		if s.hParEpoch != nil {
+			t0 = time.Now()
+		}
+		pst := prun.step(parEpochConflicts)
+		next := make([]shareSnap, workers)
+		next[0] = s.parShare.take()
+		reports := make([]parReport, workers)
+		for _, h := range helpers {
+			if h.done {
+				continue
+			}
+			r := <-h.rep
+			reports[h.idx] = r
+			next[h.idx] = r.out
+		}
+		if s.cParEpochs != nil {
+			s.cParEpochs.Inc()
+			shared := int64(0)
+			for _, sn := range next {
+				shared += int64(sn.count())
+			}
+			s.cParShared.Add(shared)
+			s.hParEpoch.RecordDuration(time.Since(t0))
+		}
+		// Winner rule: earliest finishing epoch, lowest worker index —
+		// the parent is worker 0 and is examined first.
+		if pst != Unknown {
+			result, winner = pst, 0
+			break
+		}
+		if s.exhausted {
+			break // stop callback or context; result stays Unknown
+		}
+		for _, h := range helpers {
+			if h.done {
+				continue
+			}
+			r := reports[h.idx]
+			switch {
+			case r.status == Unsat:
+				if result == Unknown {
+					result, winner, rootUnsat = Unsat, h.idx, r.rootUnsat
+				}
+				retire(h)
+			case r.status == Sat || r.exhausted:
+				// A helper model is never adopted (the parent's is the
+				// canonical one); an exhausted helper cannot continue.
+				retire(h)
+			}
+		}
+		if result != Unknown {
+			break
+		}
+		if ctx != nil && ctx.Err() != nil {
+			s.exhausted = true
+			break
+		}
+		prev = next
+	}
+
+	switch result {
+	case Sat:
+		// Only the parent reaches here; mirror Solve's model handling.
+		s.model = append(s.model[:0], s.assign...)
+		for i, a := range s.model {
+			if a == lUndef {
+				s.model[i] = lFalse
+			}
+		}
+		s.modelDirty = len(s.elimCl) > 0
+	case Unsat:
+		if winner > 0 && rootUnsat {
+			// The helper refuted the formula itself (not just the
+			// assumptions); the parent database is unsatisfiable too.
+			s.ok = false
+		}
+	default:
+		s.exhausted = true
+	}
+	if winner > 0 && s.cParWinner != nil {
+		s.cParWinner.Inc()
+	}
+	s.cancelUntil(0)
+	return result
+}

@@ -1,0 +1,194 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"obfuslock/internal/obs"
+)
+
+// random3SAT adds a deterministic random 3-SAT formula (distinct
+// variables per clause) to the solver. Around ratio 4.5 the instances
+// mix satisfiable and unsatisfiable outcomes and are non-trivial for
+// unit propagation.
+func random3SAT(s *Solver, vars, clauses int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < vars; i++ {
+		s.NewVar()
+	}
+	for i := 0; i < clauses; i++ {
+		a := rng.Intn(vars)
+		b := rng.Intn(vars)
+		for b == a {
+			b = rng.Intn(vars)
+		}
+		c := rng.Intn(vars)
+		for c == a || c == b {
+			c = rng.Intn(vars)
+		}
+		s.AddClause(MkLit(a, rng.Intn(2) == 0), MkLit(b, rng.Intn(2) == 0), MkLit(c, rng.Intn(2) == 0))
+	}
+}
+
+// TestSolveParallelMatchesSolve pins the portfolio's central contract:
+// at any worker count the status and, on Sat, the full model are
+// byte-identical to the sequential solver.
+func TestSolveParallelMatchesSolve(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seq := New()
+		random3SAT(seq, 60, 280, seed)
+		want := seq.Solve()
+
+		for _, workers := range []int{2, 4} {
+			par := New()
+			random3SAT(par, 60, 280, seed)
+			if len(par.clauses) < parMinClauses {
+				t.Fatalf("seed %d: instance below the parallel floor (%d clauses); test would be vacuous", seed, len(par.clauses))
+			}
+			got := par.SolveParallel(context.Background(), workers)
+			if got != want {
+				t.Fatalf("seed %d workers %d: SolveParallel %v, Solve %v", seed, workers, got, want)
+			}
+			if want == Sat {
+				sm, pm := seq.Model(), par.Model()
+				for v := range sm {
+					if sm[v] != pm[v] {
+						t.Fatalf("seed %d workers %d: model differs at var %d", seed, workers, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveParallelPigeonhole drives a genuinely multi-epoch UNSAT
+// instance through the portfolio and checks the refutation plus the
+// portfolio telemetry counters.
+func TestSolveParallelPigeonhole(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8)
+	if len(s.clauses) < parMinClauses {
+		t.Fatalf("PHP(9,8) below the parallel floor (%d clauses)", len(s.clauses))
+	}
+	reg := obs.NewRegistry()
+	s.SetTelemetry(reg)
+	if st := s.SolveParallel(context.Background(), 4); st != Unsat {
+		t.Fatalf("PHP(9,8): got %v", st)
+	}
+	if !s.ok {
+		// Root refutation: ok must have been cleared no matter which
+		// worker found it.
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("solver must stay UNSAT, got %v", st)
+		}
+	}
+	if v := reg.Counter(MetricParEpochs).Value(); v < 1 {
+		t.Fatalf("expected at least one epoch barrier, got %d", v)
+	}
+}
+
+// TestSolveParallelDeterministic runs the same instance twice at a
+// fixed worker count: statuses and aggregate work counters must match
+// exactly (the portfolio's schedule is conflict-counted, not
+// wall-clock-counted).
+func TestSolveParallelDeterministic(t *testing.T) {
+	run := func() (Status, Stats) {
+		s := New()
+		pigeonhole(s, 9, 8)
+		st := s.SolveParallel(context.Background(), 4)
+		return st, s.Stats()
+	}
+	st1, stats1 := run()
+	st2, stats2 := run()
+	if st1 != st2 {
+		t.Fatalf("status differs across runs: %v vs %v", st1, st2)
+	}
+	if stats1 != stats2 {
+		t.Fatalf("stats differ across identical runs:\n%+v\n%+v", stats1, stats2)
+	}
+}
+
+// TestSolveParallelIncremental interleaves clause additions and solves:
+// the parallel solver must track the sequential one call for call, and
+// an assumption-level UNSAT must not poison later solves.
+func TestSolveParallelIncremental(t *testing.T) {
+	seq := New()
+	par := New()
+	random3SAT(seq, 60, 270, 42)
+	random3SAT(par, 60, 270, 42)
+
+	a := MkLit(3, false)
+	for round := 0; round < 3; round++ {
+		want := seq.Solve(a)
+		got := par.SolveParallel(context.Background(), 4, a)
+		if got != want {
+			t.Fatalf("round %d: parallel %v, sequential %v", round, got, want)
+		}
+		if want == Sat {
+			sm, pm := seq.Model(), par.Model()
+			for v := range sm {
+				if sm[v] != pm[v] {
+					t.Fatalf("round %d: model differs at var %d", round, v)
+				}
+			}
+			// Block the current model's projection on ten variables to
+			// force new search work next round.
+			var block []Lit
+			for v := 0; v < 10; v++ {
+				block = append(block, MkLit(v, sm[v]))
+			}
+			seq.AddClause(block...)
+			par.AddClause(block...)
+		}
+	}
+}
+
+// TestSolvePreCancelledContext is the regression test for the
+// pre-cancelled-context fix: both Solve and SolveParallel must return
+// Unknown immediately instead of burning a restart round.
+func TestSolvePreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	s := New()
+	random3SAT(s, 60, 280, 7)
+	s.SetContext(ctx)
+	before := s.Stats()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("Solve on pre-cancelled context: got %v, want Unknown", st)
+	}
+	if d := s.Stats().Sub(before); d.Conflicts != 0 || d.Decisions != 0 {
+		t.Fatalf("Solve did work under a pre-cancelled context: %+v", d)
+	}
+
+	p := New()
+	random3SAT(p, 60, 280, 7)
+	if st := p.SolveParallel(ctx, 4); st != Unknown {
+		t.Fatalf("SolveParallel on pre-cancelled context: got %v, want Unknown", st)
+	}
+	if d := p.Stats(); d.Conflicts != 0 || d.Decisions != 0 {
+		t.Fatalf("SolveParallel did work under a pre-cancelled context: %+v", d)
+	}
+	// The solver recovers once the hook is cleared.
+	s.SetContext(nil)
+	if st := s.Solve(); st == Unknown {
+		t.Fatal("solver must solve normally after the cancelled context is removed")
+	}
+}
+
+// TestSolveParallelBudgetFallsBack pins the budget interaction: a
+// conflict-limited solver must behave exactly like Solve (Unknown on
+// exhaustion), since racing an unbounded helper against a bounded
+// parent would make the status depend on the worker count.
+func TestSolveParallelBudgetFallsBack(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8)
+	s.SetBudget(10)
+	if st := s.SolveParallel(context.Background(), 4); st != Unknown {
+		t.Fatalf("budgeted parallel solve: got %v, want Unknown", st)
+	}
+	if !s.exhausted {
+		t.Fatal("budgeted solve must report exhaustion")
+	}
+}
