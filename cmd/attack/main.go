@@ -59,6 +59,7 @@ import (
 	"obfuslock/internal/attacks"
 	"obfuslock/internal/bench"
 	"obfuslock/internal/cec"
+	"obfuslock/internal/cliflags"
 	"obfuslock/internal/exec"
 	"obfuslock/internal/experiments"
 	"obfuslock/internal/locking"
@@ -75,8 +76,6 @@ func main() {
 	attackName := flag.String("attack", "sat", "attack: sat, appsat, portfolio, sensitization, sps, removal, bypass, valkyrie, spi")
 	timeout := flag.Duration("timeout", time.Minute, "attack timeout")
 	maxIter := flag.Int("maxiter", 2048, "DIP iteration cap")
-	dipBatch := flag.Int("dip-batch", 0, "DIPs enumerated per solver round and answered in one bit-parallel oracle pass (0: default width, 1: classic serial loop)")
-	satWorkers := flag.Int("sat-workers", 1, "parallel SAT portfolio width per solve; results are byte-identical at any width (1: sequential, 0: GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "attack randomness seed")
 
 	table1 := flag.Bool("table1", false, "regenerate Table I on the full suite")
@@ -89,58 +88,50 @@ func main() {
 	det := flag.Bool("det", false, "deterministic sweep: no wall-clock cells or timeouts; output is byte-reproducible")
 	sweepCEC := flag.Bool("sweep", true, "use SAT sweeping (fraig) for the equivalence checks of removal/valkyrie")
 	sweepWords := flag.Int("sweep-words", 8, "64-pattern signature words seeding the sweep's equivalence classes")
-	useSimp := flag.Bool("simp", true, "SatELite-style CNF preprocessing/inprocessing in every SAT solver")
-	useCache := flag.Bool("cache", false, "memoize SAT-backed sub-queries in a content-addressed result cache")
-	cacheDir := flag.String("cache-dir", "", "spill the cache to <dir>/cache.jsonl and reload it on start (requires -cache)")
-	cacheMB := flag.Int("cache-mb", 256, "in-memory cache budget in MiB (requires -cache)")
 
-	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
-	progress := flag.Bool("progress", false, "live one-line progress on stderr")
-	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pprof, <prefix>.heap.pprof and <prefix>.allocs.pprof profiles")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /flight and /debug/pprof on this address (e.g. localhost:6060)")
-	ledgerPath := flag.String("ledger", "", "write a ledger.json run record (flags, build, metrics, peak RSS) to this file")
+	var solver cliflags.Solver
+	var cacheFlags cliflags.Cache
+	var tele cliflags.Telemetry
+	solver.Register(flag.CommandLine)
+	cacheFlags.Register(flag.CommandLine)
+	tele.Register(flag.CommandLine)
+
 	verbose := flag.Bool("v", false, "print cumulative SAT-solver statistics after the attack")
 	metricsPath := flag.String("metrics", "metrics.json", "machine-readable output of -table1")
 	flag.Parse()
 
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if err := validateFlags(*encPath, *oraclePath, *attackName, *table1, *fig4, *fig5, *structural); err != nil {
 		fmt.Fprintln(os.Stderr, "attack:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := validateCacheFlags(*useCache, *cacheMB, set); err != nil {
+	if err := cacheFlags.Validate(cliflags.Visited(flag.CommandLine)); err != nil {
 		fmt.Fprintln(os.Stderr, "attack:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	var ledger *obs.Ledger
-	if *ledgerPath != "" {
-		ledger = obs.NewLedger("attack")
+	sess, err := tele.Start("attack")
+	if err != nil {
+		fatal(err)
 	}
-	tracer, flight, finish := setupTelemetry(*tracePath, *progress, *pprofPrefix, *debugAddr, ledger != nil)
-	defer finish()
-	armFlightDump(flight)
-	defer dumpFlightOnPanic(flight)
+	defer sess.Finish()
+	sess.ArmFlightDump()
+	defer sess.PanicDump()
+	tracer := sess.Tracer
 
-	cache := setupCache(*useCache, *cacheDir, *cacheMB, tracer)
+	cache, err := cacheFlags.Open(tracer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	defer cache.Close()
 
 	// writeLedger runs both on normal returns (deferred) and explicitly on
 	// the non-zero exit paths, which bypass deferred calls via os.Exit.
-	ledgerDone := false
 	writeLedger := func() {
-		if ledger == nil || ledgerDone {
-			return
-		}
-		ledgerDone = true
-		if st := cache.Stats(); st.Lookups() > 0 {
-			ledger.AddExtra("cache_hit_ratio", st.HitRatio())
-		}
-		ledger.Finish(tracer)
-		if err := ledger.WriteFile(*ledgerPath); err != nil {
+		if err := sess.WriteLedger(cache); err != nil {
 			fmt.Fprintln(os.Stderr, "attack:", err)
 		}
 	}
@@ -156,18 +147,15 @@ func main() {
 		suite = netlistgen.SmallSuite()
 	}
 	levels := parseSkews(*skews)
-	sopt := simp.Default()
-	if !*useSimp {
-		sopt = simp.Off()
-	}
+	sopt := solver.SimpOptions()
 	budget := experiments.Budget{
 		Timeout:       *timeout,
 		MaxIterations: *maxIter,
 		Workers:       *workers,
 		Deterministic: *det,
 		Simp:          sopt,
-		DIPBatch:      *dipBatch,
-		SatWorkers:    satWorkersArg(*satWorkers),
+		DIPBatch:      solver.DIPBatch,
+		SatWorkers:    solver.Workers(),
 		Trace:         tracer,
 		Cache:         cache,
 	}
@@ -231,8 +219,8 @@ func main() {
 	aopt.Seed = *seed
 	aopt.Trace = tracer
 	aopt.Simp = sopt
-	aopt.DIPBatch = *dipBatch
-	aopt.SatWorkers = satWorkersArg(*satWorkers)
+	aopt.DIPBatch = solver.DIPBatch
+	aopt.SatWorkers = solver.Workers()
 	aopt.Cache = cache
 
 	// report prints the outcome and returns false when no key came back —
@@ -263,10 +251,10 @@ func main() {
 			if r.TimedOut {
 				// The wedged-DIP-loop post-mortem: what the attack was
 				// doing when the budget ran out.
-				dumpFlight(flight, "attack budget exhausted")
+				sess.DumpFlight("attack budget exhausted")
 			}
 			writeLedger()
-			finish()
+			sess.Finish()
 			os.Exit(1)
 		}
 		return
@@ -284,7 +272,7 @@ func main() {
 		}
 	case "removal":
 		sps := attacks.SPS(l, 256, *seed, 10)
-		r := attacks.Removal(ctx, l, orig, sps.Candidates, cecOptions(*sweepCEC, *sweepWords, *seed, satWorkersArg(*satWorkers), tracer, sopt, cache))
+		r := attacks.Removal(ctx, l, orig, sps.Candidates, cecOptions(*sweepCEC, *sweepWords, *seed, solver.Workers(), tracer, sopt, cache))
 		fmt.Printf("removal: success=%v tried=%d runtime=%v\n", r.Success, r.Tried, r.Runtime)
 	case "bypass":
 		wrong := make([]bool, l.KeyBits)
@@ -292,7 +280,7 @@ func main() {
 		fmt.Printf("bypass: success=%v patterns=%d exhausted=%v runtime=%v\n",
 			r.Success, r.Patterns, r.Exhausted, r.Runtime)
 	case "valkyrie":
-		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cecOptions(*sweepCEC, *sweepWords, *seed, satWorkersArg(*satWorkers), tracer, sopt, cache))
+		r := attacks.Valkyrie(ctx, l, orig, 8, 128, *seed, cecOptions(*sweepCEC, *sweepWords, *seed, solver.Workers(), tracer, sopt, cache))
 		fmt.Printf("valkyrie: found-pair=%v restore-only=%v pairs-tried=%d runtime=%v\n",
 			r.FoundPair, r.RestoreOnly, r.PairsTried, r.Runtime)
 	case "spi":
@@ -302,7 +290,7 @@ func main() {
 	}
 	if !gotKey {
 		writeLedger()
-		finish()
+		sess.Finish()
 		os.Exit(1)
 	}
 }
@@ -321,44 +309,6 @@ func cecOptions(sweep bool, sweepWords int, seed int64, satWorkers int, tracer *
 	opt.Simp = sopt
 	opt.Cache = cache
 	return opt
-}
-
-// satWorkersArg maps the CLI's -sat-workers convention (0 means "all
-// cores") onto the internal exec.SatWorkers one (negative means "all
-// cores", 0 means sequential).
-func satWorkersArg(n int) int {
-	if n == 0 {
-		return -1
-	}
-	return n
-}
-
-// validateCacheFlags enforces the cache flag contract: -cache-mb must be a
-// positive budget, and the cache tuning flags only mean something when the
-// cache is on.
-func validateCacheFlags(useCache bool, cacheMB int, set map[string]bool) error {
-	if set["cache-mb"] && cacheMB <= 0 {
-		return fmt.Errorf("-cache-mb must be positive, got %d", cacheMB)
-	}
-	if !useCache && (set["cache-dir"] || set["cache-mb"]) {
-		return fmt.Errorf("-cache-dir/-cache-mb require -cache")
-	}
-	return nil
-}
-
-// setupCache opens the result cache; an unusable -cache-dir (unwritable,
-// or a corrupt spill file) is a flag error, reported before any work starts.
-func setupCache(enabled bool, dir string, mb int, tracer *obs.Tracer) *memo.Cache {
-	if !enabled {
-		return nil
-	}
-	c, err := memo.New(memo.Options{MaxBytes: int64(mb) << 20, Dir: dir, Trace: tracer})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "attack:", err)
-		flag.Usage()
-		os.Exit(2)
-	}
-	return c
 }
 
 // validateFlags rejects inconsistent mode combinations before any work
@@ -391,109 +341,6 @@ func validateFlags(encPath, oraclePath, attackName string, table1, fig4, fig5, s
 		return fmt.Errorf("unknown attack %q", attackName)
 	}
 	return nil
-}
-
-// setupTelemetry builds the tracer, flight recorder and profile writers
-// from the observability flags and returns them with a finish func that
-// flushes metrics, stops profiling and closes the trace file. All flags
-// off yields a nil tracer (the zero-cost path) and no flight recorder.
-func setupTelemetry(tracePath string, progress bool, pprofPrefix, debugAddr string, ledger bool) (*obs.Tracer, *obs.Flight, func()) {
-	reg := obs.NewRegistry()
-	var sinks []obs.Sink
-	var closers []func()
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		sinks = append(sinks, obs.NewJSONL(f))
-		closers = append(closers, func() { f.Close() })
-	}
-	if progress {
-		p := obs.NewProgress(os.Stderr)
-		sinks = append(sinks, p)
-		closers = append(closers, p.Done)
-	}
-	var flight *obs.Flight
-	if tracePath != "" || progress || debugAddr != "" || ledger {
-		flight = obs.NewFlight(obs.DefaultFlightDepth)
-		sinks = append(sinks, flight)
-	}
-	if len(sinks) > 0 {
-		// Every completed span also lands in a span.<name>_us histogram,
-		// so /metrics and the ledger carry per-phase latency distributions.
-		sinks = append(sinks, obs.NewSpanDurations(reg))
-	}
-	sink := obs.Multi(sinks...)
-	if sink == nil && pprofPrefix != "" {
-		// pprof labels need an enabled tracer even with no stream.
-		sink = obs.Discard
-	}
-	tracer := obs.NewWithRegistry(sink, reg)
-	tracer.EnablePprofLabels()
-	if pprofPrefix != "" {
-		stop, err := obs.StartProfiles(pprofPrefix)
-		if err != nil {
-			fatal(err)
-		}
-		closers = append(closers, func() {
-			if err := stop(); err != nil {
-				fmt.Fprintln(os.Stderr, "attack: pprof:", err)
-			}
-		})
-	}
-	if debugAddr != "" {
-		addr, err := obs.ListenDebug(debugAddr, tracer, flight)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "attack: debug endpoint on http://%s (/metrics, /flight, /debug/pprof)\n", addr)
-	}
-	done := false
-	finish := func() {
-		if done {
-			return
-		}
-		done = true
-		tracer.Close()
-		for _, c := range closers {
-			c()
-		}
-	}
-	return tracer, flight, finish
-}
-
-// dumpFlight writes the flight recorder's recent-span ring to stderr.
-func dumpFlight(flight *obs.Flight, reason string) {
-	if flight == nil || flight.Len() == 0 {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "attack: %s — flight recorder dump:\n", reason)
-	flight.WriteTo(os.Stderr)
-}
-
-// armFlightDump dumps the flight recorder on SIGQUIT (the run keeps
-// going, like a thread dump).
-func armFlightDump(flight *obs.Flight) {
-	if flight == nil {
-		return
-	}
-	qc := make(chan os.Signal, 1)
-	signal.Notify(qc, syscall.SIGQUIT)
-	go func() {
-		for range qc {
-			dumpFlight(flight, "SIGQUIT")
-		}
-	}()
-}
-
-// dumpFlightOnPanic preserves the flight recorder's evidence when the run
-// dies: deferred in main, it dumps the ring and re-panics.
-func dumpFlightOnPanic(flight *obs.Flight) {
-	if r := recover(); r != nil {
-		dumpFlight(flight, "panic")
-		panic(r)
-	}
 }
 
 func writeMetrics(path string, rows []experiments.TableIRow, tr *obs.Tracer) error {

@@ -37,6 +37,7 @@ import (
 	"syscall"
 
 	"obfuslock"
+	"obfuslock/internal/cliflags"
 )
 
 func main() {
@@ -52,19 +53,16 @@ func main() {
 	noRewrite := flag.Bool("norewrite", false, "skip the final functional-rewriting pass")
 	verify := flag.Bool("verify", true, "prove key correctness by SAT equivalence checking")
 	resilience := flag.Duration("resilience", 0, "after locking, self-check resilience by running the SAT attack with this time budget (0: skip)")
-	dipBatch := flag.Int("dip-batch", 0, "DIPs per solver round of the -resilience self-check, answered in one bit-parallel oracle pass (0: default width, 1: serial)")
-	satWorkers := flag.Int("sat-workers", 1, "parallel SAT portfolio width per -verify/-resilience solve; results are byte-identical at any width (1: sequential, 0: GOMAXPROCS)")
 	sweep := flag.Bool("sweep", true, "use SAT sweeping (fraig) for the -verify equivalence proof")
 	sweepWords := flag.Int("sweep-words", 8, "64-pattern signature words seeding the sweep's equivalence classes")
-	useSimp := flag.Bool("simp", true, "SatELite-style CNF preprocessing/inprocessing in every SAT solver")
-	useCache := flag.Bool("cache", false, "memoize SAT-backed sub-queries in a content-addressed result cache")
-	cacheDir := flag.String("cache-dir", "", "spill the cache to <dir>/cache.jsonl and reload it on start (requires -cache)")
-	cacheMB := flag.Int("cache-mb", 256, "in-memory cache budget in MiB (requires -cache)")
-	tracePath := flag.String("trace", "", "write the span/event stream as JSON Lines to this file")
-	progress := flag.Bool("progress", false, "live one-line progress on stderr")
-	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pprof, <prefix>.heap.pprof and <prefix>.allocs.pprof profiles")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /flight and /debug/pprof on this address (e.g. localhost:6060)")
-	ledgerPath := flag.String("ledger", "", "write a ledger.json run record (flags, build, metrics, peak RSS) to this file")
+
+	var solver cliflags.Solver
+	var cacheFlags cliflags.Cache
+	var tele cliflags.Telemetry
+	solver.Register(flag.CommandLine)
+	cacheFlags.Register(flag.CommandLine)
+	tele.Register(flag.CommandLine)
+
 	verbose := flag.Bool("v", false, "print cache statistics after the run")
 	workers := flag.Int("workers", 0, "GOMAXPROCS override for the construction (0: leave as is)")
 	flag.Parse()
@@ -73,24 +71,27 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if err := validateCacheFlags(*useCache, *cacheMB, set); err != nil {
+	if err := cacheFlags.Validate(cliflags.Visited(flag.CommandLine)); err != nil {
 		fmt.Fprintln(os.Stderr, "obfuslock:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	var ledger *obfuslock.RunLedger
-	if *ledgerPath != "" {
-		ledger = obfuslock.NewRunLedger("obfuslock")
+	sess, err := tele.Start("obfuslock")
+	if err != nil {
+		fatal(err)
 	}
-	tracer, flight, finish := setupTelemetry(*tracePath, *progress, *pprofPrefix, *debugAddr, ledger != nil)
-	defer finish()
-	armFlightDump(flight)
-	defer dumpFlightOnPanic(flight)
+	defer sess.Finish()
+	sess.ArmFlightDump()
+	defer sess.PanicDump()
+	tracer := sess.Tracer
 
-	cache := setupCache(*useCache, *cacheDir, *cacheMB, tracer)
+	cache, err := cacheFlags.Open(tracer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obfuslock:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	defer cache.Close()
 
 	// Ctrl-C / SIGTERM cancels the lock construction down to its SAT
@@ -98,10 +99,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var (
-		c   *obfuslock.Circuit
-		err error
-	)
+	var c *obfuslock.Circuit
 	switch {
 	case *benchName != "":
 		found := false
@@ -129,10 +127,7 @@ func main() {
 		fatal(fmt.Errorf("one of -in or -bench is required"))
 	}
 
-	sopt := obfuslock.DefaultSimp()
-	if !*useSimp {
-		sopt = obfuslock.SimpOff()
-	}
+	sopt := solver.SimpOptions()
 
 	opt := obfuslock.DefaultOptions()
 	opt.TargetSkewBits = *skewBits
@@ -162,7 +157,7 @@ func main() {
 			copt.SweepWords = *sweepWords
 		}
 		copt.Seed = *seed
-		copt.Budget.SatWorkers = satWorkersArg(*satWorkers)
+		copt.Budget.SatWorkers = solver.Workers()
 		copt.Trace = tracer
 		copt.Simp = sopt
 		copt.Cache = cache
@@ -182,8 +177,8 @@ func main() {
 		aopt.Seed = *seed
 		aopt.Trace = tracer
 		aopt.Simp = sopt
-		aopt.DIPBatch = *dipBatch
-		aopt.SatWorkers = satWorkersArg(*satWorkers)
+		aopt.DIPBatch = solver.DIPBatch
+		aopt.SatWorkers = solver.Workers()
 		aopt.Cache = cache
 		a, _ := obfuslock.AttackNamed("sat")
 		r := a.Run(ctx, res.Locked, obfuslock.NewOracle(c), aopt)
@@ -223,15 +218,11 @@ func main() {
 	if *verbose {
 		printCacheStats(cache)
 	}
-	if ledger != nil {
-		if st := cache.Stats(); st.Lookups() > 0 {
-			ledger.AddExtra("cache_hit_ratio", st.HitRatio())
-		}
-		ledger.Finish(tracer)
-		if err := ledger.WriteFile(*ledgerPath); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *ledgerPath)
+	if err := sess.WriteLedger(cache); err != nil {
+		fatal(err)
+	}
+	if sess.Ledger != nil {
+		fmt.Printf("wrote %s\n", tele.LedgerPath)
 	}
 }
 
@@ -245,142 +236,6 @@ func printCacheStats(cache *obfuslock.Cache) {
 	st := cache.Stats()
 	fmt.Printf("cache: hits=%d misses=%d hit-ratio=%.3f dedups=%d evictions=%d spills=%d disk-loads=%d bytes=%d\n",
 		st.Hits, st.Misses, st.HitRatio(), st.InflightDedups, st.Evictions, st.Spills, st.DiskLoads, st.Bytes)
-}
-
-// setupTelemetry builds the tracer, flight recorder and profile writers
-// from the observability flags and returns them with a finish func that
-// flushes metrics, stops profiling and closes the trace file. All flags
-// off yields a nil (zero-cost) tracer and no flight recorder.
-func setupTelemetry(tracePath string, progress bool, pprofPrefix, debugAddr string, ledger bool) (*obfuslock.Tracer, *obfuslock.FlightRecorder, func()) {
-	reg := obfuslock.NewMetricRegistry()
-	var sinks []obfuslock.TraceSink
-	var closers []func()
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		sinks = append(sinks, obfuslock.NewJSONLSink(f))
-		closers = append(closers, func() { f.Close() })
-	}
-	if progress {
-		p := obfuslock.NewProgressSink(os.Stderr)
-		sinks = append(sinks, p)
-		closers = append(closers, p.Done)
-	}
-	var flight *obfuslock.FlightRecorder
-	if tracePath != "" || progress || debugAddr != "" || ledger {
-		flight = obfuslock.NewFlightRecorder(obfuslock.DefaultFlightDepth)
-		sinks = append(sinks, flight)
-	}
-	if len(sinks) > 0 {
-		// Every completed span also lands in a span.<name>_us histogram,
-		// so /metrics and the ledger carry per-phase latency distributions.
-		sinks = append(sinks, obfuslock.NewSpanDurationsSink(reg))
-	}
-	sink := obfuslock.MultiSink(sinks...)
-	if sink == nil && pprofPrefix != "" {
-		// pprof labels need an enabled tracer even with no stream.
-		sink = obfuslock.DiscardSink
-	}
-	tracer := obfuslock.NewTracerWithRegistry(sink, reg)
-	tracer.EnablePprofLabels()
-	if pprofPrefix != "" {
-		stop, err := obfuslock.StartProfiles(pprofPrefix)
-		if err != nil {
-			fatal(err)
-		}
-		closers = append(closers, func() {
-			if err := stop(); err != nil {
-				fmt.Fprintln(os.Stderr, "obfuslock: pprof:", err)
-			}
-		})
-	}
-	if debugAddr != "" {
-		addr, err := obfuslock.ListenDebug(debugAddr, tracer, flight)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "obfuslock: debug endpoint on http://%s (/metrics, /flight, /debug/pprof)\n", addr)
-	}
-	done := false
-	finish := func() {
-		if done {
-			return
-		}
-		done = true
-		tracer.Close()
-		for _, c := range closers {
-			c()
-		}
-	}
-	return tracer, flight, finish
-}
-
-// armFlightDump dumps the flight recorder's recent-span ring to stderr on
-// SIGQUIT (the run keeps going, like a thread dump).
-func armFlightDump(flight *obfuslock.FlightRecorder) {
-	if flight == nil {
-		return
-	}
-	qc := make(chan os.Signal, 1)
-	signal.Notify(qc, syscall.SIGQUIT)
-	go func() {
-		for range qc {
-			fmt.Fprintln(os.Stderr, "obfuslock: SIGQUIT — flight recorder dump:")
-			flight.WriteTo(os.Stderr)
-		}
-	}()
-}
-
-// dumpFlightOnPanic preserves the flight recorder's evidence when the run
-// dies: deferred in main, it dumps the ring and re-panics.
-func dumpFlightOnPanic(flight *obfuslock.FlightRecorder) {
-	if r := recover(); r != nil {
-		if flight != nil {
-			fmt.Fprintln(os.Stderr, "obfuslock: panic — flight recorder dump:")
-			flight.WriteTo(os.Stderr)
-		}
-		panic(r)
-	}
-}
-
-// validateCacheFlags enforces the cache flag contract: -cache-mb must be a
-// positive budget, and the cache tuning flags only mean something when the
-// cache is on.
-func validateCacheFlags(useCache bool, cacheMB int, set map[string]bool) error {
-	if set["cache-mb"] && cacheMB <= 0 {
-		return fmt.Errorf("-cache-mb must be positive, got %d", cacheMB)
-	}
-	if !useCache && (set["cache-dir"] || set["cache-mb"]) {
-		return fmt.Errorf("-cache-dir/-cache-mb require -cache")
-	}
-	return nil
-}
-
-// setupCache opens the result cache; an unusable -cache-dir (unwritable,
-// or a corrupt spill file) is a flag error, reported before any work starts.
-func setupCache(enabled bool, dir string, mb int, tracer *obfuslock.Tracer) *obfuslock.Cache {
-	if !enabled {
-		return nil
-	}
-	c, err := obfuslock.NewCache(obfuslock.CacheOptions{MaxBytes: int64(mb) << 20, Dir: dir, Trace: tracer})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "obfuslock:", err)
-		flag.Usage()
-		os.Exit(2)
-	}
-	return c
-}
-
-// satWorkersArg maps the CLI's -sat-workers convention (0 means "all
-// cores") onto the internal exec.SatWorkers one (negative means "all
-// cores", 0 means sequential).
-func satWorkersArg(n int) int {
-	if n == 0 {
-		return -1
-	}
-	return n
 }
 
 func fatal(err error) {

@@ -63,12 +63,16 @@ func TestAttackTranscriptDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	satAttack, ok := AttackNamed("sat")
+	if !ok {
+		t.Fatal("sat attack missing from registry")
+	}
 	run := func(tr *Tracer) AttackResult {
 		aopt := DefaultAttackOptions()
 		aopt.MaxIterations = 25
 		aopt.Seed = 7
 		aopt.Trace = tr
-		return RunSATAttack(context.Background(), res.Locked, NewOracle(c), aopt)
+		return satAttack.Run(context.Background(), res.Locked, NewOracle(c), aopt)
 	}
 	r1 := run(nil)
 	r2 := run(nil)

@@ -58,7 +58,8 @@ func main() {
 	aopt := obfuslock.DefaultAttackOptions()
 	aopt.MaxIterations = 40
 	aopt.Timeout = 30 * time.Second
-	r := obfuslock.RunSATAttack(context.Background(), res.Locked, obfuslock.NewOracle(c), aopt)
+	satAttack, _ := obfuslock.AttackNamed("sat")
+	r := satAttack.Run(context.Background(), res.Locked, obfuslock.NewOracle(c), aopt)
 	verdict := "defeated (no correct key within budget)"
 	if r.Key != nil {
 		if ok, _ := res.Locked.VerifyKey(c, r.Key); ok {

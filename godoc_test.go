@@ -21,6 +21,7 @@ import (
 var godocPackages = []string{
 	"internal/attacks",
 	"internal/locking",
+	"internal/service",
 }
 
 // TestGodocDocGo requires a doc.go package overview in every audited

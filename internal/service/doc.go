@@ -1,0 +1,38 @@
+// Package service is the locking-as-a-service layer: the job-oriented
+// wire API and the admission-controlled execution engine behind the
+// obfuslockd daemon.
+//
+// The package has three parts, deliberately decoupled:
+//
+//   - The wire schema (spec.go): versioned JobSpec/JobResult types
+//     ("obfuslock-job/v1" / "obfuslock-result/v1") covering every
+//     registered locking scheme and oracle-guided attack plus
+//     equivalence checking, model counting and skewness sampling.
+//     Circuits travel as .bench text; budgets as explicit integer
+//     fields. Decoding is strict — unknown fields are a structured 400,
+//     not a silent drop — and JobResult carries no wall-clock fields, so
+//     a job's result is byte-identical whether it ran serially or under
+//     heavy concurrency (the loadgen soak asserts exactly this).
+//
+//   - The scheduler (sched.go): an exec.Queue — bounded backlog,
+//     fail-fast saturation — fronted by per-tenant concurrency quotas
+//     and budget ceilings (TenantLimits). Admission control is the
+//     production story: quota exhaustion and backpressure map to HTTP
+//     429 with a structured error body and Retry-After, drain to 503.
+//
+//   - The HTTP surface (server.go): async submission (POST /v1/jobs),
+//     polling (GET /v1/jobs/{id}), a JSONL progress stream fed by each
+//     job's obs tracer (GET /v1/jobs/{id}/events, ?follow=1 to tail),
+//     cancellation (DELETE — context cancellation propagates down to
+//     the SAT conflict loops), a synchronous ?wait=1 mode in which a
+//     client disconnect cancels the job and frees its worker slot, and
+//     graceful drain (Server.Drain): stop admitting, finish or cancel
+//     in-flight jobs, then let the daemon flush its ledger.
+//
+// Execution itself is injected through the Runner interface; the
+// production implementation lives in the facade (obfuslock.NewJobRunner)
+// where the scheme and attack registries are in scope. This keeps the
+// wire types self-contained — nothing in a JobSpec or JobResult
+// references another package — which the facade's API-surface test
+// enforces.
+package service

@@ -1,0 +1,354 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitForGoroutines polls until the goroutine count drops back to at
+// most base (plus the runtime's own slack) or the deadline passes, and
+// returns the final count. Direct equality is too brittle — the runtime
+// and the http test server keep a few service goroutines alive — so
+// callers compare against a tolerance.
+func waitForGoroutines(base int, deadline time.Duration) int {
+	var n int
+	for start := time.Now(); time.Since(start) < deadline; {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return runtime.NumGoroutine()
+}
+
+// TestDrainCompletesInFlight proves the graceful path: a drain with a
+// generous deadline lets the running job finish (done, not cancelled),
+// refuses new submissions with 503/draining, and flips /healthz to 503.
+func TestDrainCompletesInFlight(t *testing.T) {
+	block := make(chan struct{})
+	runner := &stubRunner{block: block}
+	srv := New(Config{Runner: runner, Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, data := postJob(t, ts, validSpec(KindCEC), "")
+	var st Status
+	json.Unmarshal(data, &st)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(runner.seen()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- srv.Drain(ctx)
+	}()
+
+	// Draining state is visible before the drain completes.
+	for !srv.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if resp, body := postJob(t, ts, validSpec(KindCEC), ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain = %d, want 503: %s", resp.StatusCode, body)
+	} else if jerr := decodeError(t, body); jerr.Code != CodeDraining {
+		t.Errorf("code = %s, want %s", jerr.Code, CodeDraining)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("/healthz during drain = %d, want 503", resp.StatusCode)
+		}
+	}
+
+	close(block) // let the in-flight job finish
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	if fin := getStatus(t, ts, st.ID); fin.State != StateDone {
+		t.Errorf("in-flight job state after graceful drain = %s, want done", fin.State)
+	}
+}
+
+// TestDrainDeadlineCancels proves the checkpoint path: when the drain
+// budget expires with a job still running, the server cancels it (the
+// runner observes its context) and the drain still returns cleanly.
+func TestDrainDeadlineCancels(t *testing.T) {
+	runner := &stubRunner{block: make(chan struct{})} // only ctx releases it
+	srv := New(Config{Runner: runner, Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, data := postJob(t, ts, validSpec(KindCEC), "")
+	var st Status
+	json.Unmarshal(data, &st)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(runner.seen()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain with expired budget should cancel and succeed, got %v", err)
+	}
+	if fin := getStatus(t, ts, st.ID); fin.State != StateCancelled {
+		t.Errorf("job state after forced drain = %s, want cancelled", fin.State)
+	}
+}
+
+// TestCancelQueuedNeverRuns submits behind a busy worker, cancels the
+// queued job, and proves the runner never sees it while its admission
+// slot is still reclaimed.
+func TestCancelQueuedNeverRuns(t *testing.T) {
+	block := make(chan struct{})
+	runner := &stubRunner{block: block}
+	srv := New(Config{
+		Runner:        runner,
+		Workers:       1,
+		QueueDepth:    4,
+		DefaultLimits: TenantLimits{MaxActive: 2},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, first := postJob(t, ts, validSpec(KindCEC), "")
+	var run Status
+	json.Unmarshal(first, &run)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(runner.seen()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	queued := validSpec(KindSample)
+	queued.Label = "queued-victim"
+	_, second := postJob(t, ts, queued, "")
+	var vic Status
+	json.Unmarshal(second, &vic)
+	if st := getStatus(t, ts, vic.ID); st.State != StateQueued {
+		t.Fatalf("second job state = %s, want queued", st.State)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+vic.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var afterCancel Status
+	json.NewDecoder(resp.Body).Decode(&afterCancel)
+	resp.Body.Close()
+	if afterCancel.State != StateCancelled {
+		t.Fatalf("cancel of a queued job must be immediate, state = %s", afterCancel.State)
+	}
+
+	close(block)
+	waitTerminal(t, ts, run.ID)
+	// The tombstoned task drains through the worker; once it has, the
+	// runner must have seen exactly one spec and both slots must be free.
+	deadline = time.Now().Add(5 * time.Second)
+	for srv.sched.Active("default") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("admission slots not reclaimed: %d active", srv.sched.Active("default"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, spec := range runner.seen() {
+		if spec.Label == "queued-victim" {
+			t.Error("runner executed a job cancelled while queued")
+		}
+	}
+}
+
+// TestPreCancelledSubmissionSkipsScheduler proves a submission whose
+// request context is already dead is rejected before touching the
+// scheduler: no runner call, no admission slot, no job entry.
+func TestPreCancelledSubmissionSkipsScheduler(t *testing.T) {
+	runner := &stubRunner{}
+	srv := New(Config{Runner: runner})
+	defer srv.Close()
+
+	body, _ := json.Marshal(validSpec(KindCEC))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the handler runs
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(string(body))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("pre-cancelled submit = %d, want 400: %s", rec.Code, rec.Body)
+	}
+	if jerr := decodeError(t, rec.Body.Bytes()); jerr.Code != CodeBadRequest {
+		t.Errorf("code = %s", jerr.Code)
+	}
+	if n := len(runner.seen()); n != 0 {
+		t.Errorf("runner saw %d specs, want 0", n)
+	}
+	if a := srv.sched.Active("default"); a != 0 {
+		t.Errorf("admission slots leaked: %d active", a)
+	}
+	srv.mu.Lock()
+	jobs := len(srv.jobs)
+	srv.mu.Unlock()
+	if jobs != 0 {
+		t.Errorf("job table has %d entries, want 0", jobs)
+	}
+}
+
+// TestWaitModeDisconnectFreesSlot proves a ?wait=1 client that goes away
+// mid-run cancels its job: the worker and the tenant's admission slot
+// come back instead of burning on an answer nobody will read.
+func TestWaitModeDisconnectFreesSlot(t *testing.T) {
+	runner := &stubRunner{block: make(chan struct{})} // only ctx releases it
+	srv := New(Config{Runner: runner, Workers: 1, DefaultLimits: TenantLimits{MaxActive: 1}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(validSpec(KindCEC))
+	reqCtx, disconnect := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(reqCtx, http.MethodPost, ts.URL+"/v1/jobs?wait=1", strings.NewReader(string(body)))
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(runner.seen()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	disconnect()
+	if err := <-errc; err == nil {
+		t.Fatal("client request should have failed on disconnect")
+	}
+	// The slot must come back without anyone completing the job manually.
+	deadline = time.Now().Add(5 * time.Second)
+	for srv.sched.Active("default") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("admission slot never released after client disconnect")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv.mu.Lock()
+	var job *Job
+	for _, j := range srv.jobs {
+		job = j
+	}
+	srv.mu.Unlock()
+	if job == nil || job.State() != StateCancelled {
+		t.Errorf("abandoned job state = %v, want cancelled", job.State())
+	}
+}
+
+// TestLifecycleLeaksNoGoroutines runs a full mixed lifecycle — complete,
+// cancel-running, cancel-queued, fail, drain — and proves the goroutine
+// count returns to baseline: no stuck workers, watchers or event
+// followers.
+func TestLifecycleLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	block := make(chan struct{})
+	runner := &stubRunner{block: block}
+	srv := New(Config{Runner: runner, Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(srv.Handler())
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		_, data := postJob(t, ts, validSpec(KindCEC), "")
+		var st Status
+		json.Unmarshal(data, &st)
+		ids = append(ids, st.ID)
+	}
+	// Cancel one running and one queued job, follow another's events.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+ids[0], nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+	follow := make(chan struct{})
+	go func() {
+		defer close(follow)
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + ids[3] + "/events?follow=1")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	close(block)
+	for _, id := range ids {
+		waitTerminal(t, ts, id)
+	}
+	<-follow
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	cancel()
+	srv.Close()
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	if n := waitForGoroutines(base, 5*time.Second); n > base+3 {
+		t.Errorf("goroutines leaked: %d before, %d after", base, n)
+	}
+}
+
+// TestDrainIdempotent calls Drain twice (concurrently and again after
+// completion) and proves both observe the drained state.
+func TestDrainIdempotent(t *testing.T) {
+	srv := New(Config{Runner: &stubRunner{}})
+	defer srv.Close()
+
+	var done atomic.Int32
+	for i := 0; i < 3; i++ {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Drain(ctx); err == nil {
+				done.Add(1)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for done.Load() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("concurrent drains stuck: %d/3 done", done.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Errorf("drain after drain = %v", err)
+	}
+}

@@ -1,0 +1,329 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase. Transitions are monotone:
+// queued → running → {done, failed, cancelled}, or queued → cancelled
+// directly when the job is cancelled before a worker picks it up.
+type State string
+
+// Job lifecycle states.
+const (
+	// StateQueued: admitted, waiting for a worker slot.
+	StateQueued State = "queued"
+	// StateRunning: executing on a scheduler worker.
+	StateRunning State = "running"
+	// StateDone: finished with a result.
+	StateDone State = "done"
+	// StateFailed: finished with an error.
+	StateFailed State = "failed"
+	// StateCancelled: cancelled by the client (or by a drain checkpoint)
+	// before completing.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Status is the job envelope served by GET /v1/jobs/{id}: metadata,
+// lifecycle timestamps, and — once terminal — the result or error.
+// Unlike JobResult it may carry wall-clock fields; byte-identity claims
+// cover the result only.
+type Status struct {
+	// ID is the server-assigned job identifier.
+	ID string `json:"id"`
+	// Tenant is the quota-accounting tenant.
+	Tenant string `json:"tenant"`
+	// Kind echoes the spec's kind.
+	Kind string `json:"kind"`
+	// Label echoes the client's tag, if any.
+	Label string `json:"label,omitempty"`
+	// State is the current lifecycle state.
+	State State `json:"state"`
+	// CreatedAt is the admission time (RFC3339Nano).
+	CreatedAt string `json:"created_at"`
+	// StartedAt is set when a worker picks the job up.
+	StartedAt string `json:"started_at,omitempty"`
+	// FinishedAt is set when the job reaches a terminal state.
+	FinishedAt string `json:"finished_at,omitempty"`
+	// Events counts the progress records available at /events.
+	Events int `json:"events"`
+	// Result is the versioned outcome (done only).
+	Result *JobResult `json:"result,omitempty"`
+	// Error describes the failure (failed/cancelled only).
+	Error *Error `json:"error,omitempty"`
+}
+
+// Job is one tracked submission. All fields behind mu; the exported
+// accessors take consistent snapshots.
+type Job struct {
+	id     string
+	tenant string
+	spec   JobSpec
+
+	mu        sync.Mutex
+	state     State
+	result    *JobResult
+	jerr      *Error
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cancelled bool // client asked for cancellation
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	events *eventLog
+	done   chan struct{}
+}
+
+// newJob builds a queued job whose execution context is derived from
+// base (the server's lifetime context, NOT the submitting request's —
+// async jobs outlive their submission).
+func newJob(base context.Context, id string, spec JobSpec, maxEvents int) *Job {
+	ctx, cancel := context.WithCancel(base)
+	return &Job{
+		id:      id,
+		tenant:  spec.TenantOrDefault(),
+		spec:    spec,
+		state:   StateQueued,
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		events:  newEventLog(maxEvents),
+		done:    make(chan struct{}),
+	}
+}
+
+// ID returns the server-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the submitted spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the result once the job is done (nil otherwise).
+func (j *Job) Result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Status snapshots the envelope.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.id,
+		Tenant:    j.tenant,
+		Kind:      j.spec.Kind,
+		Label:     j.spec.Label,
+		State:     j.state,
+		CreatedAt: j.created.Format(time.RFC3339Nano),
+		Events:    j.events.Len(),
+		Result:    j.result,
+		Error:     j.jerr,
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// Cancel requests cancellation: a queued job goes terminal immediately
+// (its scheduler slot is reclaimed when the tombstoned task drains), a
+// running job has its context cancelled and goes terminal when the
+// runner returns. Cancel reports whether the request changed anything
+// (false once the job is already terminal).
+func (j *Job) Cancel(reason string) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelled = true
+	if j.state == StateQueued {
+		j.finishLocked(StateCancelled, nil, Errorf(CodeCancelled, "%s", reason))
+		j.mu.Unlock()
+		j.cancel()
+		return true
+	}
+	j.mu.Unlock()
+	j.cancel() // running: the runner observes ctx and returns
+	return true
+}
+
+// start moves queued → running. It returns false when the job is
+// already terminal (cancelled while queued): the caller must skip it.
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the runner's outcome, classifying a client-cancelled
+// job as cancelled regardless of what the runner managed to return.
+func (j *Job) finish(res *JobResult, jerr *Error) {
+	j.mu.Lock()
+	switch {
+	case j.cancelled:
+		j.finishLocked(StateCancelled, nil, Errorf(CodeCancelled, "job cancelled"))
+	case jerr != nil:
+		j.finishLocked(StateFailed, nil, jerr)
+	default:
+		j.finishLocked(StateDone, res, nil)
+	}
+	j.mu.Unlock()
+	j.cancel() // release the context's timer/goroutine resources
+}
+
+// finishLocked is the single terminal-state writer; callers hold mu.
+func (j *Job) finishLocked(s State, res *JobResult, jerr *Error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.result = res
+	j.jerr = jerr
+	j.finished = time.Now()
+	j.events.Close()
+	close(j.done)
+}
+
+// eventLog is a bounded append-only list of JSONL progress records with
+// follow support: readers block on Wait until new lines arrive or the
+// log closes. The per-job obs tracer writes into it through the
+// io.Writer interface (it emits complete lines, matching the JSONL
+// sink's line-at-a-time writes).
+type eventLog struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	lines   [][]byte
+	dropped int
+	closed  bool
+	max     int
+	partial []byte
+}
+
+// defaultMaxEvents bounds one job's retained progress records.
+const defaultMaxEvents = 4096
+
+func newEventLog(max int) *eventLog {
+	if max <= 0 {
+		max = defaultMaxEvents
+	}
+	l := &eventLog{max: max}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Write appends JSONL bytes, splitting on newlines. Once the bound is
+// reached further lines are counted but not retained (progress streams
+// are diagnostics, not archives; the full stream still reaches any
+// process-wide trace sink).
+func (l *eventLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.partial = append(l.partial, p...)
+	appended := false
+	for {
+		i := bytes.IndexByte(l.partial, '\n')
+		if i < 0 {
+			break
+		}
+		line := make([]byte, i)
+		copy(line, l.partial[:i])
+		l.partial = l.partial[i+1:]
+		if len(l.lines) >= l.max {
+			l.dropped++
+			continue
+		}
+		l.lines = append(l.lines, line)
+		appended = true
+	}
+	if appended {
+		l.cond.Broadcast()
+	}
+	return len(p), nil
+}
+
+// Len reports how many lines were recorded (dropped ones included).
+func (l *eventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.lines) + l.dropped
+}
+
+// Close marks the log complete and wakes all followers.
+func (l *eventLog) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Snapshot returns the retained lines from offset on, the next offset,
+// and whether the log is closed.
+func (l *eventLog) Snapshot(from int) ([][]byte, int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from > len(l.lines) {
+		from = len(l.lines)
+	}
+	out := l.lines[from:]
+	return out, len(l.lines), l.closed
+}
+
+// Wait blocks until the log grows past offset, closes, or stop is
+// closed. It returns false when the caller should give up (stop).
+func (l *eventLog) Wait(from int, stop <-chan struct{}) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.lines) <= from && !l.closed {
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+		// cond.Wait cannot select on stop; poke the cond from a watcher.
+		waitDone := make(chan struct{})
+		go func() {
+			select {
+			case <-stop:
+				l.cond.Broadcast()
+			case <-waitDone:
+			}
+		}()
+		l.cond.Wait()
+		close(waitDone)
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+	}
+	return true
+}

@@ -1,0 +1,454 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"obfuslock/internal/exec"
+	"obfuslock/internal/obs"
+)
+
+// Runner executes one job. Implementations live above this package (the
+// facade's registry-backed runner is the production one; tests inject
+// stubs). The contract mirrors the rest of the repository: cancelling
+// ctx stops the work promptly and deterministically, tr is a per-job
+// tracer whose stream feeds the job's /events endpoint (nil-safe,
+// record-only — it must never change the result), and the returned
+// error is a structured job failure, not a transport error.
+type Runner interface {
+	// Run executes spec under ctx, reporting progress through tr.
+	Run(ctx context.Context, spec JobSpec, tr *obs.Tracer) (JobResult, *Error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(ctx context.Context, spec JobSpec, tr *obs.Tracer) (JobResult, *Error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx context.Context, spec JobSpec, tr *obs.Tracer) (JobResult, *Error) {
+	return f(ctx, spec, tr)
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Runner executes admitted jobs (required).
+	Runner Runner
+	// Workers is the job-execution parallelism (0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the backlog of admitted-but-not-running jobs
+	// (0: DefaultQueueDepth). Beyond it, submissions get 429/queue_full.
+	QueueDepth int
+	// DefaultLimits applies to tenants without an override.
+	DefaultLimits TenantLimits
+	// Tenants overrides limits per tenant name.
+	Tenants map[string]TenantLimits
+	// Schemes, when non-empty, is the accepted scheme-name list for lock
+	// jobs; unknown names are rejected at admission with 400.
+	Schemes []string
+	// Attacks, when non-empty, is the accepted attack-name list.
+	Attacks []string
+	// Registry, when non-nil, receives the server's metrics (counters
+	// under service.*, the scheduler's exec.* pool metrics) and becomes
+	// the metric namespace of every per-job tracer.
+	Registry *obs.Registry
+	// ExtraSink, when non-nil, additionally receives every job's trace
+	// stream (a process-wide JSONL file, flight recorder, or progress
+	// sink). Per-job /events streams work without it.
+	ExtraSink obs.Sink
+	// MaxEventsPerJob bounds each job's retained progress records
+	// (0: the package default).
+	MaxEventsPerJob int
+}
+
+// DefaultQueueDepth is the backlog bound when Config.QueueDepth is 0.
+const DefaultQueueDepth = 64
+
+// Server owns the job table, the admission-controlled scheduler and the
+// HTTP surface. Create with New, mount Handler, and call Drain on the
+// way out.
+type Server struct {
+	cfg   Config
+	sched *Scheduler
+
+	baseCtx  context.Context
+	stopBase context.CancelFunc
+	draining atomic.Bool
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID uint64
+
+	cSubmitted, cDone, cFailed, cCancelled *obs.Counter
+	cRejectedQuota, cRejectedQueue         *obs.Counter
+	gRunning                               *obs.Gauge
+}
+
+// New builds a Server from cfg. It panics when cfg.Runner is nil — a
+// server without an executor is a programming error, not a runtime
+// condition.
+func New(cfg Config) *Server {
+	if cfg.Runner == nil {
+		panic("service: Config.Runner is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	var pm exec.PoolMetrics
+	s := &Server{cfg: cfg, jobs: map[string]*Job{}}
+	if reg := cfg.Registry; reg != nil {
+		pm = exec.PoolMetrics{
+			QueueDepth:  reg.Gauge(exec.MetricQueueDepth),
+			TaskLatency: reg.Histogram(exec.MetricTaskLatency),
+			Tasks:       reg.Counter(exec.MetricTasks),
+		}
+		s.cSubmitted = reg.Counter(MetricJobsSubmitted)
+		s.cDone = reg.Counter(MetricJobsDone)
+		s.cFailed = reg.Counter(MetricJobsFailed)
+		s.cCancelled = reg.Counter(MetricJobsCancelled)
+		s.cRejectedQuota = reg.Counter(MetricRejectedQuota)
+		s.cRejectedQueue = reg.Counter(MetricRejectedQueue)
+		s.gRunning = reg.Gauge(MetricJobsRunning)
+	}
+	s.sched = NewScheduler(cfg.Workers, cfg.QueueDepth, cfg.DefaultLimits, cfg.Tenants, pm)
+	s.baseCtx, s.stopBase = context.WithCancel(context.Background())
+	return s
+}
+
+// Server metric names (registered when Config.Registry is set).
+const (
+	// MetricJobsSubmitted counts accepted submissions.
+	MetricJobsSubmitted = "service.jobs_submitted"
+	// MetricJobsDone counts jobs finishing with a result.
+	MetricJobsDone = "service.jobs_done"
+	// MetricJobsFailed counts jobs finishing with an error.
+	MetricJobsFailed = "service.jobs_failed"
+	// MetricJobsCancelled counts cancelled jobs.
+	MetricJobsCancelled = "service.jobs_cancelled"
+	// MetricRejectedQuota counts 429s from tenant quotas.
+	MetricRejectedQuota = "service.rejected_quota"
+	// MetricRejectedQueue counts 429s from queue backpressure.
+	MetricRejectedQueue = "service.rejected_queue"
+	// MetricJobsRunning gauges jobs currently executing.
+	MetricJobsRunning = "service.jobs_running"
+)
+
+// Handler returns the service mux:
+//
+//	POST   /v1/jobs            submit (202; ?wait=1 blocks and returns 200)
+//	GET    /v1/jobs            list job envelopes
+//	GET    /v1/jobs/{id}       one job envelope
+//	GET    /v1/jobs/{id}/events  progress stream as JSONL (?follow=1 tails)
+//	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/schema          schema versions, kinds, schemes, attacks
+//	GET    /healthz            liveness/drain state
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/schema", s.handleSchema)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		s.mu.Lock()
+		out := make([]Status, 0, len(s.order))
+		for _, id := range s.order {
+			out = append(out, s.jobs[id].Status())
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	default:
+		writeError(w, Errorf(CodeBadRequest, "method %s not allowed", r.Method), http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, Errorf(CodeDraining, "server is draining; not admitting jobs"), 0)
+		return
+	}
+	// A submission whose request context is already dead never touches
+	// the scheduler: there is no client left to learn the job id, so
+	// admitting it could only waste a worker slot.
+	if err := r.Context().Err(); err != nil {
+		writeError(w, Errorf(CodeBadRequest, "request context cancelled before admission: %v", err), 0)
+		return
+	}
+	spec, jerr := DecodeSpec(r.Body)
+	if jerr != nil {
+		writeError(w, jerr, 0)
+		return
+	}
+	if jerr := s.checkRegistries(spec); jerr != nil {
+		writeError(w, jerr, 0)
+		return
+	}
+	tenant := spec.TenantOrDefault()
+	limits := s.sched.Limits(tenant)
+	if b := limits.Clamp(budgetOf(spec)); b != (Budget{}) {
+		spec.Budget = &b
+	}
+	if jerr := s.sched.Admit(tenant); jerr != nil {
+		s.cRejectedQuota.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, jerr, 0)
+		return
+	}
+	job := newJob(s.baseCtx, s.newID(), spec, s.cfg.MaxEventsPerJob)
+	s.mu.Lock()
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.mu.Unlock()
+
+	wait := boolParam(r, "wait")
+	if wait {
+		// Synchronous mode ties the job to the request: a client that
+		// disconnects mid-run cancels its job, freeing the worker slot
+		// for the next tenant instead of burning it on an answer nobody
+		// will read.
+		go func() {
+			select {
+			case <-r.Context().Done():
+				job.Cancel("client disconnected")
+			case <-job.Done():
+			}
+		}()
+	}
+	if jerr := s.sched.Submit(func() { s.execute(job) }); jerr != nil {
+		s.mu.Lock()
+		delete(s.jobs, job.id)
+		if n := len(s.order); n > 0 && s.order[n-1] == job.id {
+			s.order = s.order[:n-1]
+		}
+		s.mu.Unlock()
+		s.sched.Release(tenant)
+		if jerr.Code == CodeQueueFull {
+			s.cRejectedQueue.Inc()
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, jerr, 0)
+		return
+	}
+	s.cSubmitted.Inc()
+	if wait {
+		<-job.Done()
+		writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.id)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// checkRegistries rejects unknown scheme/attack names at admission when
+// the server was configured with the registries, so clients get a 400
+// with the accepted list instead of a failed job.
+func (s *Server) checkRegistries(spec JobSpec) *Error {
+	if spec.Kind == KindLock && len(s.cfg.Schemes) > 0 && !contains(s.cfg.Schemes, spec.Scheme) {
+		return Errorf(CodeBadRequest, "unknown scheme %q (have %s)", spec.Scheme, strings.Join(s.cfg.Schemes, ", "))
+	}
+	if spec.Kind == KindAttack && len(s.cfg.Attacks) > 0 && !contains(s.cfg.Attacks, spec.Attack) {
+		return Errorf(CodeBadRequest, "unknown attack %q (have %s)", spec.Attack, strings.Join(s.cfg.Attacks, ", "))
+	}
+	return nil
+}
+
+func contains(list []string, v string) bool {
+	for _, s := range list {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// budgetOf returns the spec's budget or the zero value.
+func budgetOf(spec JobSpec) Budget {
+	if spec.Budget != nil {
+		return *spec.Budget
+	}
+	return Budget{}
+}
+
+// execute runs one dequeued job on a scheduler worker. It is the single
+// release point for the tenant's admission slot: completed, failed,
+// cancelled-while-running and cancelled-while-queued (tombstone) paths
+// all pass through here exactly once.
+func (s *Server) execute(job *Job) {
+	defer s.sched.Release(job.tenant)
+	if !job.start() {
+		// Cancelled while queued: the runner never sees it.
+		s.cCancelled.Inc()
+		return
+	}
+	s.gRunning.Add(1)
+	defer s.gRunning.Add(-1)
+	tr := obs.NewWithRegistry(obs.Multi(obs.NewJSONL(job.events), s.cfg.ExtraSink), s.cfg.Registry)
+	res, jerr := s.cfg.Runner.Run(job.ctx, job.spec, tr)
+	tr.Close()
+	job.finish(&res, jerr)
+	switch job.State() {
+	case StateDone:
+		s.cDone.Inc()
+	case StateFailed:
+		s.cFailed.Inc()
+	case StateCancelled:
+		s.cCancelled.Inc()
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	job := s.jobs[id]
+	s.mu.Unlock()
+	if job == nil {
+		writeError(w, Errorf(CodeUnknownJob, "no job %q", id), 0)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, job.Status())
+	case sub == "" && r.Method == http.MethodDelete:
+		job.Cancel("cancelled by client")
+		writeJSON(w, http.StatusOK, job.Status())
+	case sub == "events" && r.Method == http.MethodGet:
+		s.streamEvents(w, r, job)
+	default:
+		writeError(w, Errorf(CodeBadRequest, "unsupported %s on %s", r.Method, r.URL.Path), http.StatusMethodNotAllowed)
+	}
+}
+
+// streamEvents writes the job's progress records as JSONL. With
+// ?follow=1 it keeps the response open, flushing new records as the job
+// emits them, until the job reaches a terminal state or the client goes
+// away — a poll-free progress feed built directly on the obs span
+// stream.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	follow := boolParam(r, "follow")
+	offset := 0
+	for {
+		lines, next, closed := job.events.Snapshot(offset)
+		for _, line := range lines {
+			w.Write(line)
+			w.Write([]byte{'\n'})
+		}
+		offset = next
+		if flusher != nil && len(lines) > 0 {
+			flusher.Flush()
+		}
+		if !follow || closed {
+			return
+		}
+		if !job.events.Wait(offset, r.Context().Done()) {
+			return
+		}
+	}
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job_schema":    SchemaVersion,
+		"result_schema": ResultSchema,
+		"kinds":         Kinds(),
+		"schemes":       s.cfg.Schemes,
+		"attacks":       s.cfg.Attacks,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		state = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": state, "backlog": s.sched.Backlog()})
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the job engine down: stop admitting (every new
+// submission gets 503/draining), let queued and running jobs finish, and
+// — if ctx expires first — cancel whatever is still in flight and wait
+// for the workers to observe the cancellation. On return no job is
+// running; the caller can flush ledgers and exit. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	if err := s.sched.Drain(ctx); err == nil {
+		return nil
+	}
+	// Deadline passed with work still in flight: checkpoint by
+	// cancelling every live job (they all poll their contexts down to
+	// the SAT conflict loops) and give the workers a bounded grace
+	// period to unwind.
+	s.mu.Lock()
+	for _, id := range s.order {
+		if job := s.jobs[id]; !job.State().Terminal() {
+			job.Cancel("server draining")
+		}
+	}
+	s.mu.Unlock()
+	grace, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.sched.Drain(grace); err != nil {
+		return fmt.Errorf("service: %d jobs still in flight after drain grace period", s.sched.Backlog())
+	}
+	return nil
+}
+
+// Close releases the server's base context (after Drain). Jobs created
+// later would be stillborn; call only on the way out.
+func (s *Server) Close() { s.stopBase() }
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) newID() string {
+	n := atomic.AddUint64(&s.nextID, 1)
+	return fmt.Sprintf("j-%06d", n)
+}
+
+func boolParam(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError writes the structured error body; code 0 derives the HTTP
+// status from the error's code.
+func writeError(w http.ResponseWriter, jerr *Error, code int) {
+	if code == 0 {
+		code = HTTPStatus(jerr.Code)
+	}
+	writeJSON(w, code, map[string]*Error{"error": jerr})
+}

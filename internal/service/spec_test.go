@@ -1,0 +1,305 @@
+package service
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire-format files")
+
+// goldenSpecs is one spec per scheme and per attack plus one of every
+// other kind: the full v1 submission surface. The golden files pin the
+// wire encoding — any field rename, reorder, tag change or type change
+// shows up as a diff here before it shows up as a broken client.
+func goldenSpecs() map[string]JobSpec {
+	specs := map[string]JobSpec{}
+	for _, scheme := range []string{"obfuslock", "rll", "sarlock", "antisat", "ttlock", "sfll-hd"} {
+		specs["lock_"+scheme] = JobSpec{
+			Schema:  SchemaVersion,
+			Kind:    KindLock,
+			Tenant:  "golden",
+			Label:   "lock " + scheme,
+			Circuit: "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+			Scheme:  scheme,
+			SchemeOptions: &SchemeOptions{
+				KeyBits: 8, ProtWidth: 6, HammingDistance: 1, SkewBits: 12.5, Seed: 7,
+			},
+			Budget: &Budget{TimeoutMS: 60_000, MaxConflicts: 1_000_000, SatWorkers: 4},
+		}
+	}
+	for _, attack := range []string{"sat", "appsat", "portfolio"} {
+		specs["attack_"+attack] = JobSpec{
+			Schema:  SchemaVersion,
+			Kind:    KindAttack,
+			Tenant:  "golden",
+			Label:   "attack " + attack,
+			Circuit: "INPUT(a)\nINPUT(k0)\nOUTPUT(y)\ny = XOR(a, k0)\n",
+			Oracle:  "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+			Attack:  attack,
+			AttackOptions: &AttackOptions{
+				MaxIterations: 128, Seed: 7, DIPBatch: 16, ReinforceEvery: 10, RandomQueries: 32,
+			},
+			Budget: &Budget{TimeoutMS: 30_000},
+		}
+	}
+	no := false
+	specs["cec"] = JobSpec{
+		Schema:  SchemaVersion,
+		Kind:    KindCEC,
+		Circuit: "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+		Oracle:  "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+		Sweep:   &no,
+		Seed:    7,
+	}
+	specs["count"] = JobSpec{
+		Schema:  SchemaVersion,
+		Kind:    KindCount,
+		Circuit: "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+		Output:  0,
+		Seed:    7,
+	}
+	specs["sample"] = JobSpec{
+		Schema:  SchemaVersion,
+		Kind:    KindSample,
+		Circuit: "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n",
+		Output:  0,
+		Seed:    7,
+	}
+	return specs
+}
+
+// goldenResults pins the result layout for every kind, exercising every
+// field at least once (including the pointer-typed tri-state ones).
+func goldenResults() map[string]JobResult {
+	yes, log2 := true, 1.585
+	undecided, skew := false, 12.25
+	return map[string]JobResult{
+		"lock": {
+			Schema: ResultSchema, Kind: KindLock, Scheme: "rll",
+			Locked: "INPUT(a)\nINPUT(k0)\nOUTPUT(y)\ny = XOR(a, k0)\n",
+			Key:    "10110011", KeyBits: 8,
+		},
+		"attack": {
+			Schema: ResultSchema, Kind: KindAttack, Attack: "sat",
+			Key: "10110011", KeyBits: 8, Exact: true, Iterations: 17, Queries: 23,
+		},
+		"attack_timeout": {
+			Schema: ResultSchema, Kind: KindAttack, Attack: "appsat",
+			TimedOut: true, Iterations: 5, Queries: 160,
+		},
+		"cec": {
+			Schema: ResultSchema, Kind: KindCEC, Equivalent: &yes, Decided: &yes,
+		},
+		"cec_undecided": {
+			Schema: ResultSchema, Kind: KindCEC, Decided: &undecided,
+		},
+		"count": {
+			Schema: ResultSchema, Kind: KindCount, Log2Count: &log2, Decided: &yes,
+		},
+		"count_zero": {
+			Schema: ResultSchema, Kind: KindCount, CountZero: true, ExactCount: true, Decided: &yes,
+		},
+		"sample": {
+			Schema: ResultSchema, Kind: KindSample, SkewBits: &skew,
+		},
+	}
+}
+
+// golden compares v's indented JSON against testdata/<name>.json,
+// rewriting the file under -update.
+func golden(t *testing.T, name string, v any) []byte {
+	t.Helper()
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	path := filepath.Join("testdata", name+".json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -run Golden -update): %v", err)
+	}
+	if string(want) != string(enc) {
+		t.Errorf("wire format drifted from %s:\n got: %s\nwant: %s", path, enc, want)
+	}
+	return enc
+}
+
+// TestGoldenSpecs pins the JobSpec wire format and proves the strict
+// decoder round-trips every golden byte-for-byte.
+func TestGoldenSpecs(t *testing.T) {
+	for name, spec := range goldenSpecs() {
+		t.Run(name, func(t *testing.T) {
+			enc := golden(t, "spec_"+name, spec)
+			got, jerr := DecodeSpec(strings.NewReader(string(enc)))
+			if jerr != nil {
+				t.Fatalf("golden spec rejected by DecodeSpec: %v", jerr)
+			}
+			re, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(append(re, '\n')) != string(enc) {
+				t.Errorf("round trip not byte-identical:\n got: %s\nwant: %s", re, enc)
+			}
+		})
+	}
+}
+
+// TestGoldenResults pins the JobResult wire format, round-tripping each
+// golden through a strict decode.
+func TestGoldenResults(t *testing.T) {
+	for name, res := range goldenResults() {
+		t.Run(name, func(t *testing.T) {
+			enc := golden(t, "result_"+name, res)
+			dec := json.NewDecoder(strings.NewReader(string(enc)))
+			dec.DisallowUnknownFields()
+			var got JobResult
+			if err := dec.Decode(&got); err != nil {
+				t.Fatalf("golden result rejected by strict decode: %v", err)
+			}
+			re, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(append(re, '\n')) != string(enc) {
+				t.Errorf("round trip not byte-identical:\n got: %s\nwant: %s", re, enc)
+			}
+		})
+	}
+}
+
+// TestSchemaVersionPinned is the tripwire for accidental version bumps:
+// the constants are part of the public contract and every change must be
+// deliberate (goldens, docs and the CI schema step all follow).
+func TestSchemaVersionPinned(t *testing.T) {
+	if SchemaVersion != "obfuslock-job/v1" {
+		t.Errorf("job schema version changed to %q — regenerate goldens and update the docs", SchemaVersion)
+	}
+	if ResultSchema != "obfuslock-result/v1" {
+		t.Errorf("result schema version changed to %q — regenerate goldens and update the docs", ResultSchema)
+	}
+}
+
+// TestDecodeSpecStrict exercises the strict wire contract: unknown
+// fields, malformed JSON, trailing data and schema mismatches are all
+// structured 400s, never accepted or mangled.
+func TestDecodeSpecStrict(t *testing.T) {
+	valid := `{"schema":"obfuslock-job/v1","kind":"cec","circuit":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n","oracle":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"}`
+	cases := []struct {
+		name, body, code string
+	}{
+		{"unknown_top_level_field", `{"schema":"obfuslock-job/v1","kind":"cec","circuit":"x","oracle":"y","bogus":1}`, CodeBadRequest},
+		{"unknown_nested_field", `{"schema":"obfuslock-job/v1","kind":"lock","circuit":"x","scheme":"rll","scheme_options":{"key_bits":8,"bogus":1}}`, CodeBadRequest},
+		{"malformed_json", `{"schema":`, CodeBadRequest},
+		{"trailing_data", valid + `{"again":true}`, CodeBadRequest},
+		{"wrong_schema", `{"schema":"obfuslock-job/v0","kind":"cec","circuit":"x","oracle":"y"}`, CodeBadSchema},
+		{"missing_schema", `{"kind":"cec","circuit":"x","oracle":"y"}`, CodeBadSchema},
+		{"unknown_kind", `{"schema":"obfuslock-job/v1","kind":"transmogrify","circuit":"x"}`, CodeBadRequest},
+		{"lock_without_scheme", `{"schema":"obfuslock-job/v1","kind":"lock","circuit":"x"}`, CodeBadRequest},
+		{"lock_with_attack_fields", `{"schema":"obfuslock-job/v1","kind":"lock","circuit":"x","scheme":"rll","attack":"sat"}`, CodeBadRequest},
+		{"attack_without_oracle", `{"schema":"obfuslock-job/v1","kind":"attack","circuit":"x","attack":"sat"}`, CodeBadRequest},
+		{"attack_with_scheme_fields", `{"schema":"obfuslock-job/v1","kind":"attack","circuit":"x","oracle":"y","attack":"sat","scheme":"rll"}`, CodeBadRequest},
+		{"cec_one_sided", `{"schema":"obfuslock-job/v1","kind":"cec","circuit":"x"}`, CodeBadRequest},
+		{"count_negative_output", `{"schema":"obfuslock-job/v1","kind":"count","circuit":"x","output":-1}`, CodeBadRequest},
+		{"negative_timeout", valid[:len(valid)-1] + `,"budget":{"timeout_ms":-1}}`, CodeBadRequest},
+		{"negative_conflicts", valid[:len(valid)-1] + `,"budget":{"max_conflicts":-5}}`, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, jerr := DecodeSpec(strings.NewReader(tc.body))
+			if jerr == nil {
+				t.Fatalf("accepted invalid spec %q", tc.body)
+			}
+			if jerr.Code != tc.code {
+				t.Errorf("code = %q, want %q (message: %s)", jerr.Code, tc.code, jerr.Message)
+			}
+			if HTTPStatus(jerr.Code) != 400 {
+				t.Errorf("HTTPStatus(%q) = %d, want 400", jerr.Code, HTTPStatus(jerr.Code))
+			}
+		})
+	}
+	if _, jerr := DecodeSpec(strings.NewReader(valid)); jerr != nil {
+		t.Fatalf("valid spec rejected: %v", jerr)
+	}
+}
+
+// TestBudgetConvertRoundTrip proves the wire budget and exec.Budget are
+// the same vocabulary: converting there and back loses nothing.
+func TestBudgetConvertRoundTrip(t *testing.T) {
+	for _, b := range []Budget{
+		{},
+		{TimeoutMS: 1500},
+		{MaxConflicts: 1 << 20},
+		{SatWorkers: 8},
+		{TimeoutMS: 250, MaxConflicts: 4096, SatWorkers: 2},
+	} {
+		if got := BudgetFrom(b.Exec()); got != b {
+			t.Errorf("round trip %+v -> %+v", b, got)
+		}
+	}
+}
+
+// TestTenantLimitsClamp documents the "up to" semantics: requests above
+// a cap are lowered, absent requests inherit the cap, and a zero limit
+// never touches the budget.
+func TestTenantLimitsClamp(t *testing.T) {
+	tl := TenantLimits{MaxTimeoutMS: 30_000, MaxConflicts: 1000, MaxSatWorkers: 4}
+	cases := []struct{ in, want Budget }{
+		{Budget{}, Budget{TimeoutMS: 30_000, MaxConflicts: 1000, SatWorkers: 4}},
+		{Budget{TimeoutMS: 10_000}, Budget{TimeoutMS: 10_000, MaxConflicts: 1000, SatWorkers: 4}},
+		{Budget{TimeoutMS: 60_000}, Budget{TimeoutMS: 30_000, MaxConflicts: 1000, SatWorkers: 4}},
+		{Budget{MaxConflicts: 10, SatWorkers: 2}, Budget{TimeoutMS: 30_000, MaxConflicts: 10, SatWorkers: 2}},
+		{Budget{SatWorkers: 9}, Budget{TimeoutMS: 30_000, MaxConflicts: 1000, SatWorkers: 4}},
+	}
+	for _, tc := range cases {
+		if got := tl.Clamp(tc.in); got != tc.want {
+			t.Errorf("Clamp(%+v) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	if got := (TenantLimits{}).Clamp(Budget{TimeoutMS: 5}); got != (Budget{TimeoutMS: 5}) {
+		t.Errorf("zero limits must not touch the budget, got %+v", got)
+	}
+}
+
+// TestErrorHTTPStatus pins the code -> status mapping clients branch on.
+func TestErrorHTTPStatus(t *testing.T) {
+	want := map[string]int{
+		CodeBadRequest:     400,
+		CodeBadSchema:      400,
+		CodeUnknownJob:     404,
+		CodeQuotaExhausted: 429,
+		CodeQueueFull:      429,
+		CodeDraining:       503,
+		CodeFailed:         500,
+		CodeCancelled:      500,
+	}
+	for code, status := range want {
+		if got := HTTPStatus(code); got != status {
+			t.Errorf("HTTPStatus(%s) = %d, want %d", code, got, status)
+		}
+	}
+	e := Errorf(CodeQueueFull, "backlog %d", 64)
+	if e.Error() != "queue_full: backlog 64" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	var nilErr *Error
+	if nilErr.Error() != "<nil>" {
+		t.Errorf("nil Error() = %q", nilErr.Error())
+	}
+	_ = fmt.Sprintf("%v", e) // must not panic as a value either
+}

@@ -133,25 +133,6 @@ func DefaultAttackOptions() AttackOptions { return attacks.DefaultIOOptions() }
 // AttackResult reports an oracle-guided attack outcome.
 type AttackResult = attacks.IOResult
 
-// RunSATAttack launches the oracle-guided SAT attack of Subramanyan et
-// al. Cancelling ctx stops the attack within one solver progress interval
-// and yields a timeout-style result; a nil ctx runs unbounded.
-//
-// Deprecated: use AttackNamed("sat") from the attack registry.
-func RunSATAttack(ctx context.Context, l *Locked, o *Oracle, opt AttackOptions) AttackResult {
-	a, _ := AttackNamed("sat")
-	return a.Run(ctx, l, o, opt)
-}
-
-// RunAppSAT launches the approximate SAT attack of Shamsi et al. under
-// the same cancellation contract as RunSATAttack.
-//
-// Deprecated: use AttackNamed("appsat") from the attack registry.
-func RunAppSAT(ctx context.Context, l *Locked, o *Oracle, opt AttackOptions) AttackResult {
-	a, _ := AttackNamed("appsat")
-	return a.Run(ctx, l, o, opt)
-}
-
 // SimpOptions controls SatELite-style CNF preprocessing and inprocessing
 // inside every SAT-backed step (lock construction, equivalence checking,
 // attacks). The zero value enables it; see internal/simp for the knobs
@@ -240,52 +221,9 @@ func SkewnessBits(c *Circuit, output int, seed int64) float64 {
 }
 
 // Baseline locking schemes for comparison (the trilemma corners) live in
-// the scheme registry: Schemes() lists them, LockWith applies one by name.
-// The LockXXX functions below are kept for source compatibility.
-
-// LockRLL applies random XOR/XNOR key-gate insertion (EPIC).
-//
-// Deprecated: use LockWith(ctx, "rll", c, SchemeOptions{KeyBits: keyBits, Seed: seed}).
-func LockRLL(c *Circuit, keyBits int, seed int64) (*Locked, error) {
-	return LockWith(context.Background(), "rll", c, SchemeOptions{KeyBits: keyBits, Seed: seed})
-}
-
-// LockSARLock applies SARLock single-flip locking.
-//
-// Deprecated: use LockWith(ctx, "sarlock", c, SchemeOptions{ProtWidth: protWidth, Seed: seed}).
-func LockSARLock(c *Circuit, protWidth int, seed int64) (*Locked, error) {
-	return LockWith(context.Background(), "sarlock", c, SchemeOptions{ProtWidth: protWidth, Seed: seed})
-}
-
-// LockAntiSAT applies Anti-SAT locking.
-//
-// Deprecated: use LockWith(ctx, "antisat", c, SchemeOptions{ProtWidth: protWidth, Seed: seed}).
-func LockAntiSAT(c *Circuit, protWidth int, seed int64) (*Locked, error) {
-	return LockWith(context.Background(), "antisat", c, SchemeOptions{ProtWidth: protWidth, Seed: seed})
-}
-
-// LockTTLock applies TTLock point-function stripping.
-//
-// Deprecated: use LockWith(ctx, "ttlock", c, SchemeOptions{ProtWidth: protWidth, Seed: seed}).
-func LockTTLock(c *Circuit, protWidth int, seed int64) (*Locked, error) {
-	return LockWith(context.Background(), "ttlock", c, SchemeOptions{ProtWidth: protWidth, Seed: seed})
-}
-
-// LockSFLLHD applies SFLL-HD locking at the given Hamming distance.
-//
-// Deprecated: use LockWith(ctx, "sfll-hd", c, SchemeOptions{ProtWidth: protWidth, HammingDistance: h, Seed: seed}).
-func LockSFLLHD(c *Circuit, protWidth, h int, seed int64) (*Locked, error) {
-	return LockWith(context.Background(), "sfll-hd", c,
-		SchemeOptions{ProtWidth: protWidth, HammingDistance: h, Seed: seed})
-}
-
-// WithTimeout is a convenience for building attack budgets.
-//
-// Deprecated: set AttackOptions.Timeout directly.
-func WithTimeout(opt AttackOptions, d time.Duration) AttackOptions {
-	opt.Timeout = d
-	return opt
-}
+// the scheme registry: Schemes() lists them, LockWith applies one by name
+// with a SchemeOptions. ObfusLock itself is Lock/LockContext with its own
+// Options; the job API (RunJob, kind "lock") routes to either by name.
 
 // Observability. Options.Trace and AttackOptions.Trace accept a *Tracer;
 // a nil tracer is fully disabled and costs nothing. See internal/obs and

@@ -50,7 +50,11 @@ func TestFacadeAttackAndPPA(t *testing.T) {
 	}
 	aopt := DefaultAttackOptions()
 	aopt.MaxIterations = 30
-	r := RunSATAttack(context.Background(), res.Locked, NewOracle(c), aopt)
+	satAttack, ok := AttackNamed("sat")
+	if !ok {
+		t.Fatal("sat attack missing from registry")
+	}
+	r := satAttack.Run(context.Background(), res.Locked, NewOracle(c), aopt)
 	if r.Exact {
 		t.Fatalf("8-bit lock fell in %d iterations", r.Iterations)
 	}
@@ -62,14 +66,14 @@ func TestFacadeAttackAndPPA(t *testing.T) {
 
 func TestFacadeBaselines(t *testing.T) {
 	c := SmallBenchmarks()[2].Build() // small multiplier
-	for name, build := range map[string]func() (*Locked, error){
-		"rll":     func() (*Locked, error) { return LockRLL(c, 8, 1) },
-		"sarlock": func() (*Locked, error) { return LockSARLock(c, 8, 1) },
-		"antisat": func() (*Locked, error) { return LockAntiSAT(c, 6, 1) },
-		"ttlock":  func() (*Locked, error) { return LockTTLock(c, 8, 1) },
-		"sfllhd":  func() (*Locked, error) { return LockSFLLHD(c, 8, 1, 1) },
+	for name, opt := range map[string]SchemeOptions{
+		"rll":     {KeyBits: 8, Seed: 1},
+		"sarlock": {ProtWidth: 8, Seed: 1},
+		"antisat": {ProtWidth: 6, Seed: 1},
+		"ttlock":  {ProtWidth: 8, Seed: 1},
+		"sfll-hd": {ProtWidth: 8, HammingDistance: 1, Seed: 1},
 	} {
-		l, err := build()
+		l, err := LockWith(context.Background(), name, c, opt)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
